@@ -1,0 +1,90 @@
+// Command pgridquery is the handheld-device client: it connects to a
+// pgridd daemon over TCP and submits a query in the paper's language.
+//
+// Usage:
+//
+//	pgridquery -addr 127.0.0.1:7070 "SELECT avg(temp) FROM sensors"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"pervasivegrid/internal/agent"
+	"pervasivegrid/internal/core"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "pgridd address")
+	timeout := flag.Duration("timeout", 30*time.Second, "reply timeout")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, `usage: pgridquery [-addr host:port] "SELECT avg(temp) FROM sensors"`)
+		os.Exit(2)
+	}
+	src := flag.Arg(0)
+
+	platform := agent.NewPlatform("pgridquery")
+	defer platform.Close()
+	link, err := agent.Dial(platform, *addr, nil)
+	if err != nil {
+		log.Fatalf("pgridquery: %v", err)
+	}
+	defer link.Close()
+
+	self := agent.ID(fmt.Sprintf("handheld-%d", os.Getpid()))
+	replies := make(chan core.QueryReply, 1)
+	err = platform.Register(self, agent.HandlerFunc(func(env agent.Envelope, ctx *agent.Context) {
+		var r core.QueryReply
+		if err := env.Decode(&r); err == nil {
+			replies <- r
+		}
+	}), agent.Attributes{Agent: map[string]string{agent.AttrRole: agent.RoleClient}}, nil)
+	if err != nil {
+		log.Fatalf("pgridquery: %v", err)
+	}
+
+	env, err := agent.NewEnvelope(self, core.QueryAgentID, "request", core.QueryOntology,
+		core.QueryRequest{Query: src})
+	if err != nil {
+		log.Fatalf("pgridquery: %v", err)
+	}
+	if err := platform.Send(env); err != nil {
+		log.Fatalf("pgridquery: send: %v", err)
+	}
+
+	select {
+	case r := <-replies:
+		if !r.OK {
+			log.Fatalf("pgridquery: query failed: %s", r.Error)
+		}
+		fmt.Printf("kind:     %s\n", r.Kind)
+		fmt.Printf("model:    %s\n", r.Model)
+		fmt.Printf("value:    %g\n", r.Value)
+		fmt.Printf("coverage: %d sensors\n", r.Coverage)
+		fmt.Printf("energy:   %g J\n", r.EnergyJ)
+		fmt.Printf("latency:  %g s\n", r.TimeSec)
+		if r.Rounds > 0 {
+			fmt.Printf("rounds:   %d\n", r.Rounds)
+		}
+		if len(r.Groups) > 0 {
+			keys := make([]string, 0, len(r.Groups))
+			for k := range r.Groups {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Printf("  %s: %g\n", k, r.Groups[k])
+			}
+		}
+		if r.Cached {
+			fmt.Println("cached:   true")
+		}
+	case <-time.After(*timeout):
+		log.Fatal("pgridquery: timed out waiting for reply")
+	}
+}

@@ -1,0 +1,12 @@
+// Package pervasivegrid reproduces "Towards a Pervasive Grid" (Hingne,
+// Joshi, Finin, Kargupta, Houstis; IPPS 2003): a runtime that combines
+// wireless sensor networks, mobile devices, and the wired computational
+// Grid behind a multi-agent framework with semantic service discovery,
+// dynamic service composition, and adaptive partitioning of query
+// computation across sensors, base stations, and grid resources.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); runnable entry points are under cmd/ and examples/. The
+// benchmark suite in bench_test.go regenerates every experiment table
+// (E1–E10, recorded in EXPERIMENTS.md).
+package pervasivegrid

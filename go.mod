@@ -1,0 +1,3 @@
+module pervasivegrid
+
+go 1.22

@@ -1,0 +1,60 @@
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// callCounter hands out unique ephemeral caller IDs per process.
+var callCounter atomic.Uint64
+
+// ErrCallTimeout reports a Call that received no reply in time.
+var ErrCallTimeout = errors.New("agent: call timed out")
+
+// Call performs a synchronous request/reply conversation: it registers an
+// ephemeral agent, sends the request, waits for the correlated reply (an
+// envelope whose InReplyTo matches the request), and cleans up. It is the
+// convenience layer CLI tools and tests use; long-lived agents should hold
+// their own registration instead.
+func Call(p *Platform, to ID, performative, ontology string, body any, timeout time.Duration) (Envelope, error) {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	self := ID(fmt.Sprintf("caller-%d", callCounter.Add(1)))
+	replies := make(chan Envelope, 4)
+	err := p.Register(self, HandlerFunc(func(env Envelope, ctx *Context) {
+		select {
+		case replies <- env:
+		default:
+		}
+	}), Attributes{Agent: map[string]string{AttrRole: RoleClient}}, nil)
+	if err != nil {
+		return Envelope{}, err
+	}
+	defer p.Deregister(self)
+
+	env, err := NewEnvelope(self, to, performative, ontology, body)
+	if err != nil {
+		return Envelope{}, err
+	}
+	env.Seq = p.seq.next() // assign now so we can correlate
+	if err := p.Send(env); err != nil {
+		return Envelope{}, err
+	}
+
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case r := <-replies:
+			if r.InReplyTo == env.Seq || r.InReplyTo == 0 {
+				return r, nil
+			}
+			// A stray reply to an earlier conversation: keep waiting.
+		case <-deadline.C:
+			return Envelope{}, fmt.Errorf("%w: %s -> %s after %v", ErrCallTimeout, performative, to, timeout)
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package agent
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Codec encodes and decodes envelope bodies for one content language. The
+// envelope's ContentType names the codec, which is how the framework stays
+// "ACL and network protocol independent": agents negotiate content
+// languages per conversation, and transcoding deputies can convert between
+// them in flight.
+type Codec interface {
+	// ContentType is the wire identifier ("application/json", "kqml").
+	ContentType() string
+	// Marshal encodes a body value.
+	Marshal(v any) ([]byte, error)
+	// Unmarshal decodes into the given pointer.
+	Unmarshal(data []byte, v any) error
+}
+
+// JSONCodec is the default content language.
+type JSONCodec struct{}
+
+// ContentType implements Codec.
+func (JSONCodec) ContentType() string { return "application/json" }
+
+// Marshal implements Codec.
+func (JSONCodec) Marshal(v any) ([]byte, error) { return json.Marshal(v) }
+
+// Unmarshal implements Codec.
+func (JSONCodec) Unmarshal(data []byte, v any) error { return json.Unmarshal(data, v) }
+
+// KQMLCodec speaks a KQML-flavoured s-expression syntax:
+//
+//	(:temperature "42.5" :room "210")
+//
+// Bodies are map[string]string (or *map[string]string on decode). It
+// exists to prove the envelope layer is content-language neutral, as the
+// DARPA-KSE heritage of the paper demands.
+type KQMLCodec struct{}
+
+// ContentType implements Codec.
+func (KQMLCodec) ContentType() string { return "kqml" }
+
+// validKQMLKey reports whether a key is expressible on the wire: no
+// spaces, parens, quotes, or colons, and non-empty. Both directions of the
+// codec enforce it so decode(encode(m)) and encode(decode(b)) round-trip.
+func validKQMLKey(k string) bool {
+	return k != "" && !strings.ContainsAny(k, " ()\":")
+}
+
+// Marshal implements Codec.
+func (KQMLCodec) Marshal(v any) ([]byte, error) {
+	m, ok := v.(map[string]string)
+	if !ok {
+		return nil, fmt.Errorf("agent: kqml codec encodes map[string]string, got %T", v)
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		if !validKQMLKey(k) {
+			return nil, fmt.Errorf("agent: kqml key %q contains reserved characters", k)
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, ":%s %q", k, m[k])
+	}
+	b.WriteByte(')')
+	return []byte(b.String()), nil
+}
+
+// Unmarshal implements Codec.
+func (KQMLCodec) Unmarshal(data []byte, v any) error {
+	out, ok := v.(*map[string]string)
+	if !ok {
+		return fmt.Errorf("agent: kqml codec decodes into *map[string]string, got %T", v)
+	}
+	s := strings.TrimSpace(string(data))
+	if len(s) < 2 || s[0] != '(' || s[len(s)-1] != ')' {
+		return fmt.Errorf("agent: kqml body %q is not a list", s)
+	}
+	s = s[1 : len(s)-1]
+	m := map[string]string{}
+	i := 0
+	for i < len(s) {
+		for i < len(s) && s[i] == ' ' {
+			i++
+		}
+		if i >= len(s) {
+			break
+		}
+		if s[i] != ':' {
+			return fmt.Errorf("agent: kqml expected :key at %d in %q", i, s)
+		}
+		i++
+		start := i
+		for i < len(s) && s[i] != ' ' {
+			i++
+		}
+		key := s[start:i]
+		if !validKQMLKey(key) {
+			return fmt.Errorf("agent: kqml invalid key %q at %d", key, start)
+		}
+		for i < len(s) && s[i] == ' ' {
+			i++
+		}
+		if i >= len(s) || s[i] != '"' {
+			return fmt.Errorf("agent: kqml expected quoted value for %q", key)
+		}
+		// Parse the Go-quoted string.
+		end := i + 1
+		for end < len(s) {
+			if s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if s[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(s) {
+			return fmt.Errorf("agent: kqml unterminated value for %q", key)
+		}
+		var val string
+		if _, err := fmt.Sscanf(s[i:end+1], "%q", &val); err != nil {
+			return fmt.Errorf("agent: kqml bad value for %q: %w", key, err)
+		}
+		m[key] = val
+		i = end + 1
+	}
+	*out = m
+	return nil
+}
+
+// CodecRegistry maps content types to codecs.
+type CodecRegistry struct {
+	codecs map[string]Codec
+}
+
+// NewCodecRegistry returns a registry preloaded with the JSON and KQML
+// codecs.
+func NewCodecRegistry() *CodecRegistry {
+	r := &CodecRegistry{codecs: map[string]Codec{}}
+	r.Register(JSONCodec{})
+	r.Register(KQMLCodec{})
+	return r
+}
+
+// Register adds (or replaces) a codec.
+func (r *CodecRegistry) Register(c Codec) { r.codecs[c.ContentType()] = c }
+
+// Lookup finds the codec for a content type.
+func (r *CodecRegistry) Lookup(contentType string) (Codec, bool) {
+	c, ok := r.codecs[contentType]
+	return c, ok
+}
+
+// NewEnvelopeWith builds an envelope using an explicit codec.
+func NewEnvelopeWith(c Codec, from, to ID, performative, ontology string, body any) (Envelope, error) {
+	content, err := c.Marshal(body)
+	if err != nil {
+		return Envelope{}, fmt.Errorf("agent: encode %s body: %w", c.ContentType(), err)
+	}
+	return Envelope{
+		From: from, To: to,
+		Performative: performative,
+		ContentType:  c.ContentType(),
+		Ontology:     ontology,
+		Content:      content,
+	}, nil
+}
+
+// DecodeWith decodes the envelope body using the registry's codec for its
+// content type.
+func (e Envelope) DecodeWith(r *CodecRegistry, v any) error {
+	c, ok := r.Lookup(e.ContentType)
+	if !ok {
+		return fmt.Errorf("agent: no codec for content type %q", e.ContentType)
+	}
+	return c.Unmarshal(e.Content, v)
+}
+
+// ConvertTranscoder returns a Transcoder that rewrites envelope bodies from
+// one content language to another — the "transcoding" feature the paper
+// assigns to agent deputies. Only flat map[string]string bodies convert in
+// both directions.
+func ConvertTranscoder(r *CodecRegistry, to string) Transcoder {
+	return func(env Envelope) (Envelope, error) {
+		if env.ContentType == to {
+			return env, nil
+		}
+		src, ok := r.Lookup(env.ContentType)
+		if !ok {
+			return env, fmt.Errorf("agent: no codec for %q", env.ContentType)
+		}
+		dst, ok := r.Lookup(to)
+		if !ok {
+			return env, fmt.Errorf("agent: no codec for %q", to)
+		}
+		var body map[string]string
+		if jc, isJSON := src.(JSONCodec); isJSON {
+			if err := jc.Unmarshal(env.Content, &body); err != nil {
+				return env, fmt.Errorf("agent: transcode decode: %w", err)
+			}
+		} else if err := src.Unmarshal(env.Content, &body); err != nil {
+			return env, fmt.Errorf("agent: transcode decode: %w", err)
+		}
+		content, err := dst.Marshal(body)
+		if err != nil {
+			return env, fmt.Errorf("agent: transcode encode: %w", err)
+		}
+		env.Content = content
+		env.ContentType = to
+		return env, nil
+	}
+}

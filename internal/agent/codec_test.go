@@ -1,0 +1,206 @@
+package agent
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKQMLRoundTrip(t *testing.T) {
+	c := KQMLCodec{}
+	in := map[string]string{
+		"temperature": "42.5",
+		"room":        "210",
+		"note":        `has "quotes" and \backslashes\ and spaces`,
+		"empty":       "",
+	}
+	data, err := c.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]string
+	if err := c.Unmarshal(data, &out); err != nil {
+		t.Fatalf("unmarshal %s: %v", data, err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip size %d != %d", len(out), len(in))
+	}
+	for k, v := range in {
+		if out[k] != v {
+			t.Fatalf("key %q: %q != %q", k, out[k], v)
+		}
+	}
+}
+
+func TestKQMLDeterministicOrder(t *testing.T) {
+	c := KQMLCodec{}
+	m := map[string]string{"b": "2", "a": "1"}
+	d1, _ := c.Marshal(m)
+	d2, _ := c.Marshal(m)
+	if string(d1) != string(d2) {
+		t.Fatal("kqml encoding should be deterministic")
+	}
+	if string(d1) != `(:a "1" :b "2")` {
+		t.Fatalf("encoding = %s", d1)
+	}
+}
+
+func TestKQMLErrors(t *testing.T) {
+	c := KQMLCodec{}
+	if _, err := c.Marshal("not a map"); err == nil {
+		t.Fatal("non-map marshal should fail")
+	}
+	if _, err := c.Marshal(map[string]string{"bad key": "v"}); err == nil {
+		t.Fatal("key with space should fail")
+	}
+	var out map[string]string
+	for _, bad := range []string{"", "no parens", "(:key)", "(:key unquoted)", `(:key "unterminated`, `(key "v")`} {
+		if err := c.Unmarshal([]byte(bad), &out); err == nil {
+			t.Fatalf("Unmarshal(%q) should fail", bad)
+		}
+	}
+	var wrong string
+	if err := c.Unmarshal([]byte(`(:a "1")`), &wrong); err == nil {
+		t.Fatal("decode into non-map should fail")
+	}
+}
+
+func TestPropertyKQMLRoundTrip(t *testing.T) {
+	c := KQMLCodec{}
+	f := func(keys []uint8, vals []string) bool {
+		m := map[string]string{}
+		for i, k := range keys {
+			if i >= len(vals) {
+				break
+			}
+			m["k"+string(rune('a'+k%26))] = vals[i]
+		}
+		data, err := c.Marshal(m)
+		if err != nil {
+			return false
+		}
+		var out map[string]string
+		if err := c.Unmarshal(data, &out); err != nil {
+			return false
+		}
+		if len(out) != len(m) {
+			return false
+		}
+		for k, v := range m {
+			if out[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecRegistry(t *testing.T) {
+	r := NewCodecRegistry()
+	if _, ok := r.Lookup("application/json"); !ok {
+		t.Fatal("json codec missing")
+	}
+	if _, ok := r.Lookup("kqml"); !ok {
+		t.Fatal("kqml codec missing")
+	}
+	if _, ok := r.Lookup("x-proto"); ok {
+		t.Fatal("unknown codec should miss")
+	}
+}
+
+func TestEnvelopeWithKQML(t *testing.T) {
+	r := NewCodecRegistry()
+	body := map[string]string{"performing": "tell", "content": "fire in r8"}
+	env, err := NewEnvelopeWith(KQMLCodec{}, "a", "b", "tell", "fire-onto", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.ContentType != "kqml" {
+		t.Fatalf("content type = %s", env.ContentType)
+	}
+	var out map[string]string
+	if err := env.DecodeWith(r, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["content"] != "fire in r8" {
+		t.Fatalf("decoded = %v", out)
+	}
+	// JSON Decode must refuse the kqml body.
+	var j map[string]string
+	if err := env.Decode(&j); err == nil {
+		t.Fatal("json decode of kqml content type should fail")
+	}
+}
+
+func TestConvertTranscoderJSONToKQML(t *testing.T) {
+	r := NewCodecRegistry()
+	env, err := NewEnvelope("a", "b", "inform", "o", map[string]string{"temp": "451"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := ConvertTranscoder(r, "kqml")
+	out, err := tc(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ContentType != "kqml" {
+		t.Fatalf("content type = %s", out.ContentType)
+	}
+	var m map[string]string
+	if err := out.DecodeWith(r, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["temp"] != "451" {
+		t.Fatalf("converted body = %v", m)
+	}
+	// Round-trip back to JSON.
+	back, err := ConvertTranscoder(r, "application/json")(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j map[string]string
+	if err := back.Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	if j["temp"] != "451" {
+		t.Fatalf("round trip = %v", j)
+	}
+	// Same-type conversion is a no-op.
+	same, err := tc(out)
+	if err != nil || string(same.Content) != string(out.Content) {
+		t.Fatal("same-type conversion should be identity")
+	}
+}
+
+func TestConvertTranscoderOnDeputy(t *testing.T) {
+	// A KQML-speaking agent behind a transcoding deputy receives
+	// converted messages from a JSON-speaking sender.
+	r := NewCodecRegistry()
+	p := NewPlatform("test")
+	defer p.Close()
+	got := make(chan map[string]string, 1)
+	err := p.Register("kqml-agent", HandlerFunc(func(env Envelope, ctx *Context) {
+		if env.ContentType != "kqml" {
+			t.Errorf("agent saw content type %s", env.ContentType)
+		}
+		var m map[string]string
+		if err := env.DecodeWith(r, &m); err == nil {
+			got <- m
+		}
+	}), Attributes{}, func(next Deputy) Deputy {
+		return NewTranscodingDeputy(next, ConvertTranscoder(r, "kqml"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, _ := NewEnvelope("sender", "kqml-agent", "inform", "o", map[string]string{"alert": "toxin"})
+	if err := p.Send(env); err != nil {
+		t.Fatal(err)
+	}
+	m := <-got
+	if m["alert"] != "toxin" {
+		t.Fatalf("received %v", m)
+	}
+}

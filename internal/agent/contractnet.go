@@ -1,0 +1,191 @@
+package agent
+
+import (
+	"fmt"
+	"time"
+)
+
+// Contract-net negotiation: the paper requires agents that "negotiate with
+// other agents about appropriate mediating interfaces or performance
+// commitments". This file implements the classic contract-net protocol on
+// top of the envelope layer: an initiator issues a call-for-proposals to
+// candidate contractors, collects bids, awards the task to the best bid,
+// and informs the losers.
+
+// CFP is a call-for-proposals body.
+type CFP struct {
+	// Task describes the work being tendered.
+	Task string `json:"task"`
+	// Payload carries task-specific parameters.
+	Payload map[string]string `json:"payload,omitempty"`
+}
+
+// Proposal is a contractor's bid.
+type Proposal struct {
+	// Willing is false for an explicit refusal.
+	Willing bool `json:"willing"`
+	// Cost is the bid (lower wins): the "performance commitment".
+	Cost float64 `json:"cost"`
+	// Note carries free-form terms.
+	Note string `json:"note,omitempty"`
+}
+
+// Award is sent to the winning contractor; losers get a "reject" envelope.
+type Award struct {
+	Task string `json:"task"`
+}
+
+// Contract-net performatives.
+const (
+	PerformativeCFP     = "cfp"
+	PerformativePropose = "propose"
+	PerformativeRefuse  = "refuse"
+	PerformativeAward   = "accept-proposal"
+	PerformativeReject  = "reject-proposal"
+)
+
+// ContractNetResult reports a completed negotiation.
+type ContractNetResult struct {
+	// Winner is the awarded contractor ("" when nobody bid).
+	Winner ID
+	// Cost is the winning bid.
+	Cost float64
+	// Proposals counts bids received (refusals excluded).
+	Proposals int
+	// Refusals counts explicit refusals.
+	Refusals int
+}
+
+// Bidder adapts a cost function into a contract-net contractor handler:
+// on a CFP it computes a bid (or refuses when the returned cost is
+// negative), and on an award it runs perform.
+func Bidder(bid func(CFP) float64, perform func(Award)) Handler {
+	return HandlerFunc(func(env Envelope, ctx *Context) {
+		switch env.Performative {
+		case PerformativeCFP:
+			var cfp CFP
+			if err := env.Decode(&cfp); err != nil {
+				return
+			}
+			cost := bid(cfp)
+			var reply Envelope
+			var err error
+			if cost < 0 {
+				reply, err = env.Reply(PerformativeRefuse, Proposal{Willing: false})
+			} else {
+				reply, err = env.Reply(PerformativePropose, Proposal{Willing: true, Cost: cost})
+			}
+			if err == nil {
+				_ = ctx.Send(reply)
+			}
+		case PerformativeAward:
+			var aw Award
+			if err := env.Decode(&aw); err != nil {
+				return
+			}
+			if perform != nil {
+				perform(aw)
+			}
+		}
+	})
+}
+
+// ContractNet runs one negotiation round from an ephemeral initiator: CFP
+// to every contractor, wait out the deadline, award the cheapest bid. It
+// returns ErrCallTimeout-free results: silence from a contractor simply
+// means no bid.
+func ContractNet(p *Platform, contractors []ID, cfp CFP, deadline time.Duration) (ContractNetResult, error) {
+	if len(contractors) == 0 {
+		return ContractNetResult{}, fmt.Errorf("agent: contract net needs contractors")
+	}
+	if deadline <= 0 {
+		deadline = time.Second
+	}
+	self := ID(fmt.Sprintf("cnet-%d", callCounter.Add(1)))
+	type bid struct {
+		from ID
+		prop Proposal
+	}
+	bids := make(chan bid, len(contractors)*2)
+	refusals := make(chan ID, len(contractors)*2)
+	err := p.Register(self, HandlerFunc(func(env Envelope, ctx *Context) {
+		switch env.Performative {
+		case PerformativePropose:
+			var prop Proposal
+			if err := env.Decode(&prop); err == nil && prop.Willing {
+				select {
+				case bids <- bid{from: env.From, prop: prop}:
+				default:
+				}
+			}
+		case PerformativeRefuse:
+			select {
+			case refusals <- env.From:
+			default:
+			}
+		}
+	}), Attributes{Agent: map[string]string{AttrRole: RoleClient}}, nil)
+	if err != nil {
+		return ContractNetResult{}, err
+	}
+	defer p.Deregister(self)
+
+	sent := 0
+	for _, c := range contractors {
+		env, err := NewEnvelope(self, c, PerformativeCFP, "contract-net", cfp)
+		if err != nil {
+			continue
+		}
+		if p.Send(env) == nil {
+			sent++
+		}
+	}
+	if sent == 0 {
+		return ContractNetResult{}, fmt.Errorf("agent: no contractor reachable")
+	}
+
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	res := ContractNetResult{}
+	var best *bid
+	for done := false; !done; {
+		select {
+		case b := <-bids:
+			res.Proposals++
+			bb := b
+			if best == nil || bb.prop.Cost < best.prop.Cost {
+				best = &bb
+			}
+			if res.Proposals+res.Refusals >= sent {
+				done = true
+			}
+		case <-refusals:
+			res.Refusals++
+			if res.Proposals+res.Refusals >= sent {
+				done = true
+			}
+		case <-timer.C:
+			done = true
+		}
+	}
+	if best == nil {
+		return res, nil // nobody bid; Winner stays empty
+	}
+	res.Winner = best.from
+	res.Cost = best.prop.Cost
+
+	award, err := NewEnvelope(self, best.from, PerformativeAward, "contract-net", Award{Task: cfp.Task})
+	if err == nil {
+		_ = p.Send(award)
+	}
+	for _, c := range contractors {
+		if c == best.from {
+			continue
+		}
+		rej, err := NewEnvelope(self, c, PerformativeReject, "contract-net", Award{Task: cfp.Task})
+		if err == nil {
+			_ = p.Send(rej)
+		}
+	}
+	return res, nil
+}

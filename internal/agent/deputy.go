@@ -1,0 +1,146 @@
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Deputy is the front-end interface for reaching an agent: "each Agent
+// Deputy must implement a deliver method". Deputies compose — transcoding
+// and disconnection management are decorators around the direct deputy.
+type Deputy interface {
+	Deliver(env Envelope) error
+}
+
+// directDeputy hands envelopes to the agent's mailbox.
+type directDeputy struct {
+	mailbox chan Envelope
+}
+
+// ErrMailboxFull reports an agent that cannot keep up.
+var ErrMailboxFull = errors.New("agent: mailbox full")
+
+func (d *directDeputy) Deliver(env Envelope) error {
+	select {
+	case d.mailbox <- env:
+		return nil
+	default:
+		return ErrMailboxFull
+	}
+}
+
+// DisconnectionDeputy buffers envelopes while its agent's device is
+// disconnected and flushes them on reconnect — the paper's "deputies that
+// will provide features of ... disconnection management".
+type DisconnectionDeputy struct {
+	next Deputy
+
+	mu        sync.Mutex
+	connected bool
+	buffer    []Envelope
+	// MaxBuffer bounds the store-and-forward queue (default 256).
+	MaxBuffer int
+	dropped   int
+}
+
+// NewDisconnectionDeputy wraps next, starting connected.
+func NewDisconnectionDeputy(next Deputy) *DisconnectionDeputy {
+	return &DisconnectionDeputy{next: next, connected: true, MaxBuffer: 256}
+}
+
+// Deliver implements Deputy: pass through when connected, buffer otherwise.
+func (d *DisconnectionDeputy) Deliver(env Envelope) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.connected {
+		return d.next.Deliver(env)
+	}
+	max := d.MaxBuffer
+	if max <= 0 {
+		max = 256
+	}
+	if len(d.buffer) >= max {
+		d.dropped++
+		return fmt.Errorf("agent: disconnection buffer full (%d)", max)
+	}
+	d.buffer = append(d.buffer, env)
+	return nil
+}
+
+// SetConnected flips connectivity; reconnecting flushes the buffer in
+// order. It returns how many buffered envelopes were flushed.
+func (d *DisconnectionDeputy) SetConnected(up bool) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.connected = up
+	if !up {
+		return 0
+	}
+	flushed := 0
+	for _, env := range d.buffer {
+		if err := d.next.Deliver(env); err != nil {
+			break
+		}
+		flushed++
+	}
+	d.buffer = d.buffer[flushed:]
+	if len(d.buffer) == 0 {
+		d.buffer = nil
+	}
+	return flushed
+}
+
+// Buffered reports the store-and-forward queue length.
+func (d *DisconnectionDeputy) Buffered() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.buffer)
+}
+
+// Dropped reports envelopes lost to buffer overflow.
+func (d *DisconnectionDeputy) Dropped() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dropped
+}
+
+// Transcoder rewrites an envelope's content from one content type to
+// another (e.g. shrinking payloads for a thin link).
+type Transcoder func(env Envelope) (Envelope, error)
+
+// TranscodingDeputy applies a transcoder before delivery — the paper's
+// "deputies that will provide features of transcoding".
+type TranscodingDeputy struct {
+	next Deputy
+	fn   Transcoder
+}
+
+// NewTranscodingDeputy wraps next with the transcoder.
+func NewTranscodingDeputy(next Deputy, fn Transcoder) *TranscodingDeputy {
+	return &TranscodingDeputy{next: next, fn: fn}
+}
+
+// Deliver implements Deputy.
+func (t *TranscodingDeputy) Deliver(env Envelope) error {
+	if t.fn != nil {
+		out, err := t.fn(env)
+		if err != nil {
+			return fmt.Errorf("agent: transcode: %w", err)
+		}
+		env = out
+	}
+	return t.next.Deliver(env)
+}
+
+// TruncateTranscoder returns a transcoder that caps Content at max bytes,
+// a stand-in for lossy transcoding on constrained links.
+func TruncateTranscoder(max int) Transcoder {
+	return func(env Envelope) (Envelope, error) {
+		if max > 0 && len(env.Content) > max {
+			env.Content = env.Content[:max]
+			env.ContentType = "application/octet-stream" // no longer valid JSON
+		}
+		return env, nil
+	}
+}

@@ -1,0 +1,114 @@
+// Package agent is a Ronin-style multi-agent framework: agents are
+// reachable only through Agent Deputies that implement a single Deliver
+// abstraction, messages travel inside Envelope objects that carry their
+// content type and ontology identifier (so the framework is agent-
+// communication-language independent), and every agent carries two
+// attribute sets — generic Agent Attributes defined by the framework and
+// free-form Domain Attributes defined by applications — exactly the split
+// the paper describes.
+package agent
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+)
+
+// ID names an agent on a platform. IDs are flat strings; a platform routes
+// by exact ID.
+type ID string
+
+// Envelope is the meta-level message wrapper: "messages ... are embedded
+// within Envelope objects during the delivery process ... the type of
+// content message and the ontology identifier of the content message are
+// also stored."
+type Envelope struct {
+	// Seq is assigned by the platform on send.
+	Seq uint64 `json:"seq"`
+	// From and To identify the conversing agents.
+	From ID `json:"from"`
+	To   ID `json:"to"`
+	// Performative is the speech act ("request", "inform", "failure",
+	// "advertise", ...) — ACL-neutral.
+	Performative string `json:"performative"`
+	// ContentType names the encoding of Content ("text/plain",
+	// "application/json", "kqml", ...).
+	ContentType string `json:"contentType"`
+	// Ontology identifies the vocabulary Content is expressed in.
+	Ontology string `json:"ontology"`
+	// InReplyTo correlates a response with a request Seq.
+	InReplyTo uint64 `json:"inReplyTo,omitempty"`
+	// Content is the opaque payload.
+	Content []byte `json:"content"`
+}
+
+// NewEnvelope builds an envelope with a JSON-encoded body.
+func NewEnvelope(from, to ID, performative, ontology string, body any) (Envelope, error) {
+	content, err := json.Marshal(body)
+	if err != nil {
+		return Envelope{}, fmt.Errorf("agent: encode envelope body: %w", err)
+	}
+	return Envelope{
+		From: from, To: to,
+		Performative: performative,
+		ContentType:  "application/json",
+		Ontology:     ontology,
+		Content:      content,
+	}, nil
+}
+
+// Decode unmarshals a JSON envelope body into out.
+func (e Envelope) Decode(out any) error {
+	if e.ContentType != "application/json" {
+		return fmt.Errorf("agent: envelope content type %q is not JSON", e.ContentType)
+	}
+	return json.Unmarshal(e.Content, out)
+}
+
+// Reply builds a response envelope correlated to e, preserving ontology.
+func (e Envelope) Reply(performative string, body any) (Envelope, error) {
+	r, err := NewEnvelope(e.To, e.From, performative, e.Ontology, body)
+	if err != nil {
+		return Envelope{}, err
+	}
+	r.InReplyTo = e.Seq
+	return r, nil
+}
+
+// seqCounter hands out platform-unique sequence numbers.
+type seqCounter struct{ n atomic.Uint64 }
+
+func (s *seqCounter) next() uint64 { return s.n.Add(1) }
+
+// Attributes is the two-level attribute model. Agent Attributes use
+// framework-defined keys (see the Role* constants); Domain Attributes are
+// application-defined and uninterpreted by the framework.
+type Attributes struct {
+	Agent  map[string]string `json:"agent"`
+	Domain map[string]string `json:"domain"`
+}
+
+// Framework-defined agent attribute keys and role values.
+const (
+	AttrRole = "role"
+
+	RoleBroker   = "broker"
+	RoleProvider = "service-provider"
+	RoleClient   = "client"
+	RoleGateway  = "gateway"
+)
+
+// Clone deep-copies the attribute sets.
+func (a Attributes) Clone() Attributes {
+	out := Attributes{Agent: map[string]string{}, Domain: map[string]string{}}
+	for k, v := range a.Agent {
+		out.Agent[k] = v
+	}
+	for k, v := range a.Domain {
+		out.Domain[k] = v
+	}
+	return out
+}
+
+// Role returns the framework role attribute ("" when unset).
+func (a Attributes) Role() string { return a.Agent[AttrRole] }

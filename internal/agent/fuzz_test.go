@@ -1,0 +1,41 @@
+package agent
+
+import "testing"
+
+// FuzzKQMLUnmarshal feeds arbitrary bytes to the KQML decoder: it must
+// never panic, and successfully decoded maps must re-encode and decode to
+// the same map.
+func FuzzKQMLUnmarshal(f *testing.F) {
+	for _, seed := range []string{
+		`(:a "1" :b "2")`,
+		`(:key "value with \"quotes\"")`,
+		`()`,
+		`(:k "unterminated`,
+		`not kqml at all`,
+	} {
+		f.Add([]byte(seed))
+	}
+	c := KQMLCodec{}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m map[string]string
+		if err := c.Unmarshal(data, &m); err != nil {
+			return
+		}
+		re, err := c.Marshal(m)
+		if err != nil {
+			t.Fatalf("decoded map %v does not re-encode: %v", m, err)
+		}
+		var m2 map[string]string
+		if err := c.Unmarshal(re, &m2); err != nil {
+			t.Fatalf("re-encoded %s does not decode: %v", re, err)
+		}
+		if len(m) != len(m2) {
+			t.Fatalf("round trip changed size: %v vs %v", m, m2)
+		}
+		for k, v := range m {
+			if m2[k] != v {
+				t.Fatalf("round trip changed %q: %q vs %q", k, v, m2[k])
+			}
+		}
+	})
+}

@@ -1,0 +1,263 @@
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Handler is an agent's behaviour: it receives each envelope delivered to
+// the agent, together with a platform context for sending replies. Handlers
+// for one agent run sequentially on the agent's own goroutine.
+type Handler interface {
+	Handle(env Envelope, ctx *Context)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(env Envelope, ctx *Context)
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(env Envelope, ctx *Context) { f(env, ctx) }
+
+// Context gives a running agent access to its platform.
+type Context struct {
+	// Self is the agent's own ID.
+	Self ID
+	// Platform is the hosting platform.
+	Platform *Platform
+}
+
+// Send routes an envelope from this agent.
+func (c *Context) Send(env Envelope) error {
+	env.From = c.Self
+	return c.Platform.Send(env)
+}
+
+// registration is one hosted agent: its deputy chain, mailbox, and
+// attributes.
+type registration struct {
+	id      ID
+	deputy  Deputy
+	attrs   Attributes
+	mailbox chan Envelope
+	done    chan struct{}
+}
+
+// Platform hosts agents and routes envelopes between them. Remote platforms
+// are reachable through gateway routes (see transport.go).
+type Platform struct {
+	Name string
+
+	mu     sync.RWMutex
+	agents map[ID]*registration
+	routes []RouteFunc
+	seq    seqCounter
+	closed bool
+
+	// Delivered counts envelopes successfully handed to a deputy.
+	delivered atomic64
+	// Dropped counts undeliverable envelopes.
+	dropped atomic64
+}
+
+type atomic64 struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+func (a *atomic64) inc() {
+	a.mu.Lock()
+	a.n++
+	a.mu.Unlock()
+}
+
+func (a *atomic64) get() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.n
+}
+
+// RouteFunc tries to deliver an envelope to a non-local destination. It
+// reports whether it accepted the envelope.
+type RouteFunc func(env Envelope) bool
+
+// ErrUnknownAgent reports a send to an ID no route can reach.
+var ErrUnknownAgent = errors.New("agent: unknown destination")
+
+// ErrClosed reports use of a closed platform.
+var ErrClosed = errors.New("agent: platform closed")
+
+// NewPlatform builds an empty platform.
+func NewPlatform(name string) *Platform {
+	return &Platform{Name: name, agents: map[ID]*registration{}}
+}
+
+// Register hosts an agent under id with the given behaviour and attributes.
+// The returned error is non-nil when the ID is taken or the platform is
+// closed. A default direct deputy is used unless wrap decorates it (wrap
+// may be nil).
+func (p *Platform) Register(id ID, h Handler, attrs Attributes, wrap func(Deputy) Deputy) error {
+	if id == "" || h == nil {
+		return fmt.Errorf("agent: register needs an id and a handler")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	if _, ok := p.agents[id]; ok {
+		return fmt.Errorf("agent: id %q already registered", id)
+	}
+	reg := &registration{
+		id:      id,
+		attrs:   attrs.Clone(),
+		mailbox: make(chan Envelope, 64),
+		done:    make(chan struct{}),
+	}
+	var d Deputy = &directDeputy{mailbox: reg.mailbox}
+	if wrap != nil {
+		d = wrap(d)
+	}
+	reg.deputy = d
+	p.agents[id] = reg
+
+	ctx := &Context{Self: id, Platform: p}
+	go func() {
+		defer close(reg.done)
+		for env := range reg.mailbox {
+			h.Handle(env, ctx)
+		}
+	}()
+	return nil
+}
+
+// Deregister removes an agent and stops its goroutine (after it drains its
+// mailbox).
+func (p *Platform) Deregister(id ID) {
+	p.mu.Lock()
+	reg, ok := p.agents[id]
+	if ok {
+		delete(p.agents, id)
+	}
+	p.mu.Unlock()
+	if ok {
+		close(reg.mailbox)
+		<-reg.done
+	}
+}
+
+// Deputy returns the deputy fronting an agent, or nil. Other agents (and
+// transports) talk to the deputy, never to the agent directly — the Ronin
+// indirection.
+func (p *Platform) Deputy(id ID) Deputy {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if reg, ok := p.agents[id]; ok {
+		return reg.deputy
+	}
+	return nil
+}
+
+// Attributes returns a copy of an agent's attributes and whether it exists.
+func (p *Platform) Attributes(id ID) (Attributes, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	reg, ok := p.agents[id]
+	if !ok {
+		return Attributes{}, false
+	}
+	return reg.attrs.Clone(), true
+}
+
+// Agents lists hosted agent IDs in sorted order.
+func (p *Platform) Agents() []ID {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]ID, 0, len(p.agents))
+	for id := range p.agents {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FindByRole lists agents whose framework role attribute equals role.
+func (p *Platform) FindByRole(role string) []ID {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	var out []ID
+	for id, reg := range p.agents {
+		if reg.attrs.Role() == role {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AddRoute appends a gateway route for non-local destinations.
+func (p *Platform) AddRoute(r RouteFunc) {
+	p.mu.Lock()
+	p.routes = append(p.routes, r)
+	p.mu.Unlock()
+}
+
+// Send assigns a sequence number and routes the envelope: local deputy
+// first, then gateway routes in order.
+func (p *Platform) Send(env Envelope) error {
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return ErrClosed
+	}
+	reg, local := p.agents[env.To]
+	routes := p.routes
+	p.mu.RUnlock()
+
+	if env.Seq == 0 {
+		env.Seq = p.seq.next()
+	}
+	if local {
+		if err := reg.deputy.Deliver(env); err != nil {
+			p.dropped.inc()
+			return err
+		}
+		p.delivered.inc()
+		return nil
+	}
+	for _, r := range routes {
+		if r(env) {
+			p.delivered.inc()
+			return nil
+		}
+	}
+	p.dropped.inc()
+	return fmt.Errorf("%w: %q", ErrUnknownAgent, env.To)
+}
+
+// Delivered and Dropped report routing counters.
+func (p *Platform) Delivered() uint64 { return p.delivered.get() }
+
+// Dropped reports envelopes that could not be routed or delivered.
+func (p *Platform) Dropped() uint64 { return p.dropped.get() }
+
+// Close stops every agent. Subsequent Sends fail with ErrClosed.
+func (p *Platform) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	regs := make([]*registration, 0, len(p.agents))
+	for _, reg := range p.agents {
+		regs = append(regs, reg)
+	}
+	p.agents = map[ID]*registration{}
+	p.mu.Unlock()
+	for _, reg := range regs {
+		close(reg.mailbox)
+		<-reg.done
+	}
+}

@@ -1,0 +1,180 @@
+package agent
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Transport: envelopes travel between platforms as newline-delimited JSON
+// over TCP. The framework is "network protocol independent" in the Ronin
+// sense — a platform only sees RouteFuncs; this file provides the stdlib
+// TCP instantiation used by the pgridd daemon.
+
+// wireConn wraps a connection with a locked JSON encoder.
+type wireConn struct {
+	conn net.Conn
+	mu   sync.Mutex
+	enc  *json.Encoder
+}
+
+func newWireConn(c net.Conn) *wireConn {
+	return &wireConn{conn: c, enc: json.NewEncoder(c)}
+}
+
+func (w *wireConn) write(env Envelope) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.enc.Encode(env)
+}
+
+// Gateway accepts remote platform connections. Envelopes arriving on a
+// connection are injected into the local platform; replies addressed to any
+// agent previously seen as a sender on that connection are routed back over
+// it.
+type Gateway struct {
+	platform *Platform
+	ln       net.Listener
+
+	mu    sync.Mutex
+	conns map[*wireConn]map[ID]bool // remote IDs seen per connection
+	done  chan struct{}
+}
+
+// ListenAndServe starts a gateway on addr (e.g. "127.0.0.1:0") and installs
+// its reverse route on the platform.
+func ListenAndServe(p *Platform, addr string) (*Gateway, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("agent: gateway listen: %w", err)
+	}
+	g := &Gateway{platform: p, ln: ln, conns: map[*wireConn]map[ID]bool{}, done: make(chan struct{})}
+	p.AddRoute(g.route)
+	go g.acceptLoop()
+	return g, nil
+}
+
+// Addr reports the gateway's listen address.
+func (g *Gateway) Addr() string { return g.ln.Addr().String() }
+
+// Close stops accepting and closes all connections.
+func (g *Gateway) Close() {
+	select {
+	case <-g.done:
+		return
+	default:
+		close(g.done)
+	}
+	g.ln.Close()
+	g.mu.Lock()
+	for wc := range g.conns {
+		wc.conn.Close()
+	}
+	g.mu.Unlock()
+}
+
+func (g *Gateway) acceptLoop() {
+	for {
+		conn, err := g.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		wc := newWireConn(conn)
+		g.mu.Lock()
+		g.conns[wc] = map[ID]bool{}
+		g.mu.Unlock()
+		go g.readLoop(wc)
+	}
+}
+
+func (g *Gateway) readLoop(wc *wireConn) {
+	defer func() {
+		g.mu.Lock()
+		delete(g.conns, wc)
+		g.mu.Unlock()
+		wc.conn.Close()
+	}()
+	dec := json.NewDecoder(bufio.NewReader(wc.conn))
+	for {
+		var env Envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		g.mu.Lock()
+		g.conns[wc][env.From] = true
+		g.mu.Unlock()
+		_ = g.platform.Send(env) // undeliverable remote envelopes are counted as drops
+	}
+}
+
+// route sends envelopes back to remote agents that previously talked to us.
+func (g *Gateway) route(env Envelope) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for wc, ids := range g.conns {
+		if ids[env.To] {
+			return wc.write(env) == nil
+		}
+	}
+	return false
+}
+
+// Link is a client-side connection from one platform to a remote gateway.
+type Link struct {
+	platform *Platform
+	wc       *wireConn
+	filter   func(ID) bool
+	closed   chan struct{}
+}
+
+// Dial connects the platform to a remote gateway. Envelopes whose
+// destination is not local and passes filter (nil = every non-local ID) are
+// forwarded over the link; envelopes arriving from the remote side are
+// injected locally.
+func Dial(p *Platform, addr string, filter func(ID) bool) (*Link, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("agent: dial gateway: %w", err)
+	}
+	l := &Link{platform: p, wc: newWireConn(conn), filter: filter, closed: make(chan struct{})}
+	p.AddRoute(l.route)
+	go l.readLoop()
+	return l, nil
+}
+
+// Close tears the link down. The platform route remains installed but
+// rejects traffic.
+func (l *Link) Close() {
+	select {
+	case <-l.closed:
+		return
+	default:
+		close(l.closed)
+	}
+	l.wc.conn.Close()
+}
+
+func (l *Link) route(env Envelope) bool {
+	select {
+	case <-l.closed:
+		return false
+	default:
+	}
+	if l.filter != nil && !l.filter(env.To) {
+		return false
+	}
+	return l.wc.write(env) == nil
+}
+
+func (l *Link) readLoop() {
+	dec := json.NewDecoder(bufio.NewReader(l.wc.conn))
+	for {
+		var env Envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		_ = l.platform.Send(env)
+	}
+}

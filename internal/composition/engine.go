@@ -1,0 +1,357 @@
+package composition
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pervasivegrid/internal/discovery"
+	"pervasivegrid/internal/ontology"
+)
+
+// Mode selects the coordination architecture the paper contrasts:
+// centralized broker-based coordination versus distributed coordination
+// across brokers.
+type Mode int
+
+// Coordination modes.
+const (
+	// Centralized coordinates every step through the first broker; if
+	// that broker is down the composition fails outright.
+	Centralized Mode = iota
+	// Distributed lets each step use any live broker, surviving broker
+	// failures.
+	Distributed
+)
+
+func (m Mode) String() string {
+	if m == Distributed {
+		return "distributed"
+	}
+	return "centralized"
+}
+
+// BindStrategy selects when services are bound to steps.
+type BindStrategy int
+
+// Binding strategies.
+const (
+	// Reactive discovers services at execution time, per step — the
+	// paper's "re-actively integrate and execute services".
+	Reactive BindStrategy = iota
+	// Proactive pre-resolves bindings ahead of execution ("pro-actively
+	// compute some generic information about services") and falls back
+	// to discovery when a cached binding has vanished.
+	Proactive
+)
+
+func (s BindStrategy) String() string {
+	if s == Proactive {
+		return "proactive"
+	}
+	return "reactive"
+}
+
+// Invoker calls a bound service for a step. Experiments inject failure
+// behaviour here; real deployments route an envelope to the provider agent.
+type Invoker func(p *ontology.Profile, step Step) error
+
+// Engine executes plans against discovered services.
+type Engine struct {
+	// Brokers are the available discovery brokers; at least one is
+	// required. Centralized mode uses only Brokers[0].
+	Brokers []*discovery.Broker
+	// Onto is the shared vocabulary.
+	Onto *ontology.Ontology
+	// Invoke performs a service call; required.
+	Invoke Invoker
+	// Mode picks the coordination architecture.
+	Mode Mode
+	// Strategy picks reactive or proactive binding.
+	Strategy BindStrategy
+	// MaxAttempts bounds invocation attempts per step, counting the
+	// first try (default 3).
+	MaxAttempts int
+	// MinScore is the minimum discovery score for a service to be
+	// bindable to a step (default 0.75). Composition needs substitutable
+	// services, a higher bar than browsing-style fuzzy discovery.
+	MinScore float64
+	// DiscoveryCost and InvokeCost are the modelled per-operation
+	// latencies accumulated into Execution.Latency.
+	DiscoveryCost, InvokeCost float64
+	// BrokerDown marks brokers (by name) as failed for coordination
+	// experiments.
+	BrokerDown map[string]bool
+
+	// cache holds proactive bindings keyed by step concept.
+	cache map[string]*ontology.Profile
+}
+
+// StepReport records one step's execution.
+type StepReport struct {
+	Task     string
+	Service  string // bound service name ("" when unbound)
+	Attempts int
+	Rebinds  int
+	OK       bool
+	Optional bool
+	// CacheHit marks a proactive binding that was used directly.
+	CacheHit bool
+	// Group echoes the step's parallel group.
+	Group int
+	// Latency is this step's modelled cost contribution.
+	Latency float64
+}
+
+// Execution is the outcome of running one plan.
+type Execution struct {
+	Steps []StepReport
+	// Succeeded means every required step completed.
+	Succeeded bool
+	// Degraded means at least one optional step failed while the
+	// composite still succeeded.
+	Degraded bool
+	// Latency is the modelled cost (discovery + invocations).
+	Latency float64
+	// Err carries the terminal failure when Succeeded is false.
+	Err error
+}
+
+// ErrNoBroker reports a composition with no live coordinator.
+var ErrNoBroker = errors.New("composition: no live broker")
+
+// ErrUnbound reports a step with no matching service.
+var ErrUnbound = errors.New("composition: no service matches step")
+
+// liveBrokers returns the brokers usable under the engine's mode.
+func (e *Engine) liveBrokers() []*discovery.Broker {
+	var candidates []*discovery.Broker
+	if e.Mode == Centralized {
+		if len(e.Brokers) > 0 {
+			candidates = e.Brokers[:1]
+		}
+	} else {
+		candidates = e.Brokers
+	}
+	var live []*discovery.Broker
+	for _, b := range candidates {
+		if b != nil && !e.BrokerDown[b.Name] {
+			live = append(live, b)
+		}
+	}
+	return live
+}
+
+// discover returns ranked candidates for a step from the live brokers,
+// charging the per-lookup cost to *cost.
+func (e *Engine) discover(step Step, cost *float64) ([]discovery.Match, error) {
+	live := e.liveBrokers()
+	if len(live) == 0 {
+		return nil, ErrNoBroker
+	}
+	minScore := e.MinScore
+	if minScore <= 0 {
+		minScore = 0.75
+	}
+	req := ontology.Request{Concept: step.Task.Concept, Outputs: step.Task.Outputs}
+	seen := map[string]bool{}
+	var out []discovery.Match
+	for _, b := range live {
+		*cost += e.DiscoveryCost
+		for _, m := range b.Lookup(req, 0) {
+			if m.Score >= minScore && !seen[m.Profile.Name] {
+				seen[m.Profile.Name] = true
+				out = append(out, m)
+			}
+		}
+		if len(out) > 0 {
+			break // nearest live broker that can answer wins
+		}
+	}
+	return out, nil
+}
+
+// Prebind resolves and caches a binding for every primitive concept in the
+// plan — the proactive phase. Concepts with no current match are skipped
+// (execution will fall back to discovery).
+func (e *Engine) Prebind(plan []Step) int {
+	if e.cache == nil {
+		e.cache = map[string]*ontology.Profile{}
+	}
+	bound := 0
+	var scratch float64
+	for _, s := range plan {
+		if _, ok := e.cache[s.Task.Concept]; ok {
+			continue
+		}
+		ms, err := e.discover(s, &scratch)
+		if err == nil && len(ms) > 0 {
+			e.cache[s.Task.Concept] = ms[0].Profile
+			bound++
+		}
+	}
+	return bound
+}
+
+// InvalidateCache clears proactive bindings (e.g. after topology churn).
+func (e *Engine) InvalidateCache() { e.cache = nil }
+
+// stillAdvertised reports whether a cached profile is still live on any
+// usable broker.
+func (e *Engine) stillAdvertised(p *ontology.Profile) bool {
+	for _, b := range e.liveBrokers() {
+		for _, prof := range b.Reg.Profiles() {
+			if prof.Name == p.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Execute runs the plan. Each step is bound (proactively from cache or
+// reactively by discovery) and invoked; on invocation failure the engine
+// deregisters the dead service and re-binds to the next candidate, up to
+// MaxAttempts. Optional-step failure degrades instead of aborting.
+func (e *Engine) Execute(plan []Step) Execution {
+	exec := Execution{}
+	if e.Invoke == nil {
+		exec.Err = fmt.Errorf("composition: engine has no invoker")
+		return exec
+	}
+	maxAttempts := e.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 3
+	}
+
+	for _, step := range plan {
+		report := StepReport{Task: step.Task.Name, Optional: step.Task.Optional, Group: step.Group}
+
+		// Build the candidate list.
+		var candidates []*ontology.Profile
+		if e.Strategy == Proactive {
+			if p, ok := e.cache[step.Task.Concept]; ok && e.stillAdvertised(p) {
+				candidates = append(candidates, p)
+				report.CacheHit = true
+			}
+		}
+		if len(candidates) == 0 {
+			ms, err := e.discover(step, &report.Latency)
+			if err != nil {
+				exec.Err = err
+				exec.Steps = append(exec.Steps, report)
+				exec.Latency = groupLatency(exec.Steps)
+				return exec
+			}
+			for _, m := range ms {
+				candidates = append(candidates, m.Profile)
+			}
+		}
+
+		// Try candidates in rank order, popping each; when the list
+		// runs dry, re-discover once more in case new services have
+		// appeared since the previous lookup.
+		rediscovered := false
+		for report.Attempts < maxAttempts {
+			if len(candidates) == 0 {
+				if rediscovered {
+					break
+				}
+				rediscovered = true
+				ms, err := e.discover(step, &report.Latency)
+				if err != nil {
+					exec.Err = err
+					exec.Steps = append(exec.Steps, report)
+					exec.Latency = groupLatency(exec.Steps)
+					return exec
+				}
+				for _, m := range ms {
+					candidates = append(candidates, m.Profile)
+				}
+				continue
+			}
+			p := candidates[0]
+			candidates = candidates[1:]
+			report.Attempts++
+			report.Latency += e.InvokeCost
+			if err := e.Invoke(p, step); err == nil {
+				report.OK = true
+				report.Service = p.Name
+				if e.Strategy == Proactive {
+					if e.cache == nil {
+						e.cache = map[string]*ontology.Profile{}
+					}
+					e.cache[step.Task.Concept] = p
+				}
+				break
+			}
+			// Fault tolerance: the service is dead — withdraw its
+			// advertisement everywhere and re-bind to the next
+			// candidate.
+			report.Rebinds++
+			delete(e.cache, step.Task.Concept)
+			for _, b := range e.Brokers {
+				if b != nil {
+					b.Reg.Deregister(p.Name)
+				}
+			}
+		}
+
+		exec.Steps = append(exec.Steps, report)
+		if !report.OK {
+			if step.Task.Optional {
+				exec.Degraded = true
+				continue
+			}
+			if report.Attempts == 0 {
+				exec.Err = fmt.Errorf("%w: %s (%s)", ErrUnbound, step.Task.Name, step.Task.Concept)
+			} else {
+				exec.Err = fmt.Errorf("composition: step %s failed after %d attempts", step.Task.Name, report.Attempts)
+			}
+			exec.Latency = groupLatency(exec.Steps)
+			return exec
+		}
+	}
+	exec.Succeeded = true
+	exec.Latency = groupLatency(exec.Steps)
+	return exec
+}
+
+// groupLatency totals step latencies with parallel groups collapsed to
+// their slowest member: steps sharing a Group ran concurrently on
+// independent services, so the group contributes its maximum, while
+// distinct groups are sequential and sum.
+func groupLatency(steps []StepReport) float64 {
+	maxPerGroup := map[int]float64{}
+	var order []int
+	for _, s := range steps {
+		if _, ok := maxPerGroup[s.Group]; !ok {
+			order = append(order, s.Group)
+		}
+		if s.Latency > maxPerGroup[s.Group] {
+			maxPerGroup[s.Group] = s.Latency
+		}
+	}
+	total := 0.0
+	for _, g := range order {
+		total += maxPerGroup[g]
+	}
+	return total
+}
+
+// Rebinds sums re-binding events across steps.
+func (x Execution) Rebinds() int {
+	n := 0
+	for _, s := range x.Steps {
+		n += s.Rebinds
+	}
+	return n
+}
+
+// RegisterShortLived advertises a profile on a broker with the given
+// lifetime, modelling the paper's "short-lived services which stay in the
+// vicinity for a finite amount of time and then disappear".
+func RegisterShortLived(b *discovery.Broker, p *ontology.Profile, lifetime time.Duration) error {
+	_, err := b.Reg.Register(p, lifetime)
+	return err
+}

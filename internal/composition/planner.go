@@ -1,0 +1,193 @@
+// Package composition implements service composition for the pervasive
+// grid: an HTN-style task library that decomposes complex requests into
+// primitive service invocations (the paper's decision-tree-ensemble example
+// decomposes into generate-trees → Fourier spectra → dominant components →
+// combine), and an execution engine that binds each step to discovered
+// services with fault tolerance, re-binding, graceful degradation, and
+// reactive or proactive binding strategies, under centralized or
+// distributed coordination.
+package composition
+
+import (
+	"fmt"
+
+	"pervasivegrid/internal/ontology"
+)
+
+// Task is a node in the HTN library: primitive tasks name a service concept
+// to discover and invoke; compound tasks decompose into an ordered list of
+// subtask names.
+type Task struct {
+	// Name uniquely identifies the task in its library.
+	Name string
+	// Concept is the service concept a primitive task binds to; empty
+	// for compound tasks.
+	Concept string
+	// Inputs and Outputs are data concepts consumed/produced (primitive
+	// tasks only).
+	Inputs  []string
+	Outputs []string
+	// Subtasks is the decomposition of a compound task, ordered unless
+	// Unordered is set.
+	Subtasks []string
+	// Unordered marks a compound task whose subtasks have no mutual data
+	// dependencies and may execute concurrently; the engine models their
+	// combined latency as the maximum rather than the sum.
+	Unordered bool
+	// Optional marks a step whose failure degrades the composite result
+	// instead of failing it — the paper's graceful degradation.
+	Optional bool
+}
+
+// Primitive reports whether the task binds directly to a service.
+func (t *Task) Primitive() bool { return len(t.Subtasks) == 0 }
+
+// Library is a named collection of task definitions.
+type Library struct {
+	tasks map[string]*Task
+}
+
+// NewLibrary returns an empty library.
+func NewLibrary() *Library { return &Library{tasks: map[string]*Task{}} }
+
+// Define adds a task. Primitive tasks need a concept; compound tasks need
+// subtasks. Redefinition is an error.
+func (l *Library) Define(t *Task) error {
+	if t == nil || t.Name == "" {
+		return fmt.Errorf("composition: task needs a name")
+	}
+	if _, ok := l.tasks[t.Name]; ok {
+		return fmt.Errorf("composition: task %q already defined", t.Name)
+	}
+	if t.Primitive() && t.Concept == "" {
+		return fmt.Errorf("composition: primitive task %q needs a concept", t.Name)
+	}
+	if !t.Primitive() && t.Concept != "" {
+		return fmt.Errorf("composition: compound task %q must not name a concept", t.Name)
+	}
+	l.tasks[t.Name] = t
+	return nil
+}
+
+// Task looks a task up by name.
+func (l *Library) Task(name string) (*Task, bool) {
+	t, ok := l.tasks[name]
+	return t, ok
+}
+
+// Step is one primitive step of an expanded plan.
+type Step struct {
+	Task *Task
+	// Path records the compound tasks expanded to reach this step,
+	// outermost first.
+	Path []string
+	// Group identifies the parallel group the step belongs to: steps
+	// sharing a group came from the same unordered decomposition and may
+	// run concurrently. Steps in singleton groups are sequential.
+	Group int
+}
+
+// Plan expands a goal task depth-first into its ordered primitive steps.
+// Undefined subtasks and decomposition cycles are errors.
+func (l *Library) Plan(goal string) ([]Step, error) {
+	var out []Step
+	visiting := map[string]bool{}
+	nextGroup := 0
+	// expand appends name's primitive steps; group < 0 means "allocate a
+	// fresh group per primitive" (sequential context), group >= 0 pins
+	// every primitive beneath an unordered parent to that group.
+	var expand func(name string, path []string, group int) error
+	expand = func(name string, path []string, group int) error {
+		t, ok := l.tasks[name]
+		if !ok {
+			return fmt.Errorf("composition: task %q not defined (via %v)", name, path)
+		}
+		if visiting[name] {
+			return fmt.Errorf("composition: decomposition cycle at %q (via %v)", name, path)
+		}
+		if t.Primitive() {
+			g := group
+			if g < 0 {
+				g = nextGroup
+				nextGroup++
+			}
+			out = append(out, Step{Task: t, Path: append([]string(nil), path...), Group: g})
+			return nil
+		}
+		visiting[name] = true
+		defer delete(visiting, name)
+		childGroup := group
+		if t.Unordered && childGroup < 0 {
+			childGroup = nextGroup
+			nextGroup++
+		}
+		for _, sub := range t.Subtasks {
+			if err := expand(sub, append(path, name), childGroup); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := expand(goal, nil, -1); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ValidateDataflow checks that every step's inputs are produced by earlier
+// steps or supplied initially, using ontology subsumption (a step wanting a
+// SensorService input accepts a TemperatureSensor output).
+func ValidateDataflow(plan []Step, initial []string, o *ontology.Ontology) error {
+	available := append([]string(nil), initial...)
+	provides := func(want string) bool {
+		for _, have := range available {
+			if have == want || o.IsA(have, want) {
+				return true
+			}
+		}
+		return false
+	}
+	for i, s := range plan {
+		for _, in := range s.Task.Inputs {
+			if !provides(in) {
+				return fmt.Errorf("composition: step %d (%s) needs input %q not yet produced", i, s.Task.Name, in)
+			}
+		}
+		available = append(available, s.Task.Outputs...)
+	}
+	return nil
+}
+
+// StreamMiningLibrary builds the paper's worked decomposition: "generating
+// decision trees, computing their Fourier spectra, choosing the dominant
+// components, and combining them to create a single tree".
+func StreamMiningLibrary() *Library {
+	l := NewLibrary()
+	must := func(t *Task) {
+		if err := l.Define(t); err != nil {
+			panic(err) // static definitions; failure is a programming error
+		}
+	}
+	must(&Task{
+		Name: "mine-stream", Subtasks: []string{
+			"generate-trees", "compute-spectra", "choose-dominant", "combine-tree",
+		},
+	})
+	must(&Task{
+		Name: "generate-trees", Concept: "DecisionTreeService",
+		Inputs: []string{"SensorService"}, Outputs: []string{"DecisionTreeService"},
+	})
+	must(&Task{
+		Name: "compute-spectra", Concept: "FourierSpectrumService",
+		Inputs: []string{"DecisionTreeService"}, Outputs: []string{"FourierSpectrumService"},
+	})
+	must(&Task{
+		Name: "choose-dominant", Concept: "DataMiningService",
+		Inputs: []string{"FourierSpectrumService"}, Outputs: []string{"DataMiningService"},
+	})
+	must(&Task{
+		Name: "combine-tree", Concept: "DecisionTreeService",
+		Inputs: []string{"DataMiningService"}, Outputs: []string{"DecisionTreeService"},
+	})
+	return l
+}

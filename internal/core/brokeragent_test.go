@@ -1,0 +1,208 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"pervasivegrid/internal/agent"
+	"pervasivegrid/internal/ontology"
+)
+
+// brokerClient drives the broker agent synchronously for tests.
+type brokerClient struct {
+	t       *testing.T
+	p       *agent.Platform
+	id      agent.ID
+	replies chan agent.Envelope
+}
+
+func newBrokerClient(t *testing.T, p *agent.Platform) *brokerClient {
+	t.Helper()
+	c := &brokerClient{t: t, p: p, id: "client", replies: make(chan agent.Envelope, 4)}
+	err := p.Register(c.id, agent.HandlerFunc(func(env agent.Envelope, ctx *agent.Context) {
+		c.replies <- env
+	}), agent.Attributes{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func (c *brokerClient) call(performative string, body any) agent.Envelope {
+	c.t.Helper()
+	env, err := agent.NewEnvelope(c.id, BrokerAgentID, performative, DiscoveryOntology, body)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	if err := c.p.Send(env); err != nil {
+		c.t.Fatal(err)
+	}
+	select {
+	case r := <-c.replies:
+		return r
+	case <-time.After(5 * time.Second):
+		c.t.Fatal("broker agent did not reply")
+		return agent.Envelope{}
+	}
+}
+
+func TestBrokerAgentAdvertiseDiscoverDeregister(t *testing.T) {
+	rt := fireRuntime(t)
+	p := agent.NewPlatform("test")
+	defer p.Close()
+	if err := rt.RegisterBrokerAgent(p); err != nil {
+		t.Fatal(err)
+	}
+	c := newBrokerClient(t, p)
+
+	// Advertise a mobile lab service.
+	adv := c.call("advertise", AdvertiseRequest{
+		Profile: ontology.Profile{
+			Name: "mobile-lab-1", Concept: "ToxinSensor",
+			Properties: map[string]ontology.Value{"x": ontology.Num(30), "y": ontology.Num(40)},
+		},
+		TTLSeconds: 3600,
+	})
+	var advReply AdvertiseReply
+	if err := adv.Decode(&advReply); err != nil {
+		t.Fatal(err)
+	}
+	if !advReply.OK || advReply.LeaseID == 0 {
+		t.Fatalf("advertise reply = %+v", advReply)
+	}
+
+	// Discover it semantically (by parent concept).
+	disc := c.call("discover", DiscoverRequest{
+		Request: ontology.Request{Concept: "SensorService"},
+		Max:     5,
+	})
+	var discReply DiscoverReply
+	if err := disc.Decode(&discReply); err != nil {
+		t.Fatal(err)
+	}
+	if !discReply.OK || len(discReply.Matches) == 0 {
+		t.Fatalf("discover reply = %+v", discReply)
+	}
+	found := false
+	for _, m := range discReply.Matches {
+		if m.Profile.Name == "mobile-lab-1" {
+			found = true
+			if m.Score <= 0 {
+				t.Fatal("zero score")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("advertised service not discovered")
+	}
+	if len(discReply.Matches) > 5 {
+		t.Fatal("Max not honoured")
+	}
+
+	// Deregister and confirm it is gone.
+	c.call("deregister", DeregisterRequest{Name: "mobile-lab-1"})
+	disc2 := c.call("discover", DiscoverRequest{Request: ontology.Request{Concept: "ToxinSensor"}})
+	var discReply2 DiscoverReply
+	if err := disc2.Decode(&discReply2); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range discReply2.Matches {
+		if m.Profile.Name == "mobile-lab-1" {
+			t.Fatal("deregistered service still discoverable")
+		}
+	}
+}
+
+func TestBrokerAgentRejectsInvalid(t *testing.T) {
+	rt := fireRuntime(t)
+	p := agent.NewPlatform("test")
+	defer p.Close()
+	if err := rt.RegisterBrokerAgent(p); err != nil {
+		t.Fatal(err)
+	}
+	c := newBrokerClient(t, p)
+
+	// Unknown concept fails validation.
+	bad := c.call("advertise", AdvertiseRequest{
+		Profile:    ontology.Profile{Name: "x", Concept: "NoSuchConcept"},
+		TTLSeconds: 60,
+	})
+	var reply AdvertiseReply
+	if err := bad.Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.OK || bad.Performative != "failure" {
+		t.Fatalf("invalid advertise accepted: %+v", reply)
+	}
+
+	// Zero TTL fails.
+	noTTL := c.call("advertise", AdvertiseRequest{
+		Profile: ontology.Profile{Name: "y", Concept: "Service"},
+	})
+	if err := noTTL.Decode(&reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.OK {
+		t.Fatal("zero ttl accepted")
+	}
+
+	// Unknown performative fails.
+	weird := c.call("renegotiate", struct{}{})
+	if weird.Performative != "failure" {
+		t.Fatal("unknown performative should fail")
+	}
+}
+
+func TestBrokerAgentOverTCP(t *testing.T) {
+	rt := fireRuntime(t)
+	server := agent.NewPlatform("server")
+	defer server.Close()
+	if err := rt.RegisterBrokerAgent(server); err != nil {
+		t.Fatal(err)
+	}
+	gw, err := agent.ListenAndServe(server, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	client := agent.NewPlatform("client")
+	defer client.Close()
+	link, err := agent.Dial(client, gw.Addr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+
+	replies := make(chan agent.Envelope, 1)
+	err = client.Register("remote-device", agent.HandlerFunc(func(env agent.Envelope, ctx *agent.Context) {
+		replies <- env
+	}), agent.Attributes{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := agent.NewEnvelope("remote-device", BrokerAgentID, "advertise", DiscoveryOntology,
+		AdvertiseRequest{
+			Profile:    ontology.Profile{Name: "remote-sensor", Concept: "SmokeSensor"},
+			TTLSeconds: 600,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Send(env); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-replies:
+		var reply AdvertiseReply
+		if err := r.Decode(&reply); err != nil || !reply.OK {
+			t.Fatalf("remote advertise reply = %+v err=%v", reply, err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no reply over TCP")
+	}
+	// The advertisement landed in the runtime's broker.
+	if got := rt.Discover(ontology.Request{Concept: "SmokeSensor"}); len(got) == 0 {
+		t.Fatal("remote advertisement not visible to runtime discovery")
+	}
+}

@@ -1,0 +1,221 @@
+// Package core is the Pervasive Grid runtime — the paper's contribution.
+// It ties together the substrates: the sensor-network simulator, the wired
+// grid, the query processor, and the adaptive decision maker, and exposes
+// the three components the paper names — Query Processor, Decision Maker,
+// and Simulator — behind one API. It also wires the multi-agent framework
+// (a query agent answering envelopes) and semantic service discovery
+// (sensors, solvers, and gateways advertise profiles).
+package core
+
+import (
+	"fmt"
+
+	"pervasivegrid/internal/discovery"
+	"pervasivegrid/internal/grid"
+	"pervasivegrid/internal/ontology"
+	"pervasivegrid/internal/partition"
+	"pervasivegrid/internal/pde"
+	"pervasivegrid/internal/sensornet"
+)
+
+// Config assembles a pervasive grid deployment.
+type Config struct {
+	// Net parameterises the sensor network.
+	Net sensornet.Config
+	// Rows, Cols deploy sensors on a lattice (both > 0); otherwise
+	// RandomN sensors are scattered.
+	Rows, Cols int
+	RandomN    int
+	// Field is the physical field being sensed (default: 20°C ambient
+	// temperature).
+	Field sensornet.Field
+	// Noise is the sensor measurement noise stddev.
+	Noise float64
+	// Platform parameterises the decision maker's cost model; its Net
+	// field is overwritten with Net.
+	Platform partition.Platform
+	// GridResources defines the wired grid; a default two-node cluster
+	// is built when empty.
+	GridResources []*grid.Resource
+	// PDE controls complex-query solves.
+	PDE PDEConfig
+	// Forecast controls forecast(...) queries.
+	Forecast ForecastConfig
+	// MaxRounds bounds continuous-query execution per Submit (default 3).
+	MaxRounds int
+}
+
+// PDEConfig controls the temperature-distribution solver.
+type PDEConfig struct {
+	// Nx, Ny set the solve resolution (default 33x33).
+	Nx, Ny int
+	// Nz sets the vertical resolution for 3-D (isosurface) solves
+	// (default 9).
+	Nz int
+	// Method picks the solver (default SOR).
+	Method pde.Method
+	// Tol is the convergence tolerance (default 1e-6).
+	Tol float64
+}
+
+// DefaultConfig is a 10x10 building deployment against the default
+// platform.
+func DefaultConfig() Config {
+	return Config{
+		Net:      sensornet.DefaultConfig(),
+		Rows:     10,
+		Cols:     10,
+		Platform: partition.DefaultPlatform(),
+		PDE:      PDEConfig{Nx: 33, Ny: 33, Method: pde.SOR, Tol: 1e-6},
+	}
+}
+
+// Runtime is a running pervasive grid.
+type Runtime struct {
+	Cfg     Config
+	Net     *sensornet.Network
+	Cluster *grid.Cluster
+	DM      *partition.DecisionMaker
+	Onto    *ontology.Ontology
+	Broker  *discovery.Broker
+
+	// clock is the runtime's virtual time in seconds, advanced by query
+	// execution and continuous epochs.
+	clock float64
+
+	// cache holds recent one-shot results when EnableCache is on.
+	cache    map[string]cachedResult
+	cacheTTL float64
+
+	// stats accumulates execution counters.
+	stats Snapshot
+}
+
+// Snapshot is the runtime's execution counters, for operators ("the main
+// mission control may want to query the data network for evaluating the
+// overall performance").
+type Snapshot struct {
+	// Queries counts completed executions by query kind name.
+	Queries map[string]int
+	// Models counts executions by chosen solution model name.
+	Models map[string]int
+	// CacheHits counts results served from the cache.
+	CacheHits int
+	// EnergyJ and Messages total the radio spend across executions.
+	EnergyJ  float64
+	Messages int
+}
+
+// Stats returns a copy of the execution counters.
+func (rt *Runtime) Stats() Snapshot {
+	out := rt.stats
+	out.Queries = map[string]int{}
+	out.Models = map[string]int{}
+	for k, v := range rt.stats.Queries {
+		out.Queries[k] = v
+	}
+	for k, v := range rt.stats.Models {
+		out.Models[k] = v
+	}
+	return out
+}
+
+// record folds one completed result into the counters.
+func (rt *Runtime) record(res *Result) {
+	if rt.stats.Queries == nil {
+		rt.stats.Queries = map[string]int{}
+		rt.stats.Models = map[string]int{}
+	}
+	rt.stats.Queries[res.Kind.String()]++
+	rt.stats.Models[res.Model.String()]++
+	if res.Cached {
+		rt.stats.CacheHits++
+	}
+	rt.stats.EnergyJ += res.EnergyJ
+	rt.stats.Messages += res.Messages
+}
+
+// New assembles a runtime from the config.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.PDE.Nx < 3 {
+		cfg.PDE.Nx = 33
+	}
+	if cfg.PDE.Ny < 3 {
+		cfg.PDE.Ny = 33
+	}
+	if cfg.PDE.Tol <= 0 {
+		cfg.PDE.Tol = 1e-6
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 3
+	}
+
+	var nw *sensornet.Network
+	switch {
+	case cfg.Rows > 0 && cfg.Cols > 0:
+		nw = sensornet.NewGridNetwork(cfg.Net, cfg.Rows, cfg.Cols)
+	case cfg.RandomN > 0:
+		nw = sensornet.NewRandomNetwork(cfg.Net, cfg.RandomN)
+	default:
+		return nil, fmt.Errorf("core: config needs Rows/Cols or RandomN")
+	}
+	if cfg.Field == nil {
+		cfg.Field = sensornet.NewTemperatureField(20)
+	}
+	nw.SetField(cfg.Field, cfg.Noise)
+
+	resources := cfg.GridResources
+	if len(resources) == 0 {
+		ws, err := grid.NewResource("workstation", 2e8, 4, 0.9)
+		if err != nil {
+			return nil, err
+		}
+		super, err := grid.NewResource("supercomputer", 5e9, 32, 0.85)
+		if err != nil {
+			return nil, err
+		}
+		resources = []*grid.Resource{ws, super}
+	}
+	link := grid.Link{BandwidthBps: cfg.Platform.GridLinkBps, LatencySec: cfg.Platform.GridLatencySec}
+	if link.BandwidthBps <= 0 {
+		link = grid.Link{BandwidthBps: 2e6, LatencySec: 0.05}
+	}
+	cluster, err := grid.NewCluster(link, grid.MinCompletion, resources...)
+	if err != nil {
+		return nil, err
+	}
+
+	cfg.Platform.Net = cfg.Net
+	onto := ontology.Pervasive()
+	rt := &Runtime{
+		Cfg:     cfg,
+		Net:     nw,
+		Cluster: cluster,
+		DM:      partition.NewDecisionMaker(partition.NewEstimator(cfg.Platform)),
+		Onto:    onto,
+		Broker:  discovery.NewBroker("base-station", discovery.NewSemanticMatcher(onto)),
+	}
+	return rt, nil
+}
+
+// Clock reports the runtime's virtual time.
+func (rt *Runtime) Clock() float64 { return rt.clock }
+
+// AssignRooms labels sensors with room names on a rooms-x by rooms-y grid
+// ("r<i>" row-major), so WHERE room = '...' predicates select regions.
+func (rt *Runtime) AssignRooms(roomsX, roomsY int) {
+	if roomsX < 1 || roomsY < 1 {
+		return
+	}
+	for _, s := range rt.Net.Sensors {
+		cx := int(s.Pos.X / rt.Cfg.Net.Width * float64(roomsX))
+		cy := int(s.Pos.Y / rt.Cfg.Net.Height * float64(roomsY))
+		if cx >= roomsX {
+			cx = roomsX - 1
+		}
+		if cy >= roomsY {
+			cy = roomsY - 1
+		}
+		s.Room = fmt.Sprintf("r%d", cy*roomsX+cx)
+	}
+}

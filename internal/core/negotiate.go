@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"pervasivegrid/internal/agent"
+	"pervasivegrid/internal/grid"
+)
+
+// Grid-resource negotiation: §2 requires agents that "negotiate with other
+// agents about ... performance commitments". Each grid resource can be
+// exposed as a bidder agent whose bid is its estimated completion time for
+// the tendered job; the base station awards the solve with a contract-net
+// round instead of trusting the scheduler's internal view. This matters
+// when grid resources belong to different administrative domains and the
+// scheduler cannot see their queues.
+
+// SolverAgentID names the bidder agent for a resource.
+func SolverAgentID(resourceName string) agent.ID {
+	return agent.ID("solver-" + resourceName)
+}
+
+// RegisterSolverAgents hosts one contract-net bidder per grid resource.
+// Each bids its estimated completion time (queue wait + compute) for the
+// op count named in the CFP payload ("ops"), and refuses malformed CFPs.
+func (rt *Runtime) RegisterSolverAgents(p *agent.Platform) error {
+	for _, r := range rt.Cluster.Resources() {
+		r := r
+		bid := func(cfp agent.CFP) float64 {
+			var ops float64
+			if _, err := fmt.Sscanf(cfp.Payload["ops"], "%g", &ops); err != nil || ops <= 0 {
+				return -1 // refuse
+			}
+			// Performance commitment: when could I be done?
+			wait := r.BusyUntil() - rt.Cluster.Now()
+			if wait < 0 {
+				wait = 0
+			}
+			return wait + ops/r.EffectiveRate(r.Cores)
+		}
+		attrs := agent.Attributes{
+			Agent:  map[string]string{agent.AttrRole: agent.RoleProvider},
+			Domain: map[string]string{"resource": r.Name},
+		}
+		if err := p.Register(SolverAgentID(r.Name), agent.Bidder(bid, nil), attrs, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NegotiateSolve runs a contract-net round over the registered solver
+// agents for a job of the given op count and returns the winning
+// resource's placement estimate.
+func (rt *Runtime) NegotiateSolve(p *agent.Platform, ops float64, deadline time.Duration) (grid.Placement, string, error) {
+	var contractors []agent.ID
+	for _, r := range rt.Cluster.Resources() {
+		contractors = append(contractors, SolverAgentID(r.Name))
+	}
+	res, err := agent.ContractNet(p, contractors, agent.CFP{
+		Task:    "pde-solve",
+		Payload: map[string]string{"ops": fmt.Sprintf("%g", ops)},
+	}, deadline)
+	if err != nil {
+		return grid.Placement{}, "", err
+	}
+	if res.Winner == "" {
+		return grid.Placement{}, "", fmt.Errorf("core: no grid resource bid for the solve")
+	}
+	name := string(res.Winner)
+	const prefix = "solver-"
+	if len(name) > len(prefix) {
+		name = name[len(prefix):]
+	}
+	// The award is a commitment: reserve the winner's time specifically.
+	placement, err := rt.Cluster.SubmitTo(name, grid.Job{Name: "negotiated-solve", Ops: ops})
+	if err != nil {
+		return grid.Placement{}, "", err
+	}
+	return placement, name, nil
+}

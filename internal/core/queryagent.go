@@ -1,0 +1,104 @@
+package core
+
+import (
+	"pervasivegrid/internal/agent"
+	"pervasivegrid/internal/partition"
+	"pervasivegrid/internal/query"
+)
+
+// Query-agent wire types: the JSON bodies carried inside envelopes between
+// handhelds and the base station's query agent.
+
+// QueryRequest asks the query agent to run a query.
+type QueryRequest struct {
+	Query string `json:"query"`
+}
+
+// QueryReply carries the scalar result of a query (fields omitted when not
+// applicable).
+type QueryReply struct {
+	OK       bool    `json:"ok"`
+	Error    string  `json:"error,omitempty"`
+	Kind     string  `json:"kind,omitempty"`
+	Model    string  `json:"model,omitempty"`
+	Value    float64 `json:"value,omitempty"`
+	Coverage int     `json:"coverage,omitempty"`
+	EnergyJ  float64 `json:"energyJ,omitempty"`
+	TimeSec  float64 `json:"timeSec,omitempty"`
+	Rounds   int     `json:"rounds,omitempty"`
+	// Groups carries per-group values for GROUP BY queries.
+	Groups map[string]float64 `json:"groups,omitempty"`
+	// Cached marks a result served from the base station's cache.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// QueryOntology is the envelope ontology identifier for query traffic.
+const QueryOntology = "pgrid-query-v1"
+
+// QueryAgentID is the conventional agent ID of a runtime's query agent.
+const QueryAgentID agent.ID = "query-agent"
+
+// replyFor converts an execution outcome into the wire shape.
+func replyFor(res *Result, err error) QueryReply {
+	if err != nil {
+		return QueryReply{OK: false, Error: err.Error()}
+	}
+	return QueryReply{
+		OK:       true,
+		Kind:     res.Kind.String(),
+		Model:    res.Model.String(),
+		Value:    res.Value,
+		Coverage: res.Coverage,
+		EnergyJ:  res.EnergyJ,
+		TimeSec:  res.TimeSec,
+		Rounds:   len(res.Rounds),
+		Groups:   res.Groups,
+		Cached:   res.Cached,
+	}
+}
+
+// RegisterQueryAgent hosts a query agent for this runtime on the given
+// platform under QueryAgentID. Any agent (local or across a TCP link) can
+// send a "request" envelope with a QueryRequest body and receives an
+// "inform" (or "failure") envelope with a QueryReply.
+func (rt *Runtime) RegisterQueryAgent(p *agent.Platform) error {
+	attrs := agent.Attributes{
+		Agent:  map[string]string{agent.AttrRole: agent.RoleProvider},
+		Domain: map[string]string{"service": "sensor-query"},
+	}
+	return p.Register(QueryAgentID, agent.HandlerFunc(func(env agent.Envelope, ctx *agent.Context) {
+		var req QueryRequest
+		var reply QueryReply
+		if err := env.Decode(&req); err != nil {
+			reply = QueryReply{OK: false, Error: "bad request: " + err.Error()}
+		} else {
+			res, err := rt.Submit(req.Query)
+			reply = replyFor(res, err)
+		}
+		performative := "inform"
+		if !reply.OK {
+			performative = "failure"
+		}
+		out, err := env.Reply(performative, reply)
+		if err != nil {
+			return
+		}
+		_ = ctx.Send(out)
+	}), attrs, nil)
+}
+
+// ChooseOnly runs the decision maker without executing — used by tools
+// that want to display the would-be plan.
+func (rt *Runtime) ChooseOnly(src string) (partition.Decision, partition.Features, error) {
+	q, err := query.Parse(src)
+	if err != nil {
+		return partition.Decision{}, partition.Features{}, err
+	}
+	sel, err := rt.selector(q, rt.clock)
+	if err != nil {
+		return partition.Decision{}, partition.Features{}, err
+	}
+	f := rt.features(q, sel)
+	dec, err := rt.DM.Choose(q, f)
+	return dec, f, err
+}

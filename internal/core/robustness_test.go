@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"pervasivegrid/internal/sensornet"
+)
+
+// Robustness integration tests: the paper's runtime must "handle the
+// transport level problems caused by low bandwidth, high latency, frequent
+// disconnections and network topology changes".
+
+func TestQuerySurvivesLossyLinks(t *testing.T) {
+	rt := fireRuntime(t)
+	rt.Net.SetLossProb(0.1)
+	res, err := rt.Submit("SELECT avg(temp) FROM sensors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage == 0 {
+		t.Fatal("no coverage under 10% loss")
+	}
+	if res.Coverage >= 100 {
+		t.Fatal("lossy network should lose some contributions")
+	}
+	// The answer over the surviving sensors is still in a sane range.
+	if res.Value < 20 || res.Value > 500 {
+		t.Fatalf("avg = %v", res.Value)
+	}
+	if rt.Net.Stats().Lost == 0 {
+		t.Fatal("loss counter never moved")
+	}
+}
+
+func TestQueryAfterTopologyChange(t *testing.T) {
+	rt := fireRuntime(t)
+	// First answer with the original topology.
+	before, err := rt.Submit("SELECT count(temp) FROM sensors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Value != 100 {
+		t.Fatalf("initial count = %v", before.Value)
+	}
+	// A hallway collapses: the row of sensors next to the base station
+	// dies, and one mobile sensor is carried out of the building.
+	for id := sensornet.NodeID(0); id < 5; id++ {
+		rt.Net.Node(id).Energy = 0
+	}
+	rt.Net.MoveNode(99, sensornet.Position{X: 400, Y: 400})
+	after, err := rt.Submit("SELECT count(temp) FROM sensors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The routing tree rebuilds around the dead row; coverage drops but
+	// the query still completes.
+	if after.Value >= before.Value {
+		t.Fatalf("count after failures = %v, want < %v", after.Value, before.Value)
+	}
+	if after.Value < 50 {
+		t.Fatalf("count = %v: too much coverage lost for 6 missing sensors", after.Value)
+	}
+}
+
+func TestContinuousQueryDegradesAsNodesDie(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Net.InitialEnergy = 0.003 // tiny batteries: deaths mid-stream
+	cfg.MaxRounds = 30
+	f := sensornet.NewTemperatureField(20)
+	cfg.Field = f
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Submit("SELECT count(temp) FROM sensors EPOCH 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) < 2 {
+		t.Fatalf("rounds = %d", len(res.Rounds))
+	}
+	first := res.Rounds[0].Value
+	last := res.Rounds[len(res.Rounds)-1].Value
+	if last >= first {
+		t.Fatalf("coverage should decay as batteries die: first=%v last=%v (alive=%d)",
+			first, last, rt.Net.AliveCount())
+	}
+}
+
+func TestBaseStationRelocation(t *testing.T) {
+	rt := fireRuntime(t)
+	before, err := rt.Submit("SELECT temp FROM sensors WHERE sensor = 99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The command vehicle drives to the far corner: sensor 99 is now a
+	// one-hop neighbor and the probe gets cheaper.
+	rt.Net.MoveBase(sensornet.Position{X: 95, Y: 95})
+	after, err := rt.Submit("SELECT temp FROM sensors WHERE sensor = 99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Messages >= before.Messages {
+		t.Fatalf("probe after relocation uses %d msgs, before %d", after.Messages, before.Messages)
+	}
+}
+
+func TestImpossibleQueryAfterPartition(t *testing.T) {
+	rt := fireRuntime(t)
+	// Kill everything: queries must fail cleanly, not hang or panic.
+	for _, s := range rt.Net.Sensors {
+		s.Energy = 0
+	}
+	if _, err := rt.Submit("SELECT avg(temp) FROM sensors"); err == nil {
+		t.Fatal("query over a dead network should fail")
+	}
+	if _, err := rt.Submit("SELECT temp FROM sensors WHERE sensor = 5"); err == nil {
+		t.Fatal("probe of a dead sensor should fail")
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"pervasivegrid/internal/composition"
+	"pervasivegrid/internal/discovery"
+	"pervasivegrid/internal/ontology"
+)
+
+// DefaultLeaseTTL is the advertisement lifetime used by AdvertiseDefaults.
+// Long-standing services (grid solvers) get it; callers model short-lived
+// mobile services by registering with shorter leases.
+const DefaultLeaseTTL = time.Hour
+
+// AdvertiseDefaults populates the runtime's broker with the deployment's
+// services: every alive sensor as a TemperatureSensor, the grid's solver
+// and aggregation capabilities, and the base station as a gateway.
+func (rt *Runtime) AdvertiseDefaults() error {
+	for _, s := range rt.Net.Sensors {
+		if !s.Alive() {
+			continue
+		}
+		p := &ontology.Profile{
+			Name:    fmt.Sprintf("sensor-%d", s.ID),
+			Concept: "TemperatureSensor",
+			Outputs: []string{"TemperatureSensor"},
+			Properties: map[string]ontology.Value{
+				"x":      ontology.Num(s.Pos.X),
+				"y":      ontology.Num(s.Pos.Y),
+				"room":   ontology.Str(s.Room),
+				"energy": ontology.Num(s.Energy),
+			},
+			UUID:      fmt.Sprintf("uuid-sensor-%d", s.ID),
+			Interface: "Sensor.read",
+		}
+		if err := p.Validate(rt.Onto); err != nil {
+			return err
+		}
+		if _, err := rt.Broker.Reg.Register(p, DefaultLeaseTTL); err != nil {
+			return err
+		}
+	}
+	for _, r := range rt.Cluster.Resources() {
+		p := &ontology.Profile{
+			Name:    "heat-solver-" + r.Name,
+			Concept: "HeatSolver",
+			Inputs:  []string{"TemperatureSensor", "BuildingPlan"},
+			Outputs: []string{"HeatSolver"},
+			Properties: map[string]ontology.Value{
+				"opsPerSec": ontology.Num(r.EffectiveRate(r.Cores)),
+				"cores":     ontology.Num(float64(r.Cores)),
+			},
+			Interface: "Solver.solve",
+		}
+		if err := p.Validate(rt.Onto); err != nil {
+			return err
+		}
+		if _, err := rt.Broker.Reg.Register(p, DefaultLeaseTTL); err != nil {
+			return err
+		}
+	}
+	gw := &ontology.Profile{
+		Name:    "base-station",
+		Concept: "GatewayService",
+		Properties: map[string]ontology.Value{
+			"x": ontology.Num(rt.Cfg.Net.BasePos.X),
+			"y": ontology.Num(rt.Cfg.Net.BasePos.Y),
+		},
+		Interface: "Gateway.route",
+	}
+	if err := gw.Validate(rt.Onto); err != nil {
+		return err
+	}
+	_, err := rt.Broker.Reg.Register(gw, DefaultLeaseTTL)
+	return err
+}
+
+// Discover runs a semantic lookup against the runtime's broker (fanning out
+// to peers when the local answer is thin).
+func (rt *Runtime) Discover(req ontology.Request) []discovery.Match {
+	return rt.Broker.Lookup(req, 1)
+}
+
+// NewCompositionEngine builds a composition engine over the runtime's
+// broker and ontology with a default always-succeeds invoker; callers
+// replace Invoke to model failures or perform real work.
+func (rt *Runtime) NewCompositionEngine() *composition.Engine {
+	return &composition.Engine{
+		Brokers:       []*discovery.Broker{rt.Broker},
+		Onto:          rt.Onto,
+		Invoke:        func(*ontology.Profile, composition.Step) error { return nil },
+		DiscoveryCost: 0.005,
+		InvokeCost:    0.02,
+	}
+}

@@ -1,0 +1,102 @@
+package discovery
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"pervasivegrid/internal/ontology"
+)
+
+// Broker is a discovery agent owning a registry and knowing peer brokers —
+// the "distributed set of brokers" the paper proposes instead of UDDI's
+// "highly centralized model". Lookups can stay local or fan out one hop to
+// peers; advertisements can be replicated by anti-entropy sync.
+type Broker struct {
+	Name    string
+	Reg     *Registry
+	Matcher Matcher
+
+	mu    sync.RWMutex
+	peers []*Broker
+}
+
+// NewBroker builds a broker with its own registry.
+func NewBroker(name string, m Matcher) *Broker {
+	return &Broker{Name: name, Reg: NewRegistry(), Matcher: m}
+}
+
+// Peer links another broker (bidirectionally when mutual is true). Linking
+// nil or self is ignored.
+func (b *Broker) Peer(other *Broker, mutual bool) {
+	if other == nil || other == b {
+		return
+	}
+	b.mu.Lock()
+	b.peers = append(b.peers, other)
+	b.mu.Unlock()
+	if mutual {
+		other.Peer(b, false)
+	}
+}
+
+// Peers snapshots the peer list.
+func (b *Broker) Peers() []*Broker {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return append([]*Broker(nil), b.peers...)
+}
+
+// LookupLocal matches only against this broker's registry.
+func (b *Broker) LookupLocal(req ontology.Request) []Match {
+	return b.Reg.Lookup(b.Matcher, req)
+}
+
+// Lookup matches locally and, when the local result set is smaller than
+// want, fans out one hop to peers and merges the ranked results
+// (deduplicated by profile name, best score wins).
+func (b *Broker) Lookup(req ontology.Request, want int) []Match {
+	local := b.LookupLocal(req)
+	if want > 0 && len(local) >= want {
+		return local
+	}
+	merged := map[string]Match{}
+	for _, m := range local {
+		merged[m.Profile.Name] = m
+	}
+	for _, p := range b.Peers() {
+		for _, m := range p.LookupLocal(req) {
+			if prev, ok := merged[m.Profile.Name]; !ok || m.Score > prev.Score {
+				merged[m.Profile.Name] = m
+			}
+		}
+	}
+	out := make([]Match, 0, len(merged))
+	for _, m := range merged {
+		out = append(out, m)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Profile.Name < out[j].Profile.Name
+	})
+	return out
+}
+
+// SyncOnce replicates this broker's live advertisements to every peer under
+// short anti-entropy leases, so lookups local to a peer can see remote
+// services between syncs. Returns how many (broker, profile) replications
+// were pushed.
+func (b *Broker) SyncOnce(ttl time.Duration) int {
+	profiles := b.Reg.Profiles()
+	n := 0
+	for _, p := range b.Peers() {
+		for _, prof := range profiles {
+			if _, err := p.Reg.Register(prof, ttl); err == nil {
+				n++
+			}
+		}
+	}
+	return n
+}

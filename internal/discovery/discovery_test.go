@@ -1,0 +1,449 @@
+package discovery
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pervasivegrid/internal/ontology"
+)
+
+func printerFleet() []*ontology.Profile {
+	return []*ontology.Profile{
+		{
+			Name: "lobby-mono", Concept: "PrinterService",
+			Interface: "Printer.printIt", UUID: "uuid-lobby-mono",
+			Properties: map[string]ontology.Value{
+				"queue": ontology.Num(0), "cost": ontology.Num(0.02),
+				"x": ontology.Num(90), "y": ontology.Num(90),
+			},
+		},
+		{
+			Name: "lab-color", Concept: "ColorPrinter",
+			Interface: "Printer.printIt", UUID: "uuid-lab-color",
+			Properties: map[string]ontology.Value{
+				"queue": ontology.Num(7), "cost": ontology.Num(0.20),
+				"color": ontology.Str("yes"),
+				"x":     ontology.Num(5), "y": ontology.Num(5),
+			},
+		},
+		{
+			Name: "hall-color", Concept: "ColorPrinter",
+			Interface: "Printer.printIt", UUID: "uuid-hall-color",
+			Properties: map[string]ontology.Value{
+				"queue": ontology.Num(2), "cost": ontology.Num(0.08),
+				"color": ontology.Str("yes"),
+				"x":     ontology.Num(20), "y": ontology.Num(0),
+			},
+		},
+		{
+			Name: "scanner", Concept: "DeviceService",
+			Interface: "Scanner.scanIt", UUID: "uuid-scanner",
+			Properties: map[string]ontology.Value{"x": ontology.Num(1), "y": ontology.Num(1)},
+		},
+	}
+}
+
+// TestPaperPrinterScenario reproduces the paper's worked example: "find a
+// printer service that has the shortest print queue ... will print in color
+// but only within a prespecified cost constraint" — which Jini lookup
+// cannot express.
+func TestPaperPrinterScenario(t *testing.T) {
+	o := ontology.Pervasive()
+	m := NewSemanticMatcher(o)
+	req := ontology.Request{
+		Concept: "ColorPrinter",
+		Constraints: []ontology.Constraint{
+			{Property: "color", Op: ontology.OpEq, Value: ontology.Str("yes")},
+			{Property: "cost", Op: ontology.OpLe, Value: ontology.Num(0.10)},
+		},
+		PreferLow: []string{"queue"},
+	}
+	got := m.Match(req, printerFleet())
+	if len(got) != 1 {
+		t.Fatalf("matches = %d, want exactly hall-color", len(got))
+	}
+	if got[0].Profile.Name != "hall-color" {
+		t.Fatalf("best = %s, want hall-color", got[0].Profile.Name)
+	}
+}
+
+func TestSemanticRankedFuzzyMatches(t *testing.T) {
+	o := ontology.Pervasive()
+	m := NewSemanticMatcher(o)
+	// No constraints: the generic printer should surface too, ranked
+	// below the exact color printers.
+	req := ontology.Request{Concept: "ColorPrinter", PreferLow: []string{"queue"}}
+	got := m.Match(req, printerFleet())
+	if len(got) < 3 {
+		t.Fatalf("fuzzy match should return color + generic printers, got %d", len(got))
+	}
+	names := map[string]float64{}
+	for _, g := range got {
+		names[g.Profile.Name] = g.Score
+	}
+	if names["hall-color"] <= names["lobby-mono"] {
+		t.Fatal("exact concept with short queue should outrank generic printer")
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Score > got[i-1].Score {
+			t.Fatal("results must be ranked descending")
+		}
+	}
+	// The scanner (different branch) should rank last or be cut.
+	if s, ok := names["scanner"]; ok && s >= names["lobby-mono"] {
+		t.Fatal("unrelated service should not outrank a printer")
+	}
+}
+
+func TestSemanticGeographicConstraint(t *testing.T) {
+	o := ontology.Pervasive()
+	m := NewSemanticMatcher(o)
+	req := ontology.Request{
+		Concept: "PrinterService",
+		X:       0, Y: 0, HasLoc: true,
+		Constraints: []ontology.Constraint{{Op: ontology.OpNear, Value: ontology.Num(30)}},
+	}
+	got := m.Match(req, printerFleet())
+	for _, g := range got {
+		if g.Profile.Name == "lobby-mono" {
+			t.Fatal("lobby-mono at (90,90) is outside 30m radius")
+		}
+	}
+	if len(got) < 2 {
+		t.Fatalf("nearby printers should match, got %d", len(got))
+	}
+}
+
+func TestSemanticSubsumption(t *testing.T) {
+	o := ontology.Pervasive()
+	m := NewSemanticMatcher(o)
+	// Request the general category; the specialised color printer must
+	// match strongly (specialisation is substitutable).
+	req := ontology.Request{Concept: "PrinterService"}
+	got := m.Match(req, printerFleet())
+	found := false
+	for _, g := range got {
+		if g.Profile.Concept == "ColorPrinter" && g.Score > 0.8 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("specialised service should strongly match a general request")
+	}
+}
+
+func TestSemanticIOMatching(t *testing.T) {
+	o := ontology.Pervasive()
+	m := NewSemanticMatcher(o)
+	m.IOWeight = 1
+	m.ConceptWeight = 0.001
+	m.PrefWeight = 0.001
+	m.MinScore = 0.01
+	producer := &ontology.Profile{
+		Name: "solver", Concept: "HeatSolver",
+		Inputs:  []string{"TemperatureSensor"},
+		Outputs: []string{"BuildingPlan"},
+	}
+	mismatch := &ontology.Profile{
+		Name: "miner", Concept: "HeatSolver",
+		Inputs:  []string{"HospitalRecords"},
+		Outputs: []string{"WeatherData"},
+	}
+	req := ontology.Request{
+		Concept: "HeatSolver",
+		Inputs:  []string{"TemperatureSensor"},
+		Outputs: []string{"BuildingPlan"},
+	}
+	got := m.Match(req, []*ontology.Profile{mismatch, producer})
+	if len(got) == 0 || got[0].Profile.Name != "solver" {
+		t.Fatalf("IO-compatible service should rank first: %+v", got)
+	}
+}
+
+func TestJiniMatcherExactOnly(t *testing.T) {
+	jm := JiniMatcher{}
+	got := jm.Match(ontology.Request{Concept: "Printer.printIt"}, printerFleet())
+	if len(got) != 3 {
+		t.Fatalf("jini matches = %d, want 3 (all with the interface)", len(got))
+	}
+	// Jini cannot see the color/queue/cost distinctions: all scores 1.
+	for _, g := range got {
+		if g.Score != 1 {
+			t.Fatal("jini assigns no ranking")
+		}
+	}
+	if got := jm.Match(ontology.Request{Concept: "Printer.printColorCheap"}, printerFleet()); len(got) != 0 {
+		t.Fatal("jini finds nothing without the exact interface string")
+	}
+}
+
+func TestSDPMatcherUUIDOnly(t *testing.T) {
+	sm := SDPMatcher{}
+	got := sm.Match(ontology.Request{Concept: "uuid-lab-color"}, printerFleet())
+	if len(got) != 1 || got[0].Profile.Name != "lab-color" {
+		t.Fatalf("sdp match = %+v", got)
+	}
+	if got := sm.Match(ontology.Request{Concept: "uuid-unknown"}, printerFleet()); len(got) != 0 {
+		t.Fatal("sdp must miss unknown UUIDs")
+	}
+}
+
+func TestRegistryLeaseExpiry(t *testing.T) {
+	now := time.Unix(0, 0)
+	r := NewRegistry()
+	r.Now = func() time.Time { return now }
+	p := &ontology.Profile{Name: "s1", Concept: "Service"}
+	lease, err := r.Register(p, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Fatal("registered profile missing")
+	}
+	now = now.Add(5 * time.Second)
+	if r.Len() != 1 {
+		t.Fatal("profile expired too early")
+	}
+	if _, err := r.Renew(lease, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(8 * time.Second) // t=13, renewed lease expires at t=15
+	if r.Len() != 1 {
+		t.Fatal("renewed lease should still be live at t=13")
+	}
+	now = now.Add(5 * time.Second) // t=18 > 15
+	if r.Len() != 0 {
+		t.Fatal("expired profile should be swept")
+	}
+	if _, err := r.Renew(lease, time.Second); err == nil {
+		t.Fatal("renewing an expired lease should fail")
+	}
+}
+
+func TestRegistryReplaceAndDeregister(t *testing.T) {
+	r := NewRegistry()
+	p1 := &ontology.Profile{Name: "svc", Concept: "Service"}
+	l1, err := r.Register(p1, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := &ontology.Profile{Name: "svc", Concept: "SensorService"}
+	if _, err := r.Register(p2, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Profiles(); len(got) != 1 || got[0].Concept != "SensorService" {
+		t.Fatalf("replacement failed: %+v", got)
+	}
+	if _, err := r.Renew(l1, time.Hour); err == nil {
+		t.Fatal("superseded lease should not renew")
+	}
+	r.Deregister("svc")
+	if r.Len() != 0 {
+		t.Fatal("deregister failed")
+	}
+	r.Deregister("absent") // no-op
+}
+
+func TestRegistryValidation(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Register(nil, time.Hour); err == nil {
+		t.Fatal("nil profile should fail")
+	}
+	if _, err := r.Register(&ontology.Profile{Name: "x"}, 0); err == nil {
+		t.Fatal("zero ttl should fail")
+	}
+	if _, err := r.Renew(Lease{}, 0); err == nil {
+		t.Fatal("zero ttl renew should fail")
+	}
+}
+
+func TestBrokerFanOut(t *testing.T) {
+	o := ontology.Pervasive()
+	m := NewSemanticMatcher(o)
+	b1 := NewBroker("b1", m)
+	b2 := NewBroker("b2", m)
+	b1.Peer(b2, true)
+
+	fleet := printerFleet()
+	if _, err := b1.Reg.Register(fleet[0], time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b2.Reg.Register(fleet[2], time.Hour); err != nil {
+		t.Fatal(err)
+	}
+
+	req := ontology.Request{Concept: "PrinterService"}
+	local := b1.LookupLocal(req)
+	if len(local) != 1 {
+		t.Fatalf("local lookup = %d, want 1", len(local))
+	}
+	all := b1.Lookup(req, 2)
+	if len(all) != 2 {
+		t.Fatalf("federated lookup = %d, want 2", len(all))
+	}
+	// Satisfied locally: no fan-out needed when want is met.
+	one := b1.Lookup(req, 1)
+	if len(one) != 1 {
+		t.Fatalf("want-satisfied lookup = %d, want 1", len(one))
+	}
+}
+
+func TestBrokerSync(t *testing.T) {
+	o := ontology.Pervasive()
+	m := NewSemanticMatcher(o)
+	b1 := NewBroker("b1", m)
+	b2 := NewBroker("b2", m)
+	b1.Peer(b2, false) // one-way replication
+
+	for i, p := range printerFleet() {
+		if _, err := b1.Reg.Register(p, time.Hour); err != nil {
+			t.Fatalf("register %d: %v", i, err)
+		}
+	}
+	n := b1.SyncOnce(time.Minute)
+	if n != 4 {
+		t.Fatalf("synced %d, want 4", n)
+	}
+	if b2.Reg.Len() != 4 {
+		t.Fatalf("peer registry = %d, want 4", b2.Reg.Len())
+	}
+	// b2 can now answer locally.
+	if got := b2.LookupLocal(ontology.Request{Concept: "ColorPrinter"}); len(got) == 0 {
+		t.Fatal("replicated ads should answer local lookups")
+	}
+}
+
+func TestBrokerSelfAndNilPeerIgnored(t *testing.T) {
+	b := NewBroker("b", JiniMatcher{})
+	b.Peer(nil, true)
+	b.Peer(b, true)
+	if len(b.Peers()) != 0 {
+		t.Fatal("self/nil peers should be ignored")
+	}
+}
+
+func TestSemanticScalability(t *testing.T) {
+	o := ontology.Pervasive()
+	m := NewSemanticMatcher(o)
+	var pool []*ontology.Profile
+	concepts := []string{"TemperatureSensor", "SmokeSensor", "HeatSolver", "ColorPrinter", "StorageService"}
+	for i := 0; i < 2000; i++ {
+		pool = append(pool, &ontology.Profile{
+			Name:    fmt.Sprintf("svc-%d", i),
+			Concept: concepts[i%len(concepts)],
+			Properties: map[string]ontology.Value{
+				"cost": ontology.Num(float64(i % 97)),
+			},
+		})
+	}
+	req := ontology.Request{
+		Concept:     "TemperatureSensor",
+		Constraints: []ontology.Constraint{{Property: "cost", Op: ontology.OpLt, Value: ontology.Num(50)}},
+	}
+	got := m.Match(req, pool)
+	if len(got) == 0 {
+		t.Fatal("large pool should produce matches")
+	}
+	for _, g := range got {
+		v, _ := g.Profile.Prop("cost")
+		if v.N >= 50 {
+			t.Fatal("constraint violated in result")
+		}
+	}
+}
+
+func BenchmarkSemanticMatch1000(b *testing.B) {
+	o := ontology.Pervasive()
+	m := NewSemanticMatcher(o)
+	var pool []*ontology.Profile
+	for i := 0; i < 1000; i++ {
+		pool = append(pool, &ontology.Profile{
+			Name:       fmt.Sprintf("svc-%d", i),
+			Concept:    "TemperatureSensor",
+			Properties: map[string]ontology.Value{"cost": ontology.Num(float64(i))},
+		})
+	}
+	req := ontology.Request{Concept: "SensorService", PreferLow: []string{"cost"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := m.Match(req, pool); len(got) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+func TestWatchNotifiesOnMatchingRegistration(t *testing.T) {
+	o := ontology.Pervasive()
+	m := NewSemanticMatcher(o)
+	r := NewRegistry()
+	var got []string
+	cancel := r.Watch(m, ontology.Request{Concept: "ColorPrinter"}, 0.8, func(match Match) {
+		got = append(got, match.Profile.Name)
+	})
+	if r.Watchers() != 1 {
+		t.Fatal("watcher not installed")
+	}
+	// A matching service appears.
+	if _, err := r.Register(&ontology.Profile{Name: "new-color", Concept: "ColorPrinter"}, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	// An unrelated service appears.
+	if _, err := r.Register(&ontology.Profile{Name: "scanner", Concept: "StorageService"}, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "new-color" {
+		t.Fatalf("watch fired for %v, want [new-color]", got)
+	}
+	// Cancel stops notifications.
+	cancel()
+	cancel() // idempotent
+	if r.Watchers() != 0 {
+		t.Fatal("watcher not removed")
+	}
+	if _, err := r.Register(&ontology.Profile{Name: "another-color", Concept: "ColorPrinter"}, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatal("cancelled watcher still fired")
+	}
+}
+
+func TestWatchMinScoreFilters(t *testing.T) {
+	o := ontology.Pervasive()
+	m := NewSemanticMatcher(o)
+	r := NewRegistry()
+	fired := 0
+	r.Watch(m, ontology.Request{Concept: "ColorPrinter"}, 0.95, func(Match) { fired++ })
+	// A sibling concept matches fuzzily but under the bar.
+	if _, err := r.Register(&ontology.Profile{Name: "mono", Concept: "PrinterService"}, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatal("low-score match should not fire a 0.95 watcher")
+	}
+	if _, err := r.Register(&ontology.Profile{Name: "exact", Concept: "ColorPrinter"}, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("exact match fired %d times", fired)
+	}
+}
+
+func TestWatchSupportsRebindingScenario(t *testing.T) {
+	// The composition use case: a standing watch re-binds a degraded
+	// pipeline when a better service appears.
+	o := ontology.Pervasive()
+	m := NewSemanticMatcher(o)
+	b := NewBroker("b", m)
+	bound := "fallback-miner"
+	b.Reg.Watch(m, ontology.Request{Concept: "DecisionTreeService"}, 0.9, func(match Match) {
+		bound = match.Profile.Name
+	})
+	if _, err := b.Reg.Register(&ontology.Profile{Name: "fresh-miner", Concept: "DecisionTreeService"}, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if bound != "fresh-miner" {
+		t.Fatalf("rebinding watch did not fire: bound=%s", bound)
+	}
+}

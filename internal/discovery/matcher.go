@@ -1,0 +1,231 @@
+// Package discovery implements service discovery for the pervasive grid.
+//
+// The paper's position is that Jini/SLP/UPnP/Bluetooth-SDP-era systems
+// "describe services entirely in syntactic terms", "return exact matches
+// and can only handle equality constraints". This package provides the
+// semantic alternative — ontology-based fuzzy matching that returns a
+// ranked list under non-equality constraints — together with faithful
+// syntactic baselines for comparison, a lease-based registry for services
+// that come and go, and distributed broker agents.
+package discovery
+
+import (
+	"sort"
+
+	"pervasivegrid/internal/ontology"
+)
+
+// Match is one scored discovery result.
+type Match struct {
+	Profile *ontology.Profile
+	// Score is in [0, 1]; higher is better.
+	Score float64
+}
+
+// Matcher ranks candidate profiles against a request.
+type Matcher interface {
+	// Name identifies the matcher in experiment tables.
+	Name() string
+	// Match returns candidates ordered by descending score.
+	Match(req ontology.Request, candidates []*ontology.Profile) []Match
+}
+
+// SemanticMatcher scores candidates with ontology similarity and filters
+// them with the request's hard constraints. Matching is fuzzy: a
+// TemperatureSensor request still surfaces a generic SensorService, just
+// with a lower score.
+type SemanticMatcher struct {
+	Onto *ontology.Ontology
+	// MinScore drops candidates scoring below it (default 0.35).
+	MinScore float64
+	// ConceptWeight, IOWeight, PrefWeight blend the score components;
+	// they default to 0.6/0.2/0.2 and are normalised internally.
+	ConceptWeight, IOWeight, PrefWeight float64
+}
+
+// NewSemanticMatcher builds a matcher with default weights over the given
+// ontology.
+func NewSemanticMatcher(o *ontology.Ontology) *SemanticMatcher {
+	return &SemanticMatcher{Onto: o, MinScore: 0.35, ConceptWeight: 0.6, IOWeight: 0.2, PrefWeight: 0.2}
+}
+
+// Name implements Matcher.
+func (m *SemanticMatcher) Name() string { return "semantic" }
+
+// conceptScore blends subsumption and Wu–Palmer similarity: an exact or
+// subsumed concept scores highest, a sibling lower, a stranger near zero.
+func (m *SemanticMatcher) conceptScore(want, have string) float64 {
+	if want == have {
+		return 1
+	}
+	if m.Onto.IsA(have, want) {
+		return 0.95 // candidate is a specialisation of the request
+	}
+	sim := m.Onto.Similarity(want, have)
+	if m.Onto.IsA(want, have) {
+		// Candidate is more general than requested: usable but weaker.
+		if sim < 0.75 {
+			return sim
+		}
+		return 0.75
+	}
+	return sim * 0.9
+}
+
+// ioScore measures how well the candidate's outputs cover the request's
+// wanted outputs and how well the client's available inputs cover the
+// candidate's required inputs. Empty requirements score 1.
+func (m *SemanticMatcher) ioScore(req ontology.Request, p *ontology.Profile) float64 {
+	cover := func(wanted, offered []string) float64 {
+		if len(wanted) == 0 {
+			return 1
+		}
+		total := 0.0
+		for _, w := range wanted {
+			best := 0.0
+			for _, o := range offered {
+				s := m.conceptScore(w, o)
+				if s > best {
+					best = s
+				}
+			}
+			total += best
+		}
+		return total / float64(len(wanted))
+	}
+	outs := cover(req.Outputs, p.Outputs)
+	ins := cover(p.Inputs, req.Inputs)
+	return (outs + ins) / 2
+}
+
+// prefScore rewards candidates with smaller values on PreferLow properties,
+// scaled against the candidate pool's observed range.
+func prefScore(req ontology.Request, p *ontology.Profile, lo, hi map[string]float64) float64 {
+	if len(req.PreferLow) == 0 {
+		return 1
+	}
+	total, n := 0.0, 0
+	for _, key := range req.PreferLow {
+		v, ok := p.Prop(key)
+		if !ok || v.Kind != ontology.KindNumber {
+			continue
+		}
+		l, h := lo[key], hi[key]
+		n++
+		if h <= l {
+			total += 1
+			continue
+		}
+		total += 1 - (v.N-l)/(h-l)
+	}
+	if n == 0 {
+		return 0.5 // no preference data available
+	}
+	return total / float64(n)
+}
+
+// Match implements Matcher.
+func (m *SemanticMatcher) Match(req ontology.Request, candidates []*ontology.Profile) []Match {
+	cw, iw, pw := m.ConceptWeight, m.IOWeight, m.PrefWeight
+	if cw <= 0 && iw <= 0 && pw <= 0 {
+		cw, iw, pw = 0.6, 0.2, 0.2
+	}
+	sum := cw + iw + pw
+	cw, iw, pw = cw/sum, iw/sum, pw/sum
+	minScore := m.MinScore
+	if minScore <= 0 {
+		minScore = 0.35
+	}
+
+	// Pass 1: constraint filter; collect preference ranges over the
+	// surviving pool so prefScore is scale-free.
+	var pool []*ontology.Profile
+	for _, p := range candidates {
+		ok := true
+		for _, c := range req.Constraints {
+			if !ontology.Satisfies(p, c, req) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			pool = append(pool, p)
+		}
+	}
+	lo, hi := map[string]float64{}, map[string]float64{}
+	for _, key := range req.PreferLow {
+		first := true
+		for _, p := range pool {
+			v, ok := p.Prop(key)
+			if !ok || v.Kind != ontology.KindNumber {
+				continue
+			}
+			if first || v.N < lo[key] {
+				lo[key] = v.N
+			}
+			if first || v.N > hi[key] {
+				hi[key] = v.N
+			}
+			first = false
+		}
+	}
+
+	// Pass 2: score and rank.
+	var out []Match
+	for _, p := range pool {
+		score := cw*m.conceptScore(req.Concept, p.Concept) +
+			iw*m.ioScore(req, p) +
+			pw*prefScore(req, p, lo, hi)
+		if score >= minScore {
+			out = append(out, Match{Profile: p, Score: score})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Profile.Name < out[j].Profile.Name
+	})
+	return out
+}
+
+// JiniMatcher reproduces interface-based exact matching: a candidate
+// matches only when its Interface string equals the request's wanted
+// interface (carried in the request concept field by convention of this
+// baseline). No ranking, no constraints beyond equality.
+type JiniMatcher struct{}
+
+// Name implements Matcher.
+func (JiniMatcher) Name() string { return "jini" }
+
+// Match implements Matcher. Score is always 1 for a hit.
+func (JiniMatcher) Match(req ontology.Request, candidates []*ontology.Profile) []Match {
+	var out []Match
+	for _, p := range candidates {
+		if p.Interface != "" && p.Interface == req.Concept {
+			out = append(out, Match{Profile: p, Score: 1})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Profile.Name < out[j].Profile.Name })
+	return out
+}
+
+// SDPMatcher reproduces Bluetooth SDP: services match only by exact UUID.
+// The paper: "Bluetooth SDP relies on unique 128 bit UUIDs to describe and
+// match services. This is clearly inadequate."
+type SDPMatcher struct{}
+
+// Name implements Matcher.
+func (SDPMatcher) Name() string { return "sdp" }
+
+// Match implements Matcher; the request concept carries the wanted UUID.
+func (SDPMatcher) Match(req ontology.Request, candidates []*ontology.Profile) []Match {
+	var out []Match
+	for _, p := range candidates {
+		if p.UUID != "" && p.UUID == req.Concept {
+			out = append(out, Match{Profile: p, Score: 1})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Profile.Name < out[j].Profile.Name })
+	return out
+}

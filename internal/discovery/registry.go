@@ -1,0 +1,124 @@
+package discovery
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+import "pervasivegrid/internal/ontology"
+
+// Lease is a time-bounded registration, the mechanism that keeps the
+// registry honest when "services may be coming up and going down
+// frequently".
+type Lease struct {
+	ID      uint64
+	Name    string
+	Expires time.Time
+}
+
+// Registry stores service advertisements under leases. It is safe for
+// concurrent use. The clock is injectable so simulations can drive expiry
+// deterministically.
+type Registry struct {
+	// Now supplies the current time; defaults to time.Now.
+	Now func() time.Time
+
+	mu      sync.RWMutex
+	nextID  uint64
+	entries map[string]*entry // by profile name
+	watches watchList
+}
+
+type entry struct {
+	profile *ontology.Profile
+	lease   Lease
+}
+
+// NewRegistry builds an empty registry on the wall clock.
+func NewRegistry() *Registry {
+	return &Registry{Now: time.Now, entries: map[string]*entry{}}
+}
+
+func (r *Registry) now() time.Time {
+	if r.Now != nil {
+		return r.Now()
+	}
+	return time.Now()
+}
+
+// Register advertises a profile for ttl; re-registering a name replaces the
+// previous advertisement and lease. A non-positive ttl is an error.
+func (r *Registry) Register(p *ontology.Profile, ttl time.Duration) (Lease, error) {
+	if p == nil || p.Name == "" {
+		return Lease{}, fmt.Errorf("discovery: register needs a named profile")
+	}
+	if ttl <= 0 {
+		return Lease{}, fmt.Errorf("discovery: register %q with non-positive ttl", p.Name)
+	}
+	r.mu.Lock()
+	r.nextID++
+	l := Lease{ID: r.nextID, Name: p.Name, Expires: r.now().Add(ttl)}
+	r.entries[p.Name] = &entry{profile: p, lease: l}
+	r.mu.Unlock()
+	// Watchers run outside the lock so their callbacks may use the
+	// registry freely.
+	r.notifyWatchers(p)
+	return l, nil
+}
+
+// Renew extends an existing lease by ttl from now. Renewing an unknown or
+// superseded lease fails.
+func (r *Registry) Renew(l Lease, ttl time.Duration) (Lease, error) {
+	if ttl <= 0 {
+		return Lease{}, fmt.Errorf("discovery: renew with non-positive ttl")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[l.Name]
+	if !ok || e.lease.ID != l.ID {
+		return Lease{}, fmt.Errorf("discovery: lease %d for %q not active", l.ID, l.Name)
+	}
+	e.lease.Expires = r.now().Add(ttl)
+	return e.lease, nil
+}
+
+// Deregister removes an advertisement by name; removing an absent name is a
+// no-op.
+func (r *Registry) Deregister(name string) {
+	r.mu.Lock()
+	delete(r.entries, name)
+	r.mu.Unlock()
+}
+
+// sweep drops expired entries. Callers hold r.mu.
+func (r *Registry) sweep() {
+	now := r.now()
+	for name, e := range r.entries {
+		if e.lease.Expires.Before(now) {
+			delete(r.entries, name)
+		}
+	}
+}
+
+// Profiles snapshots the live advertisements in name order.
+func (r *Registry) Profiles() []*ontology.Profile {
+	r.mu.Lock()
+	r.sweep()
+	out := make([]*ontology.Profile, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e.profile)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len reports the number of live advertisements.
+func (r *Registry) Len() int { return len(r.Profiles()) }
+
+// Lookup runs the matcher over the live advertisements.
+func (r *Registry) Lookup(m Matcher, req ontology.Request) []Match {
+	return m.Match(req, r.Profiles())
+}

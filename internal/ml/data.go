@@ -1,0 +1,134 @@
+// Package ml implements the "standard machine learning techniques" the
+// paper applies to dynamic computation partitioning (a Pythia-style learned
+// selector) and to stream mining: decision trees with numeric threshold
+// splits, k-nearest-neighbour classification and regression, and small
+// dataset utilities. Everything is from scratch on the standard library.
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Dataset pairs feature vectors with integer class labels.
+type Dataset struct {
+	X [][]float64
+	Y []int
+}
+
+// ErrEmpty indicates a training call with no samples.
+var ErrEmpty = errors.New("ml: empty dataset")
+
+// Validate checks shape invariants: equal lengths and rectangular features.
+func (d Dataset) Validate() error {
+	if len(d.X) == 0 {
+		return ErrEmpty
+	}
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("ml: %d feature rows but %d labels", len(d.X), len(d.Y))
+	}
+	w := len(d.X[0])
+	for i, row := range d.X {
+		if len(row) != w {
+			return fmt.Errorf("ml: row %d has %d features, want %d", i, len(row), w)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("ml: row %d feature %d is not finite", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// Add appends one sample.
+func (d *Dataset) Add(x []float64, y int) {
+	d.X = append(d.X, append([]float64(nil), x...))
+	d.Y = append(d.Y, y)
+}
+
+// Len reports the sample count.
+func (d Dataset) Len() int { return len(d.X) }
+
+// Classes returns the distinct labels present, in ascending order.
+func (d Dataset) Classes() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, y := range d.Y {
+		if !seen[y] {
+			seen[y] = true
+			out = append(out, y)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Accuracy scores a classifier over a dataset.
+func Accuracy(predict func([]float64) int, d Dataset) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	hit := 0
+	for i, x := range d.X {
+		if predict(x) == d.Y[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(d.Len())
+}
+
+// Scaler standardises features to zero mean and unit variance, protecting
+// distance-based learners from dominant dimensions.
+type Scaler struct {
+	Mean, Std []float64
+}
+
+// FitScaler computes per-feature statistics.
+func FitScaler(X [][]float64) (*Scaler, error) {
+	if len(X) == 0 {
+		return nil, ErrEmpty
+	}
+	w := len(X[0])
+	s := &Scaler{Mean: make([]float64, w), Std: make([]float64, w)}
+	for _, row := range X {
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	n := float64(len(X))
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range X {
+		for j, v := range row {
+			d := v - s.Mean[j]
+			s.Std[j] += d * d
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] == 0 {
+			s.Std[j] = 1
+		}
+	}
+	return s, nil
+}
+
+// Transform returns the standardised copy of x.
+func (s *Scaler) Transform(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		if j < len(s.Mean) {
+			out[j] = (v - s.Mean[j]) / s.Std[j]
+		} else {
+			out[j] = v
+		}
+	}
+	return out
+}

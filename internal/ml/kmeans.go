@@ -1,0 +1,160 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KMeans clusters feature vectors with Lloyd's algorithm — the paper lists
+// "clustering" among the analysis techniques the pervasive grid must run
+// over sensor data (e.g. grouping target tracks or contamination sites).
+type KMeans struct {
+	K int
+	// Centroids after Fit, one row per cluster.
+	Centroids [][]float64
+	// Iterations actually performed by Fit.
+	Iterations int
+}
+
+// FitKMeans clusters X into k groups. The seed makes initialisation
+// reproducible (k-means++ style seeding). maxIter bounds Lloyd iterations
+// (default 100).
+func FitKMeans(X [][]float64, k int, seed int64, maxIter int) (*KMeans, error) {
+	if len(X) == 0 {
+		return nil, ErrEmpty
+	}
+	if k < 1 || k > len(X) {
+		return nil, fmt.Errorf("ml: k=%d outside [1,%d]", k, len(X))
+	}
+	w := len(X[0])
+	for i, row := range X {
+		if len(row) != w {
+			return nil, fmt.Errorf("ml: row %d width %d != %d", i, len(row), w)
+		}
+	}
+	if maxIter <= 0 {
+		maxIter = 100
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	dist2 := func(a, b []float64) float64 {
+		d := 0.0
+		for j := range a {
+			diff := a[j] - b[j]
+			d += diff * diff
+		}
+		return d
+	}
+
+	// k-means++ seeding.
+	centroids := make([][]float64, 0, k)
+	centroids = append(centroids, append([]float64(nil), X[rng.Intn(len(X))]...))
+	for len(centroids) < k {
+		weights := make([]float64, len(X))
+		total := 0.0
+		for i, row := range X {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := dist2(row, c); d < best {
+					best = d
+				}
+			}
+			weights[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All remaining points coincide with centroids; duplicate one.
+			centroids = append(centroids, append([]float64(nil), X[rng.Intn(len(X))]...))
+			continue
+		}
+		r := rng.Float64() * total
+		acc := 0.0
+		pick := len(X) - 1
+		for i, wgt := range weights {
+			acc += wgt
+			if acc >= r {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), X[pick]...))
+	}
+
+	km := &KMeans{K: k, Centroids: centroids}
+	assign := make([]int, len(X))
+	for iter := 0; iter < maxIter; iter++ {
+		km.Iterations = iter + 1
+		changed := false
+		for i, row := range X {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range centroids {
+				if d := dist2(row, cent); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, w)
+		}
+		for i, row := range X {
+			c := assign[i]
+			counts[c]++
+			for j, v := range row {
+				sums[c][j] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue // keep the old centroid for empty clusters
+			}
+			for j := range centroids[c] {
+				centroids[c][j] = sums[c][j] / float64(counts[c])
+			}
+		}
+	}
+	return km, nil
+}
+
+// Assign returns the nearest centroid's index for x.
+func (km *KMeans) Assign(x []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c, cent := range km.Centroids {
+		d := 0.0
+		for j := range cent {
+			if j < len(x) {
+				diff := x[j] - cent[j]
+				d += diff * diff
+			}
+		}
+		if d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// Inertia is the summed squared distance of X to assigned centroids — the
+// quantity Lloyd's algorithm descends.
+func (km *KMeans) Inertia(X [][]float64) float64 {
+	total := 0.0
+	for _, row := range X {
+		c := km.Centroids[km.Assign(row)]
+		for j := range c {
+			if j < len(row) {
+				d := row[j] - c[j]
+				total += d * d
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,187 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// threeBlobs synthesises three well-separated Gaussian clusters.
+func threeBlobs(rng *rand.Rand, perCluster int) ([][]float64, []int) {
+	centers := [][]float64{{0, 0}, {20, 0}, {0, 20}}
+	var X [][]float64
+	var labels []int
+	for c, cent := range centers {
+		for i := 0; i < perCluster; i++ {
+			X = append(X, []float64{
+				cent[0] + rng.NormFloat64(),
+				cent[1] + rng.NormFloat64(),
+			})
+			labels = append(labels, c)
+		}
+	}
+	return X, labels
+}
+
+func TestKMeansRecoverBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	X, labels := threeBlobs(rng, 60)
+	km, err := FitKMeans(X, 3, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(km.Centroids) != 3 {
+		t.Fatalf("centroids = %d", len(km.Centroids))
+	}
+	// All points in one true cluster must map to one k-means cluster.
+	for c := 0; c < 3; c++ {
+		votes := map[int]int{}
+		for i, row := range X {
+			if labels[i] == c {
+				votes[km.Assign(row)]++
+			}
+		}
+		best, total := 0, 0
+		for _, n := range votes {
+			total += n
+			if n > best {
+				best = n
+			}
+		}
+		if float64(best)/float64(total) < 0.95 {
+			t.Fatalf("true cluster %d split across k-means clusters: %v", c, votes)
+		}
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	if _, err := FitKMeans(nil, 2, 1, 0); err != ErrEmpty {
+		t.Fatal("empty input should fail")
+	}
+	X := [][]float64{{1}, {2}}
+	if _, err := FitKMeans(X, 0, 1, 0); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+	if _, err := FitKMeans(X, 3, 1, 0); err == nil {
+		t.Fatal("k > n should fail")
+	}
+	if _, err := FitKMeans([][]float64{{1}, {2, 3}}, 1, 1, 0); err == nil {
+		t.Fatal("ragged input should fail")
+	}
+}
+
+func TestKMeansDeterministicWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	X, _ := threeBlobs(rng, 30)
+	a, err := FitKMeans(X, 3, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FitKMeans(X, 3, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range a.Centroids {
+		for j := range a.Centroids[c] {
+			if a.Centroids[c][j] != b.Centroids[c][j] {
+				t.Fatal("same seed should reproduce centroids")
+			}
+		}
+	}
+}
+
+func TestKMeansInertiaDecreasesWithK(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	X, _ := threeBlobs(rng, 40)
+	k1, err := FitKMeans(X, 1, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k3, err := FitKMeans(X, 3, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k3.Inertia(X) >= k1.Inertia(X) {
+		t.Fatal("more clusters should not increase inertia on separated blobs")
+	}
+}
+
+func TestKMeansDuplicatePoints(t *testing.T) {
+	X := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	km, err := FitKMeans(X, 2, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if km.Assign([]float64{1, 1}) >= 2 {
+		t.Fatal("assignment out of range")
+	}
+}
+
+func TestNaiveBayesSeparatesClasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	var d Dataset
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			d.Add([]float64{rng.NormFloat64(), rng.NormFloat64()}, 0)
+		} else {
+			d.Add([]float64{8 + rng.NormFloat64(), 8 + rng.NormFloat64()}, 1)
+		}
+	}
+	nb, err := TrainNaiveBayes(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(nb.Predict, d); acc < 0.98 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+	// Predictive scoring: posterior near the far cluster is confident.
+	s, err := nb.Score([]float64{8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[1] < 0.95 {
+		t.Fatalf("posterior = %v, want confident class 1", s)
+	}
+	if math.Abs(s[0]+s[1]-1) > 1e-9 {
+		t.Fatalf("posteriors do not normalise: %v", s)
+	}
+	// A midpoint case scores uncertainly.
+	mid, _ := nb.Score([]float64{4, 4})
+	if mid[0] < 0.05 || mid[0] > 0.95 {
+		t.Fatalf("midpoint posterior should be uncertain: %v", mid)
+	}
+}
+
+func TestNaiveBayesValidation(t *testing.T) {
+	if _, err := TrainNaiveBayes(Dataset{}); err == nil {
+		t.Fatal("empty training should fail")
+	}
+	nb := &NaiveBayes{}
+	if _, err := nb.Score([]float64{1}); err == nil {
+		t.Fatal("untrained score should fail")
+	}
+}
+
+func TestNaiveBayesConstantFeature(t *testing.T) {
+	// Zero-variance features must not produce NaNs (variance floor).
+	var d Dataset
+	for i := 0; i < 20; i++ {
+		d.Add([]float64{5, float64(i % 2)}, i%2)
+	}
+	nb, err := TrainNaiveBayes(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := nb.Score([]float64{5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range s {
+		if math.IsNaN(p) {
+			t.Fatal("NaN posterior")
+		}
+	}
+	if nb.Predict([]float64{5, 1}) != 1 {
+		t.Fatal("informative feature ignored")
+	}
+}

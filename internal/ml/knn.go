@@ -1,0 +1,187 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KNNClassifier is a lazy k-nearest-neighbour classifier over standardised
+// features. It supports online growth (Add), which is what the paper's
+// adaptive decision maker needs: every completed query execution becomes a
+// new training point.
+type KNNClassifier struct {
+	K int
+
+	data   Dataset
+	scaler *Scaler
+	dirty  bool
+}
+
+// NewKNNClassifier builds an empty classifier; k defaults to 3 when
+// non-positive.
+func NewKNNClassifier(k int) *KNNClassifier {
+	if k <= 0 {
+		k = 3
+	}
+	return &KNNClassifier{K: k}
+}
+
+// Add inserts a training sample.
+func (c *KNNClassifier) Add(x []float64, y int) {
+	c.data.Add(x, y)
+	c.dirty = true
+}
+
+// Len reports the training-set size.
+func (c *KNNClassifier) Len() int { return c.data.Len() }
+
+func (c *KNNClassifier) refit() {
+	if !c.dirty {
+		return
+	}
+	s, err := FitScaler(c.data.X)
+	if err == nil {
+		c.scaler = s
+	}
+	c.dirty = false
+}
+
+type neighbour struct {
+	dist float64
+	y    int
+}
+
+func (c *KNNClassifier) neighbours(x []float64) []neighbour {
+	c.refit()
+	q := x
+	if c.scaler != nil {
+		q = c.scaler.Transform(x)
+	}
+	ns := make([]neighbour, 0, c.data.Len())
+	for i, row := range c.data.X {
+		r := row
+		if c.scaler != nil {
+			r = c.scaler.Transform(row)
+		}
+		d := 0.0
+		for j := range q {
+			if j < len(r) {
+				diff := q[j] - r[j]
+				d += diff * diff
+			}
+		}
+		ns = append(ns, neighbour{dist: d, y: c.data.Y[i]})
+	}
+	sort.Slice(ns, func(a, b int) bool { return ns[a].dist < ns[b].dist })
+	return ns
+}
+
+// Predict returns the majority label among the k nearest training samples.
+// It returns an error when no samples have been added.
+func (c *KNNClassifier) Predict(x []float64) (int, error) {
+	if c.data.Len() == 0 {
+		return 0, ErrEmpty
+	}
+	ns := c.neighbours(x)
+	k := c.K
+	if k > len(ns) {
+		k = len(ns)
+	}
+	votes := map[int]float64{}
+	for _, n := range ns[:k] {
+		w := 1.0 / (1e-9 + n.dist) // distance-weighted vote
+		votes[n.y] += w
+	}
+	best, bestV := 0, math.Inf(-1)
+	for y, v := range votes {
+		if v > bestV || (v == bestV && y < best) {
+			best, bestV = y, v
+		}
+	}
+	return best, nil
+}
+
+// KNNRegressor predicts a continuous target as the distance-weighted mean
+// of the k nearest training targets. The decision maker uses it to
+// calibrate cost estimates against measured executions.
+type KNNRegressor struct {
+	K int
+
+	X      [][]float64
+	Y      []float64
+	scaler *Scaler
+	dirty  bool
+}
+
+// NewKNNRegressor builds an empty regressor; k defaults to 3.
+func NewKNNRegressor(k int) *KNNRegressor {
+	if k <= 0 {
+		k = 3
+	}
+	return &KNNRegressor{K: k}
+}
+
+// Add inserts a training sample.
+func (r *KNNRegressor) Add(x []float64, y float64) {
+	if math.IsNaN(y) || math.IsInf(y, 0) {
+		return
+	}
+	r.X = append(r.X, append([]float64(nil), x...))
+	r.Y = append(r.Y, y)
+	r.dirty = true
+}
+
+// Len reports the training-set size.
+func (r *KNNRegressor) Len() int { return len(r.X) }
+
+// Predict estimates the target at x; it errors on an empty training set.
+func (r *KNNRegressor) Predict(x []float64) (float64, error) {
+	if len(r.X) == 0 {
+		return 0, ErrEmpty
+	}
+	if r.dirty {
+		if s, err := FitScaler(r.X); err == nil {
+			r.scaler = s
+		}
+		r.dirty = false
+	}
+	q := x
+	if r.scaler != nil {
+		q = r.scaler.Transform(x)
+	}
+	type nd struct {
+		d float64
+		y float64
+	}
+	ns := make([]nd, 0, len(r.X))
+	for i, row := range r.X {
+		rr := row
+		if r.scaler != nil {
+			rr = r.scaler.Transform(row)
+		}
+		d := 0.0
+		for j := range q {
+			if j < len(rr) {
+				diff := q[j] - rr[j]
+				d += diff * diff
+			}
+		}
+		ns = append(ns, nd{d: d, y: r.Y[i]})
+	}
+	sort.Slice(ns, func(a, b int) bool { return ns[a].d < ns[b].d })
+	k := r.K
+	if k > len(ns) {
+		k = len(ns)
+	}
+	num, den := 0.0, 0.0
+	for _, n := range ns[:k] {
+		w := 1.0 / (1e-9 + n.d)
+		num += w * n.y
+		den += w
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("ml: degenerate weights in knn regression")
+	}
+	return num / den, nil
+}

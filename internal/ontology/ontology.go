@@ -1,0 +1,213 @@
+// Package ontology provides the semantic vocabulary beneath service
+// discovery: a concept hierarchy (the role DAML/DAML-S ontologies play in
+// the paper), typed service profiles that describe capabilities and
+// requirements, and a concept-similarity metric that lets the matcher rank
+// inexact matches instead of demanding syntactic equality.
+package ontology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Root is the implicit top concept every ontology contains.
+const Root = "Thing"
+
+// Ontology is a directed acyclic is-a hierarchy of named concepts.
+type Ontology struct {
+	parents  map[string][]string
+	children map[string][]string
+	depth    map[string]int
+}
+
+// New returns an ontology containing only Root.
+func New() *Ontology {
+	return &Ontology{
+		parents:  map[string][]string{Root: nil},
+		children: map[string][]string{},
+		depth:    map[string]int{Root: 0},
+	}
+}
+
+// AddConcept inserts a concept beneath one or more parents (Root when none
+// are given). All parents must already exist and the concept must be new.
+func (o *Ontology) AddConcept(name string, parents ...string) error {
+	if name == "" {
+		return fmt.Errorf("ontology: empty concept name")
+	}
+	if _, ok := o.parents[name]; ok {
+		return fmt.Errorf("ontology: concept %q already defined", name)
+	}
+	if len(parents) == 0 {
+		parents = []string{Root}
+	}
+	minDepth := -1
+	for _, p := range parents {
+		d, ok := o.depth[p]
+		if !ok {
+			return fmt.Errorf("ontology: parent %q of %q not defined", p, name)
+		}
+		if minDepth == -1 || d < minDepth {
+			minDepth = d
+		}
+	}
+	o.parents[name] = append([]string(nil), parents...)
+	for _, p := range parents {
+		o.children[p] = append(o.children[p], name)
+	}
+	o.depth[name] = minDepth + 1
+	return nil
+}
+
+// Has reports whether the concept exists.
+func (o *Ontology) Has(name string) bool {
+	_, ok := o.parents[name]
+	return ok
+}
+
+// Concepts lists every concept in deterministic order.
+func (o *Ontology) Concepts() []string {
+	out := make([]string, 0, len(o.parents))
+	for c := range o.parents {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Depth returns the minimum is-a distance from Root, or -1 when unknown.
+func (o *Ontology) Depth(name string) int {
+	d, ok := o.depth[name]
+	if !ok {
+		return -1
+	}
+	return d
+}
+
+// ancestors returns the reflexive-transitive ancestor set of name.
+func (o *Ontology) ancestors(name string) map[string]bool {
+	out := map[string]bool{}
+	var walk func(c string)
+	walk = func(c string) {
+		if out[c] {
+			return
+		}
+		out[c] = true
+		for _, p := range o.parents[c] {
+			walk(p)
+		}
+	}
+	if _, ok := o.parents[name]; ok {
+		walk(name)
+	}
+	return out
+}
+
+// IsA reports whether sub is (reflexively, transitively) a kind of super.
+func (o *Ontology) IsA(sub, super string) bool {
+	return o.ancestors(sub)[super]
+}
+
+// LCS returns the deepest common ancestor of a and b and true, or Root and
+// false when either concept is unknown.
+func (o *Ontology) LCS(a, b string) (string, bool) {
+	if !o.Has(a) || !o.Has(b) {
+		return Root, false
+	}
+	ancA := o.ancestors(a)
+	best, bestDepth := Root, 0
+	for c := range o.ancestors(b) {
+		if ancA[c] && o.depth[c] >= bestDepth {
+			if o.depth[c] > bestDepth || c < best {
+				best, bestDepth = c, o.depth[c]
+			}
+		}
+	}
+	return best, true
+}
+
+// Similarity scores two concepts in [0, 1] with the Wu–Palmer measure:
+// 2·depth(lcs) / (depth(a) + depth(b)). Identical concepts score 1;
+// unknown concepts score 0.
+func (o *Ontology) Similarity(a, b string) float64 {
+	if !o.Has(a) || !o.Has(b) {
+		return 0
+	}
+	if a == b {
+		return 1
+	}
+	lcs, _ := o.LCS(a, b)
+	da, db, dl := o.depth[a], o.depth[b], o.depth[lcs]
+	if da+db == 0 {
+		return 1 // both are Root
+	}
+	return 2 * float64(dl) / float64(da+db)
+}
+
+// Subtree lists name and every descendant, in deterministic order.
+func (o *Ontology) Subtree(name string) []string {
+	if !o.Has(name) {
+		return nil
+	}
+	seen := map[string]bool{}
+	var walk func(c string)
+	walk = func(c string) {
+		if seen[c] {
+			return
+		}
+		seen[c] = true
+		for _, ch := range o.children[c] {
+			walk(ch)
+		}
+	}
+	walk(name)
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Pervasive builds the default pervasive-computing ontology used by the
+// examples and experiments: sensors, computation, data, and device
+// services in the spirit of the paper's scenarios.
+func Pervasive() *Ontology {
+	o := New()
+	must := func(name string, parents ...string) {
+		if err := o.AddConcept(name, parents...); err != nil {
+			panic(err) // static vocabulary; a failure is a programming error
+		}
+	}
+	must("Service")
+	must("SensorService", "Service")
+	must("TemperatureSensor", "SensorService")
+	must("SmokeSensor", "SensorService")
+	must("ToxinSensor", "SensorService")
+	must("PathogenSensor", "SensorService")
+	must("AcousticSensor", "SensorService")
+	must("RadarSensor", "SensorService")
+	must("ComputeService", "Service")
+	must("PDESolver", "ComputeService")
+	must("HeatSolver", "PDESolver")
+	must("NavierStokesSolver", "PDESolver")
+	must("AggregationService", "ComputeService")
+	must("DataMiningService", "ComputeService")
+	must("ClusteringService", "DataMiningService")
+	must("DecisionTreeService", "DataMiningService")
+	must("FourierSpectrumService", "DataMiningService")
+	must("PredictiveScoringService", "DataMiningService")
+	must("DataService", "Service")
+	must("HospitalRecords", "DataService")
+	must("IntelligenceReports", "DataService")
+	must("WeatherData", "DataService")
+	must("BuildingPlan", "DataService")
+	must("MaterialProperties", "DataService")
+	must("DeviceService", "Service")
+	must("PrinterService", "DeviceService")
+	must("ColorPrinter", "PrinterService")
+	must("DisplayService", "DeviceService")
+	must("StorageService", "DeviceService")
+	must("GatewayService", "DeviceService")
+	return o
+}

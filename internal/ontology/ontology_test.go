@@ -1,0 +1,283 @@
+package ontology
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddConceptValidation(t *testing.T) {
+	o := New()
+	if err := o.AddConcept(""); err == nil {
+		t.Fatal("empty name should fail")
+	}
+	if err := o.AddConcept("A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddConcept("A"); err == nil {
+		t.Fatal("duplicate should fail")
+	}
+	if err := o.AddConcept("B", "Missing"); err == nil {
+		t.Fatal("unknown parent should fail")
+	}
+}
+
+func TestIsAReflexiveTransitive(t *testing.T) {
+	o := Pervasive()
+	cases := []struct {
+		sub, super string
+		want       bool
+	}{
+		{"TemperatureSensor", "TemperatureSensor", true},
+		{"TemperatureSensor", "SensorService", true},
+		{"TemperatureSensor", "Service", true},
+		{"TemperatureSensor", Root, true},
+		{"SensorService", "TemperatureSensor", false},
+		{"TemperatureSensor", "ComputeService", false},
+		{"HeatSolver", "ComputeService", true},
+	}
+	for _, c := range cases {
+		if got := o.IsA(c.sub, c.super); got != c.want {
+			t.Errorf("IsA(%q, %q) = %v, want %v", c.sub, c.super, got, c.want)
+		}
+	}
+}
+
+func TestDepth(t *testing.T) {
+	o := Pervasive()
+	if d := o.Depth(Root); d != 0 {
+		t.Fatalf("depth(root) = %d", d)
+	}
+	if d := o.Depth("Service"); d != 1 {
+		t.Fatalf("depth(Service) = %d", d)
+	}
+	if d := o.Depth("HeatSolver"); d != 4 {
+		t.Fatalf("depth(HeatSolver) = %d, want 4", d)
+	}
+	if d := o.Depth("Nope"); d != -1 {
+		t.Fatalf("depth(unknown) = %d, want -1", d)
+	}
+}
+
+func TestLCS(t *testing.T) {
+	o := Pervasive()
+	lcs, ok := o.LCS("TemperatureSensor", "SmokeSensor")
+	if !ok || lcs != "SensorService" {
+		t.Fatalf("LCS = %q ok=%v, want SensorService", lcs, ok)
+	}
+	lcs, _ = o.LCS("TemperatureSensor", "HeatSolver")
+	if lcs != "Service" {
+		t.Fatalf("LCS = %q, want Service", lcs)
+	}
+	if _, ok := o.LCS("TemperatureSensor", "Unknown"); ok {
+		t.Fatal("unknown concept should report !ok")
+	}
+}
+
+func TestSimilarityOrdering(t *testing.T) {
+	o := Pervasive()
+	if s := o.Similarity("TemperatureSensor", "TemperatureSensor"); s != 1 {
+		t.Fatalf("self similarity = %v, want 1", s)
+	}
+	sib := o.Similarity("TemperatureSensor", "SmokeSensor")
+	far := o.Similarity("TemperatureSensor", "ColorPrinter")
+	if sib <= far {
+		t.Fatalf("sibling sim %v should exceed cross-branch sim %v", sib, far)
+	}
+	if s := o.Similarity("TemperatureSensor", "Unknown"); s != 0 {
+		t.Fatalf("unknown sim = %v, want 0", s)
+	}
+	parent := o.Similarity("TemperatureSensor", "SensorService")
+	if parent <= sib {
+		t.Fatalf("parent sim %v should exceed sibling sim %v", parent, sib)
+	}
+}
+
+func TestSimilarityProperties(t *testing.T) {
+	o := Pervasive()
+	concepts := o.Concepts()
+	f := func(ai, bi uint8) bool {
+		a := concepts[int(ai)%len(concepts)]
+		b := concepts[int(bi)%len(concepts)]
+		s1, s2 := o.Similarity(a, b), o.Similarity(b, a)
+		return s1 == s2 && s1 >= 0 && s1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubtree(t *testing.T) {
+	o := Pervasive()
+	sub := o.Subtree("DataMiningService")
+	want := map[string]bool{
+		"DataMiningService": true, "ClusteringService": true,
+		"DecisionTreeService": true, "FourierSpectrumService": true,
+		"PredictiveScoringService": true,
+	}
+	if len(sub) != len(want) {
+		t.Fatalf("subtree = %v", sub)
+	}
+	for _, c := range sub {
+		if !want[c] {
+			t.Fatalf("unexpected subtree member %q", c)
+		}
+	}
+	if o.Subtree("Nope") != nil {
+		t.Fatal("unknown subtree should be nil")
+	}
+}
+
+func TestMultipleInheritance(t *testing.T) {
+	o := New()
+	for _, step := range []struct {
+		name    string
+		parents []string
+	}{
+		{"A", nil}, {"B", nil}, {"C", []string{"A", "B"}},
+	} {
+		if err := o.AddConcept(step.name, step.parents...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !o.IsA("C", "A") || !o.IsA("C", "B") {
+		t.Fatal("C should inherit from both parents")
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	o := Pervasive()
+	p := &Profile{Name: "t1", Concept: "TemperatureSensor"}
+	if err := p.Validate(o); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Profile{Name: "x", Concept: "NoSuch"}
+	if err := bad.Validate(o); err == nil {
+		t.Fatal("unknown concept should fail")
+	}
+	noName := &Profile{Concept: "Service"}
+	if err := noName.Validate(o); err == nil {
+		t.Fatal("empty name should fail")
+	}
+	badIO := &Profile{Name: "y", Concept: "Service", Inputs: []string{"Ghost"}}
+	if err := badIO.Validate(o); err == nil {
+		t.Fatal("unknown input concept should fail")
+	}
+}
+
+func TestSatisfiesOperators(t *testing.T) {
+	p := &Profile{
+		Name: "printer1", Concept: "ColorPrinter",
+		Properties: map[string]Value{
+			"queue": Num(3),
+			"cost":  Num(0.10),
+			"color": Str("yes"),
+			"x":     Num(10), "y": Num(0),
+		},
+	}
+	req := Request{X: 0, Y: 0, HasLoc: true}
+	cases := []struct {
+		c    Constraint
+		want bool
+	}{
+		{Constraint{"queue", OpLt, Num(5)}, true},
+		{Constraint{"queue", OpLt, Num(3)}, false},
+		{Constraint{"queue", OpLe, Num(3)}, true},
+		{Constraint{"queue", OpGt, Num(2)}, true},
+		{Constraint{"queue", OpGe, Num(4)}, false},
+		{Constraint{"color", OpEq, Str("yes")}, true},
+		{Constraint{"color", OpEq, Str("no")}, false},
+		{Constraint{"color", OpNe, Str("no")}, true},
+		{Constraint{"cost", OpLe, Num(0.15)}, true},
+		{Constraint{"", OpNear, Num(15)}, true},
+		{Constraint{"", OpNear, Num(5)}, false},
+		// Missing property: only != passes.
+		{Constraint{"ghost", OpEq, Num(1)}, false},
+		{Constraint{"ghost", OpNe, Num(1)}, true},
+		// Type mismatch: ordered comparison on string fails.
+		{Constraint{"color", OpLt, Str("zzz")}, false},
+		{Constraint{"color", OpLt, Num(1)}, false},
+	}
+	for _, c := range cases {
+		if got := Satisfies(p, c.c, req); got != c.want {
+			t.Errorf("Satisfies(%v %v %v) = %v, want %v", c.c.Property, c.c.Op, c.c.Value, got, c.want)
+		}
+	}
+	// OpNear without a request location fails.
+	if Satisfies(p, Constraint{"", OpNear, Num(100)}, Request{}) {
+		t.Fatal("near without request location should fail")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if Num(2.5).String() != "2.5" || Str("a").String() != "a" {
+		t.Fatal("value formatting broken")
+	}
+	if OpNear.String() != "near" || Op(99).String() == "" {
+		t.Fatal("op formatting broken")
+	}
+}
+
+func TestParseOntology(t *testing.T) {
+	src := `
+# building-fire domain
+Service
+SensorService < Service
+TemperatureSensor < SensorService   # mote-class
+SmokeSensor < SensorService
+Hybrid < TemperatureSensor, SmokeSensor
+Standalone
+`
+	o, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.IsA("TemperatureSensor", "Service") {
+		t.Fatal("transitivity lost")
+	}
+	if !o.IsA("Hybrid", "TemperatureSensor") || !o.IsA("Hybrid", "SmokeSensor") {
+		t.Fatal("multiple inheritance lost")
+	}
+	if !o.IsA("Standalone", Root) || o.Depth("Standalone") != 1 {
+		t.Fatal("bare concept should hang off Root")
+	}
+}
+
+func TestParseErrorsOntology(t *testing.T) {
+	bad := []string{
+		"Child < Missing",  // forward/undefined parent
+		"A\nA",             // duplicate
+		"Bad Name < Thing", // space in name
+		"X <",              // no parents after <
+		"Y < ,",            // empty parent
+	}
+	for _, src := range bad {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("ParseString(%q) should fail", src)
+		}
+	}
+}
+
+func TestDumpRoundTrip(t *testing.T) {
+	o := Pervasive()
+	var buf strings.Builder
+	if err := o.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	o2, err := ParseString(buf.String())
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+	if len(o2.Concepts()) != len(o.Concepts()) {
+		t.Fatalf("concepts %d != %d", len(o2.Concepts()), len(o.Concepts()))
+	}
+	for _, c := range o.Concepts() {
+		if o2.Depth(c) != o.Depth(c) {
+			t.Fatalf("depth of %s changed: %d -> %d", c, o.Depth(c), o2.Depth(c))
+		}
+	}
+	// Spot-check a similarity value survives.
+	if o.Similarity("TemperatureSensor", "SmokeSensor") != o2.Similarity("TemperatureSensor", "SmokeSensor") {
+		t.Fatal("similarity changed across round trip")
+	}
+}

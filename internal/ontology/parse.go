@@ -1,0 +1,116 @@
+package ontology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Parse reads an ontology from a simple line-oriented text format, so
+// deployments can define domain vocabularies (the paper's "Agent Domain
+// Attributes" world) without recompiling:
+//
+//	# comments and blank lines are ignored
+//	Service
+//	SensorService < Service
+//	TemperatureSensor < SensorService
+//	HybridThing < SensorService, ComputeService   # multiple inheritance
+//
+// A bare name attaches the concept to Root. Parents must be declared
+// before children (forward references are an error, which keeps the file
+// readable top-down).
+func Parse(r io.Reader) (*Ontology, error) {
+	o := New()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		name := line
+		var parents []string
+		if i := strings.Index(line, "<"); i >= 0 {
+			name = strings.TrimSpace(line[:i])
+			for _, p := range strings.Split(line[i+1:], ",") {
+				p = strings.TrimSpace(p)
+				if p == "" {
+					return nil, fmt.Errorf("ontology: line %d: empty parent", lineNo)
+				}
+				parents = append(parents, p)
+			}
+			if len(parents) == 0 {
+				return nil, fmt.Errorf("ontology: line %d: '<' without parents", lineNo)
+			}
+		}
+		if strings.ContainsAny(name, " \t") || name == "" {
+			return nil, fmt.Errorf("ontology: line %d: bad concept name %q", lineNo, name)
+		}
+		if err := o.AddConcept(name, parents...); err != nil {
+			return nil, fmt.Errorf("ontology: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ontology: read: %w", err)
+	}
+	return o, nil
+}
+
+// ParseString parses an ontology from a string.
+func ParseString(src string) (*Ontology, error) {
+	return Parse(strings.NewReader(src))
+}
+
+// Dump writes the ontology in the Parse format, topologically ordered so
+// the output re-parses. Root is implicit and omitted.
+func (o *Ontology) Dump(w io.Writer) error {
+	// Kahn-style order over the is-a DAG, children after parents, with
+	// alphabetical tie-breaking for determinism.
+	emitted := map[string]bool{Root: true}
+	concepts := o.Concepts()
+	for {
+		progress := false
+		var ready []string
+		for _, c := range concepts {
+			if emitted[c] {
+				continue
+			}
+			ok := true
+			for _, p := range o.parents[c] {
+				if !emitted[p] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				ready = append(ready, c)
+			}
+		}
+		sort.Strings(ready)
+		for _, c := range ready {
+			parents := o.parents[c]
+			var line string
+			if len(parents) == 1 && parents[0] == Root {
+				line = c
+			} else {
+				line = c + " < " + strings.Join(parents, ", ")
+			}
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+			emitted[c] = true
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	return nil
+}

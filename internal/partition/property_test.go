@@ -1,0 +1,105 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pervasivegrid/internal/query"
+)
+
+// Property tests over the cost model: the decision maker's estimates must
+// be finite, non-negative, and monotone in the obvious directions, or the
+// selection logic built on them is meaningless.
+
+func randomFeatures(sel uint8, depth uint8, base uint8, ops uint32) Features {
+	f := Features{
+		Base:     query.Type(int(base) % 3),
+		Selected: 1 + int(sel)%400,
+		AvgDepth: 1 + float64(depth%10),
+	}
+	f.MaxDepth = f.AvgDepth + 2
+	if f.Base == query.Complex {
+		f.ComputeOps = float64(ops)
+	}
+	return f
+}
+
+func TestPropertyEstimatesFiniteNonNegative(t *testing.T) {
+	est := NewEstimator(DefaultPlatform())
+	f := func(sel, depth, base uint8, ops uint32) bool {
+		feats := randomFeatures(sel, depth, base, ops)
+		for _, m := range Models() {
+			e := est.Estimate(m, feats)
+			if math.IsNaN(e.EnergyJ) || math.IsInf(e.EnergyJ, 0) || e.EnergyJ < 0 {
+				return false
+			}
+			if math.IsNaN(e.TimeSec) || math.IsInf(e.TimeSec, 0) || e.TimeSec < 0 {
+				return false
+			}
+			if e.Bytes < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyEnergyMonotoneInSelected(t *testing.T) {
+	est := NewEstimator(DefaultPlatform())
+	f := func(sel uint8, depth uint8) bool {
+		small := randomFeatures(sel, depth, 1, 0)
+		big := small
+		big.Selected = small.Selected + 50
+		for _, m := range []Model{ModelDirect, ModelTree, ModelCluster} {
+			if est.Estimate(m, big).EnergyJ < est.Estimate(m, small).EnergyJ {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyGridTimeMonotoneInOps(t *testing.T) {
+	est := NewEstimator(DefaultPlatform())
+	f := func(sel uint8, ops uint32) bool {
+		lo := randomFeatures(sel, 3, 2, ops)
+		hi := lo
+		hi.ComputeOps = lo.ComputeOps + 1e9
+		return est.Estimate(ModelGrid, hi).TimeSec >= est.Estimate(ModelGrid, lo).TimeSec
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyChooseAlwaysFeasible(t *testing.T) {
+	d := NewDecisionMaker(NewEstimator(DefaultPlatform()))
+	q, err := query.Parse("SELECT avg(temp) FROM sensors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(sel, depth, base uint8, ops uint32) bool {
+		feats := randomFeatures(sel, depth, base, ops)
+		dec, err := d.Choose(q, feats)
+		if err != nil {
+			return false // no COST clause: some model is always feasible
+		}
+		// The chosen model must be one of the feasible estimates.
+		for _, e := range dec.Estimates {
+			if e.Model == dec.Model {
+				return e.Feasible
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

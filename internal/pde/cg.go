@@ -1,0 +1,174 @@
+package pde
+
+import (
+	"math"
+	"sync"
+)
+
+// SolveCG solves the discrete Poisson system with the conjugate-gradient
+// method, matrix-free over non-fixed cells. The 5-point Laplacian is
+// symmetric positive definite on the interior with Dirichlet boundaries, so
+// CG converges in O(dim) iterations — far fewer than Jacobi.
+func SolveCG(g *Grid2D, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	n := g.Nx * g.Ny
+	h2 := g.H * g.H
+
+	// Unknown mask and the equation Av = b where, for unknown cell i,
+	// (Av)_i = 4 v_i - sum(neighbor unknowns) and
+	// b_i = sum(neighbor fixed values) - h² f_i.
+	b := make([]float64, n)
+	x := make([]float64, n) // iterate, 0 at fixed cells
+	for y := 1; y < g.Ny-1; y++ {
+		for x0 := 1; x0 < g.Nx-1; x0++ {
+			i := g.Idx(x0, y)
+			if g.Fixed[i] {
+				continue
+			}
+			bi := -h2 * g.Source[i]
+			for _, j := range [4]int{i - 1, i + 1, i - g.Nx, i + g.Nx} {
+				if g.Fixed[j] {
+					bi += g.V[j]
+				}
+			}
+			b[i] = bi
+			x[i] = g.V[i]
+		}
+	}
+
+	rows := bands(1, g.Ny-1, opt.Workers)
+	var wg sync.WaitGroup
+
+	// applyA computes out = A·in over unknown cells, in parallel bands.
+	applyA := func(out, in []float64) {
+		for _, band := range rows {
+			wg.Add(1)
+			go func(y0, y1 int) {
+				defer wg.Done()
+				for y := y0; y < y1; y++ {
+					base := y * g.Nx
+					for xx := 1; xx < g.Nx-1; xx++ {
+						i := base + xx
+						if g.Fixed[i] {
+							continue
+						}
+						s := 4 * in[i]
+						for _, j := range [4]int{i - 1, i + 1, i - g.Nx, i + g.Nx} {
+							if !g.Fixed[j] {
+								s -= in[j]
+							}
+						}
+						out[i] = s
+					}
+				}
+			}(band[0], band[1])
+		}
+		wg.Wait()
+	}
+
+	// dotUnknown computes the inner product over unknown cells, in
+	// parallel bands with per-band partials.
+	partials := make([]float64, len(rows))
+	dotUnknown := func(a, c []float64) float64 {
+		for bi, band := range rows {
+			wg.Add(1)
+			go func(bi, y0, y1 int) {
+				defer wg.Done()
+				s := 0.0
+				for y := y0; y < y1; y++ {
+					base := y * g.Nx
+					for xx := 1; xx < g.Nx-1; xx++ {
+						i := base + xx
+						if !g.Fixed[i] {
+							s += a[i] * c[i]
+						}
+					}
+				}
+				partials[bi] = s
+			}(bi, band[0], band[1])
+		}
+		wg.Wait()
+		s := 0.0
+		for _, p := range partials {
+			s += p
+		}
+		return s
+	}
+
+	// axpyUnknown computes y += alpha*x over unknown cells.
+	axpyUnknown := func(dst []float64, alpha float64, src []float64) {
+		for _, band := range rows {
+			wg.Add(1)
+			go func(y0, y1 int) {
+				defer wg.Done()
+				for y := y0; y < y1; y++ {
+					base := y * g.Nx
+					for xx := 1; xx < g.Nx-1; xx++ {
+						i := base + xx
+						if !g.Fixed[i] {
+							dst[i] += alpha * src[i]
+						}
+					}
+				}
+			}(band[0], band[1])
+		}
+		wg.Wait()
+	}
+
+	r := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+	applyA(ap, x)
+	for i := range r {
+		if !g.Fixed[i] {
+			r[i] = b[i] - ap[i]
+			p[i] = r[i]
+		}
+	}
+	rr := dotUnknown(r, r)
+	tol2 := opt.Tol * opt.Tol * math.Max(1, dotUnknown(b, b))
+
+	iter := 0
+	for ; iter < opt.MaxIter && rr > tol2; iter++ {
+		applyA(ap, p)
+		pap := dotUnknown(p, ap)
+		if pap <= 0 || math.IsNaN(pap) {
+			return Result{Iterations: iter}, ErrDiverged
+		}
+		alpha := rr / pap
+		axpyUnknown(x, alpha, p)
+		axpyUnknown(r, -alpha, ap)
+		rrNew := dotUnknown(r, r)
+		beta := rrNew / rr
+		rr = rrNew
+		for _, band := range rows {
+			wg.Add(1)
+			go func(y0, y1 int) {
+				defer wg.Done()
+				for y := y0; y < y1; y++ {
+					base := y * g.Nx
+					for xx := 1; xx < g.Nx-1; xx++ {
+						i := base + xx
+						if !g.Fixed[i] {
+							p[i] = r[i] + beta*p[i]
+						}
+					}
+				}
+			}(band[0], band[1])
+		}
+		wg.Wait()
+	}
+
+	// Write the solution back into the grid.
+	for i := range x {
+		if !g.Fixed[i] {
+			g.V[i] = x[i]
+		}
+	}
+	return Result{
+		Iterations: iter,
+		Converged:  rr <= tol2,
+		Residual:   g.Residual(),
+		Ops:        float64(iter) * float64(g.Nx*g.Ny) * 20,
+	}, nil
+}

@@ -1,0 +1,117 @@
+package pde
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample is a scattered measurement used to populate grid points, as the
+// paper describes: "grid points populated by data from the sensors".
+type Sample struct {
+	X, Y  float64 // physical position in meters
+	Value float64
+}
+
+// Method selects a solver family.
+type Method int
+
+// Available solvers.
+const (
+	Jacobi Method = iota
+	SOR
+	CG
+	PCG
+)
+
+func (m Method) String() string {
+	switch m {
+	case Jacobi:
+		return "jacobi"
+	case SOR:
+		return "sor"
+	case CG:
+		return "cg"
+	case PCG:
+		return "pcg"
+	}
+	return fmt.Sprintf("method(%d)", int(m))
+}
+
+// Solve dispatches to the selected 2-D solver.
+func Solve(g *Grid2D, m Method, opt Options) (Result, error) {
+	switch m {
+	case Jacobi:
+		return SolveJacobi(g, opt)
+	case SOR:
+		return SolveSOR(g, opt)
+	case CG:
+		return SolveCG(g, opt)
+	case PCG:
+		return SolvePCG(g, opt)
+	}
+	return Result{}, fmt.Errorf("pde: unknown method %v", m)
+}
+
+// PinSamples pins the grid cell nearest each sample to the sample value.
+// width and height give the physical extent of the grid. Samples landing on
+// the same cell are averaged.
+func PinSamples(g *Grid2D, width, height float64, samples []Sample) {
+	sum := make(map[int]float64)
+	count := make(map[int]int)
+	for _, s := range samples {
+		x := int(math.Round(s.X / width * float64(g.Nx-1)))
+		y := int(math.Round(s.Y / height * float64(g.Ny-1)))
+		if x < 0 {
+			x = 0
+		}
+		if x >= g.Nx {
+			x = g.Nx - 1
+		}
+		if y < 0 {
+			y = 0
+		}
+		if y >= g.Ny {
+			y = g.Ny - 1
+		}
+		i := g.Idx(x, y)
+		sum[i] += s.Value
+		count[i]++
+	}
+	for i, c := range count {
+		g.V[i] = sum[i] / float64(c)
+		g.Fixed[i] = true
+	}
+}
+
+// IDW interpolates a value at (x, y) from scattered samples with inverse
+// distance weighting (power 2, k nearest). It is the cheap "in-situ"
+// estimate a handheld device can compute without the grid.
+func IDW(samples []Sample, x, y float64, k int) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	if k <= 0 || k > len(samples) {
+		k = len(samples)
+	}
+	type ds struct {
+		d2 float64
+		v  float64
+	}
+	all := make([]ds, len(samples))
+	for i, s := range samples {
+		dx, dy := s.X-x, s.Y-y
+		all[i] = ds{d2: dx*dx + dy*dy, v: s.Value}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].d2 < all[j].d2 })
+	if all[0].d2 == 0 {
+		return all[0].v
+	}
+	num, den := 0.0, 0.0
+	for _, s := range all[:k] {
+		w := 1 / s.d2
+		num += w * s.v
+		den += w
+	}
+	return num / den
+}

@@ -1,0 +1,92 @@
+package pde
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// bands splits rows [lo, hi) into at most workers contiguous bands.
+func bands(lo, hi, workers int) [][2]int {
+	n := hi - lo
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([][2]int, 0, workers)
+	for w := 0; w < workers; w++ {
+		a := lo + n*w/workers
+		b := lo + n*(w+1)/workers
+		if a < b {
+			out = append(out, [2]int{a, b})
+		}
+	}
+	return out
+}
+
+// SolveJacobi runs damped-free Jacobi iteration on the grid until the
+// max-norm update drops below Tol. The grid is updated in place.
+func SolveJacobi(g *Grid2D, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	next := append([]float64(nil), g.V...)
+	rows := bands(1, g.Ny-1, opt.Workers)
+	h2 := g.H * g.H
+	deltas := make([]float64, len(rows))
+	var wg sync.WaitGroup
+
+	iter := 0
+	for ; iter < opt.MaxIter; iter++ {
+		cur := g.V
+		for bi, band := range rows {
+			wg.Add(1)
+			go func(bi int, y0, y1 int) {
+				defer wg.Done()
+				maxd := 0.0
+				for y := y0; y < y1; y++ {
+					base := y * g.Nx
+					for x := 1; x < g.Nx-1; x++ {
+						i := base + x
+						if g.Fixed[i] {
+							next[i] = cur[i]
+							continue
+						}
+						v := (cur[i-1] + cur[i+1] + cur[i-g.Nx] + cur[i+g.Nx] - h2*g.Source[i]) / 4
+						d := math.Abs(v - cur[i])
+						if d > maxd {
+							maxd = d
+						}
+						next[i] = v
+					}
+				}
+				deltas[bi] = maxd
+			}(bi, band[0], band[1])
+		}
+		wg.Wait()
+		g.V, next = next, g.V
+		maxd := 0.0
+		for _, d := range deltas {
+			if d > maxd {
+				maxd = d
+			}
+		}
+		if math.IsNaN(maxd) || math.IsInf(maxd, 0) {
+			return Result{Iterations: iter + 1}, ErrDiverged
+		}
+		if maxd < opt.Tol {
+			iter++
+			break
+		}
+	}
+	res := Result{
+		Iterations: iter,
+		Converged:  iter < opt.MaxIter || g.Residual() < opt.Tol*4,
+		Residual:   g.Residual(),
+		Ops:        float64(iter) * float64(g.Nx*g.Ny) * 6,
+	}
+	return res, nil
+}

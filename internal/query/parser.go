@@ -1,0 +1,292 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// token kinds.
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokNumber
+	tokString
+	tokSymbol // ( ) , and comparison operators
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			l.pos++
+		case c == '\'' || c == '"':
+			if err := l.lexString(c); err != nil {
+				return nil, err
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l.lexIdent()
+		case unicode.IsDigit(rune(c)) || (c == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+			l.lexNumber()
+		case strings.ContainsRune("(),", rune(c)):
+			l.emit(tokSymbol, string(c), 1)
+		case c == '=' || c == '<' || c == '>' || c == '!':
+			l.lexOp()
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func (l *lexer) emit(kind tokKind, text string, width int) {
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: l.pos})
+	l.pos += width
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && (unicode.IsLetter(rune(l.src[l.pos])) || unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '_') {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '.') {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexString(quote byte) error {
+	start := l.pos
+	l.pos++ // opening quote
+	for l.pos < len(l.src) && l.src[l.pos] != quote {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return fmt.Errorf("query: unterminated string at %d", start)
+	}
+	l.toks = append(l.toks, token{kind: tokString, text: l.src[start+1 : l.pos], pos: start})
+	l.pos++ // closing quote
+	return nil
+}
+
+func (l *lexer) lexOp() {
+	start := l.pos
+	c := l.src[l.pos]
+	l.pos++
+	if l.pos < len(l.src) && l.src[l.pos] == '=' && (c == '<' || c == '>' || c == '!' || c == '=') {
+		l.pos++
+	}
+	op := l.src[start:l.pos]
+	if op == "==" {
+		op = "="
+	}
+	l.toks = append(l.toks, token{kind: tokSymbol, text: op, pos: start})
+}
+
+// parser walks the token stream.
+type parser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokIdent || !strings.EqualFold(t.text, kw) {
+		return fmt.Errorf("query: expected %s at position %d, got %q", strings.ToUpper(kw), t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) isKeyword(kws ...string) bool {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return false
+	}
+	for _, kw := range kws {
+		if strings.EqualFold(t.text, kw) {
+			return true
+		}
+	}
+	return false
+}
+
+// Parse parses one query.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	q := &Query{Raw: src}
+
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	if err := p.parseSelectList(q); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("sensors"); err != nil {
+		return nil, err
+	}
+
+	for {
+		switch {
+		case p.isKeyword("where"):
+			p.next()
+			if err := p.parseWhere(q); err != nil {
+				return nil, err
+			}
+		case p.isKeyword("group"):
+			p.next()
+			if err := p.expectKeyword("by"); err != nil {
+				return nil, err
+			}
+			field := p.next()
+			if field.kind != tokIdent {
+				return nil, fmt.Errorf("query: expected GROUP BY field at %d, got %q", field.pos, field.text)
+			}
+			q.GroupBy = field.text
+		case p.isKeyword("cost"):
+			p.next()
+			if err := p.parseCost(q); err != nil {
+				return nil, err
+			}
+		case p.isKeyword("epoch"):
+			p.next()
+			if err := p.parseEpoch(q); err != nil {
+				return nil, err
+			}
+		case p.cur().kind == tokEOF:
+			return q, nil
+		default:
+			return nil, fmt.Errorf("query: unexpected token %q at %d", p.cur().text, p.cur().pos)
+		}
+	}
+}
+
+func (p *parser) parseSelectList(q *Query) error {
+	for {
+		t := p.next()
+		if t.kind != tokIdent {
+			return fmt.Errorf("query: expected attribute or function at %d, got %q", t.pos, t.text)
+		}
+		item := SelectItem{Attr: t.text}
+		if p.cur().kind == tokSymbol && p.cur().text == "(" {
+			p.next()
+			item.Func = t.text
+			item.Attr = ""
+			if p.cur().kind == tokIdent {
+				item.Attr = p.next().text
+			}
+			if close := p.next(); close.kind != tokSymbol || close.text != ")" {
+				return fmt.Errorf("query: expected ) at %d", close.pos)
+			}
+		}
+		q.Select = append(q.Select, item)
+		if p.cur().kind == tokSymbol && p.cur().text == "," {
+			p.next()
+			continue
+		}
+		return nil
+	}
+}
+
+var validOps = map[string]bool{"=": true, "!=": true, "<": true, "<=": true, ">": true, ">=": true}
+
+func (p *parser) parseWhere(q *Query) error {
+	for {
+		field := p.next()
+		if field.kind != tokIdent {
+			return fmt.Errorf("query: expected predicate field at %d, got %q", field.pos, field.text)
+		}
+		op := p.next()
+		if op.kind != tokSymbol || !validOps[op.text] {
+			return fmt.Errorf("query: expected comparison operator at %d, got %q", op.pos, op.text)
+		}
+		val := p.next()
+		if val.kind != tokIdent && val.kind != tokNumber && val.kind != tokString {
+			return fmt.Errorf("query: expected value at %d, got %q", val.pos, val.text)
+		}
+		q.Where = append(q.Where, Predicate{Field: field.text, Op: op.text, Value: val.text})
+		if p.isKeyword("and") {
+			p.next()
+			continue
+		}
+		return nil
+	}
+}
+
+func (p *parser) parseCost(q *Query) error {
+	metric := p.next()
+	if metric.kind != tokIdent {
+		return fmt.Errorf("query: expected cost metric at %d, got %q", metric.pos, metric.text)
+	}
+	switch strings.ToLower(metric.text) {
+	case "energy":
+		q.CostMetric = CostEnergy
+	case "time":
+		q.CostMetric = CostTime
+	case "accuracy":
+		q.CostMetric = CostAccuracy
+	default:
+		return fmt.Errorf("query: unknown cost metric %q at %d (want energy|time|accuracy)", metric.text, metric.pos)
+	}
+	limit := p.next()
+	if limit.kind != tokNumber {
+		return fmt.Errorf("query: expected cost limit number at %d, got %q", limit.pos, limit.text)
+	}
+	v, err := strconv.ParseFloat(limit.text, 64)
+	if err != nil || v < 0 {
+		return fmt.Errorf("query: invalid cost limit %q at %d", limit.text, limit.pos)
+	}
+	q.CostLimit = v
+	return nil
+}
+
+func (p *parser) parseEpoch(q *Query) error {
+	// Accept optional DURATION keyword: "EPOCH DURATION 10" per the
+	// paper's format, or the shorthand "EPOCH 10".
+	if p.isKeyword("duration") {
+		p.next()
+	}
+	t := p.next()
+	if t.kind != tokNumber {
+		return fmt.Errorf("query: expected epoch duration at %d, got %q", t.pos, t.text)
+	}
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil || v <= 0 {
+		return fmt.Errorf("query: invalid epoch %q at %d", t.text, t.pos)
+	}
+	q.Epoch = v
+	return nil
+}

@@ -1,0 +1,121 @@
+package sensornet
+
+import (
+	"fmt"
+	"math"
+)
+
+// AggKind names an aggregate function from the paper's query language
+// ("aggregate functions like Max, Min, Avg, Sum, etc.").
+type AggKind int
+
+// Supported aggregates.
+const (
+	AggSum AggKind = iota
+	AggCount
+	AggMin
+	AggMax
+	AggAvg
+)
+
+// ParseAggKind resolves a name like "avg" to its AggKind.
+func ParseAggKind(name string) (AggKind, error) {
+	switch name {
+	case "sum", "SUM", "Sum":
+		return AggSum, nil
+	case "count", "COUNT", "Count":
+		return AggCount, nil
+	case "min", "MIN", "Min":
+		return AggMin, nil
+	case "max", "MAX", "Max":
+		return AggMax, nil
+	case "avg", "AVG", "Avg", "mean":
+		return AggAvg, nil
+	}
+	return 0, fmt.Errorf("sensornet: unknown aggregate %q", name)
+}
+
+func (k AggKind) String() string {
+	switch k {
+	case AggSum:
+		return "sum"
+	case AggCount:
+		return "count"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggAvg:
+		return "avg"
+	}
+	return fmt.Sprintf("agg(%d)", int(k))
+}
+
+// PartialStateBytes is the wire size of one partial state record: sum,
+// count, min, max as four 64-bit values. This is what TAG-style in-network
+// aggregation ships per link instead of raw readings.
+const PartialStateBytes = 32
+
+// RawReadingBytes is the wire size of one raw sensor reading (sensor id +
+// 32-bit value + timestamp fits in 12 bytes).
+const RawReadingBytes = 12
+
+// Partial is a decomposable aggregation state (a TAG partial state record).
+// The zero Partial is the identity element for Merge.
+type Partial struct {
+	Sum   float64
+	Count float64
+	Min   float64
+	Max   float64
+}
+
+// Add folds one reading into the partial state.
+func (p *Partial) Add(v float64) {
+	if p.Count == 0 {
+		p.Min, p.Max = v, v
+	} else {
+		p.Min = math.Min(p.Min, v)
+		p.Max = math.Max(p.Max, v)
+	}
+	p.Sum += v
+	p.Count++
+}
+
+// Merge folds another partial state into this one.
+func (p *Partial) Merge(q Partial) {
+	if q.Count == 0 {
+		return
+	}
+	if p.Count == 0 {
+		*p = q
+		return
+	}
+	p.Sum += q.Sum
+	p.Count += q.Count
+	p.Min = math.Min(p.Min, q.Min)
+	p.Max = math.Max(p.Max, q.Max)
+}
+
+// Final evaluates the partial state for the requested aggregate. It returns
+// NaN for value aggregates over an empty state (count is 0, not NaN).
+func (p Partial) Final(k AggKind) float64 {
+	if p.Count == 0 {
+		if k == AggCount {
+			return 0
+		}
+		return math.NaN()
+	}
+	switch k {
+	case AggSum:
+		return p.Sum
+	case AggCount:
+		return p.Count
+	case AggMin:
+		return p.Min
+	case AggMax:
+		return p.Max
+	case AggAvg:
+		return p.Sum / p.Count
+	}
+	return math.NaN()
+}

@@ -1,0 +1,177 @@
+package sensornet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pervasivegrid/internal/simevent"
+)
+
+// DisseminationResult reports a query-installation round: how the query
+// text reached the sensors ("Install Query" in the paper's Figure 1).
+type DisseminationResult struct {
+	// Reached is how many distinct sensors received the message.
+	Reached int
+	// Latency is the virtual time until the last first-time reception.
+	Latency float64
+	// Messages, Bytes, EnergyJ are the round's network cost.
+	Messages int
+	Bytes    int
+	EnergyJ  float64
+}
+
+// Flood disseminates payloadBytes from origin using classic flooding: every
+// node rebroadcasts the first copy it receives exactly once. The paper
+// names flooding as one data-routing technique a network may use.
+func Flood(nw *Network, origin NodeID, payloadBytes int) DisseminationResult {
+	start := nw.Kernel.Now()
+	statsBefore := nw.Stats()
+	seen := map[NodeID]bool{origin: true}
+	last := start
+
+	var relay func(id NodeID)
+	relay = func(id NodeID) {
+		nw.Broadcast(id, payloadBytes, func(to NodeID, at simevent.Time) {
+			if seen[to] {
+				return
+			}
+			seen[to] = true
+			if float64(at) > float64(last) {
+				last = at
+			}
+			relay(to)
+		})
+	}
+	relay(origin)
+	nw.Kernel.RunAll()
+
+	reached := len(seen) - 1 // exclude origin
+	statsAfter := nw.Stats()
+	return DisseminationResult{
+		Reached:  reached,
+		Latency:  float64(last - start),
+		Messages: statsAfter.Messages - statsBefore.Messages,
+		Bytes:    statsAfter.Bytes - statsBefore.Bytes,
+		EnergyJ:  statsAfter.EnergyJ - statsBefore.EnergyJ,
+	}
+}
+
+// GossipConfig parameterises probabilistic gossip dissemination.
+type GossipConfig struct {
+	// Forward is the probability a node relays the first copy it
+	// receives (the origin always transmits). Classic gossiping trades
+	// coverage for energy as Forward drops below 1.
+	Forward float64
+	// Fanout is how many random neighbors a relaying node unicasts to;
+	// 0 means broadcast to all neighbors.
+	Fanout int
+	// Seed drives the protocol's randomness.
+	Seed int64
+}
+
+// Gossip disseminates payloadBytes from origin using probabilistic
+// gossiping, the second routing technique the paper names.
+func Gossip(nw *Network, origin NodeID, payloadBytes int, cfg GossipConfig) DisseminationResult {
+	if cfg.Forward <= 0 {
+		cfg.Forward = 0.7
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	start := nw.Kernel.Now()
+	statsBefore := nw.Stats()
+	seen := map[NodeID]bool{origin: true}
+	last := start
+
+	var relay func(id NodeID, force bool)
+	relay = func(id NodeID, force bool) {
+		if !force && rng.Float64() > cfg.Forward {
+			return
+		}
+		onFirst := func(to NodeID, at simevent.Time) {
+			if seen[to] {
+				return
+			}
+			seen[to] = true
+			if float64(at) > float64(last) {
+				last = at
+			}
+			relay(to, false)
+		}
+		if cfg.Fanout <= 0 {
+			nw.Broadcast(id, payloadBytes, onFirst)
+			return
+		}
+		node := nw.Node(id)
+		if node == nil {
+			return
+		}
+		// Pick Fanout random distinct neighbors.
+		nbrs := make([]NodeID, len(node.Neighbors))
+		copy(nbrs, node.Neighbors)
+		rng.Shuffle(len(nbrs), func(i, j int) { nbrs[i], nbrs[j] = nbrs[j], nbrs[i] })
+		k := cfg.Fanout
+		if k > len(nbrs) {
+			k = len(nbrs)
+		}
+		for _, to := range nbrs[:k] {
+			to := to
+			nw.Send(id, to, payloadBytes, func(at simevent.Time) { onFirst(to, at) })
+		}
+	}
+	relay(origin, true)
+	nw.Kernel.RunAll()
+
+	statsAfter := nw.Stats()
+	return DisseminationResult{
+		Reached:  len(seen) - 1,
+		Latency:  float64(last - start),
+		Messages: statsAfter.Messages - statsBefore.Messages,
+		Bytes:    statsAfter.Bytes - statsBefore.Bytes,
+		EnergyJ:  statsAfter.EnergyJ - statsBefore.EnergyJ,
+	}
+}
+
+// Unicast routes a payload from a sensor to the base station hop-by-hop
+// along the current hop tree and reports the delivery result. It is the
+// primitive behind simple (single-sensor) queries.
+func Unicast(nw *Network, from NodeID, payloadBytes int) (DisseminationResult, error) {
+	start := nw.Kernel.Now()
+	statsBefore := nw.Stats()
+	tree := nw.HopTree()
+	if _, ok := tree[from]; !ok {
+		return DisseminationResult{}, fmt.Errorf("sensornet: node %d cannot reach base station", from)
+	}
+	last := start
+	delivered := false
+
+	var forward func(cur NodeID)
+	forward = func(cur NodeID) {
+		parent, ok := tree[cur]
+		if !ok {
+			return
+		}
+		nw.Send(cur, parent, payloadBytes, func(at simevent.Time) {
+			if float64(at) > float64(last) {
+				last = at
+			}
+			if parent == BaseStationID {
+				delivered = true
+				return
+			}
+			forward(parent)
+		})
+	}
+	forward(from)
+	nw.Kernel.RunAll()
+
+	statsAfter := nw.Stats()
+	res := DisseminationResult{
+		Latency:  float64(last - start),
+		Messages: statsAfter.Messages - statsBefore.Messages,
+		Bytes:    statsAfter.Bytes - statsBefore.Bytes,
+		EnergyJ:  statsAfter.EnergyJ - statsBefore.EnergyJ,
+	}
+	if delivered {
+		res.Reached = 1
+	}
+	return res, nil
+}

@@ -1,0 +1,49 @@
+package sensornet
+
+// EnergyModel is the first-order radio model used throughout the sensor
+// database literature (Heinzelman et al.): transmitting k bits over
+// distance d costs k*ElecJPerBit + k*AmpJPerBitM2*d², receiving k bits
+// costs k*ElecJPerBit, and local computation costs ComputeJPerOp per
+// abstract operation.
+type EnergyModel struct {
+	// ElecJPerBit is the electronics cost per bit for both TX and RX.
+	ElecJPerBit float64
+	// AmpJPerBitM2 is the transmit-amplifier cost per bit per square
+	// meter.
+	AmpJPerBitM2 float64
+	// ComputeJPerOp is the cost of one abstract computation operation
+	// (one aggregation step, one arithmetic op in a local solve, ...).
+	ComputeJPerOp float64
+	// IdleJPerSec is the idle listening cost per second. Applied by
+	// Network.chargeIdle for lifetime experiments.
+	IdleJPerSec float64
+}
+
+// DefaultEnergyModel returns the standard parameterisation: 50 nJ/bit
+// electronics, 100 pJ/bit/m² amplifier, 5 nJ per compute op, and a small
+// idle drain.
+func DefaultEnergyModel() EnergyModel {
+	return EnergyModel{
+		ElecJPerBit:   50e-9,
+		AmpJPerBitM2:  100e-12,
+		ComputeJPerOp: 5e-9,
+		IdleJPerSec:   5e-6,
+	}
+}
+
+// TxCost returns the energy in joules to transmit bytes over distance d
+// meters.
+func (m EnergyModel) TxCost(bytes int, d float64) float64 {
+	bits := float64(bytes) * 8
+	return bits*m.ElecJPerBit + bits*m.AmpJPerBitM2*d*d
+}
+
+// RxCost returns the energy in joules to receive bytes.
+func (m EnergyModel) RxCost(bytes int) float64 {
+	return float64(bytes) * 8 * m.ElecJPerBit
+}
+
+// ComputeCost returns the energy to perform ops abstract operations.
+func (m EnergyModel) ComputeCost(ops float64) float64 {
+	return ops * m.ComputeJPerOp
+}

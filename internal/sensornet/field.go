@@ -1,0 +1,99 @@
+package sensornet
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Field is a physical quantity defined over the deployment plane that
+// sensors sample. Implementations must be deterministic in (pos, t) so that
+// simulation runs are reproducible (any randomness is seeded noise applied
+// by the sampler, not the field).
+type Field interface {
+	// At returns the field value at position pos and virtual time t.
+	At(pos Position, t float64) float64
+}
+
+// UniformField is a constant field, useful in tests.
+type UniformField float64
+
+// At implements Field.
+func (u UniformField) At(Position, float64) float64 { return float64(u) }
+
+// Hotspot is a localized heat source: a Gaussian bump that grows over time,
+// modelling a spreading fire.
+type Hotspot struct {
+	Center Position
+	// Peak is the temperature excess at the center at full intensity.
+	Peak float64
+	// Radius is the Gaussian sigma in meters.
+	Radius float64
+	// Start is when the hotspot ignites (virtual seconds).
+	Start float64
+	// GrowthRate scales how fast intensity ramps from 0 to 1 after
+	// Start; intensity = 1 - exp(-GrowthRate * (t - Start)).
+	GrowthRate float64
+	// Spread is the radius growth in meters per second after Start.
+	Spread float64
+}
+
+// TemperatureField models building air temperature: an ambient baseline
+// plus any number of hotspots (fires).
+type TemperatureField struct {
+	Ambient  float64
+	Hotspots []Hotspot
+}
+
+// NewTemperatureField returns a field at the given ambient temperature with
+// no hotspots.
+func NewTemperatureField(ambient float64) *TemperatureField {
+	return &TemperatureField{Ambient: ambient}
+}
+
+// Ignite adds a hotspot.
+func (f *TemperatureField) Ignite(h Hotspot) { f.Hotspots = append(f.Hotspots, h) }
+
+// At implements Field.
+func (f *TemperatureField) At(pos Position, t float64) float64 {
+	v := f.Ambient
+	for _, h := range f.Hotspots {
+		if t < h.Start {
+			continue
+		}
+		age := t - h.Start
+		intensity := 1.0
+		if h.GrowthRate > 0 {
+			intensity = 1 - math.Exp(-h.GrowthRate*age)
+		}
+		r := h.Radius + h.Spread*age
+		if r <= 0 {
+			continue
+		}
+		d := pos.Distance(h.Center)
+		v += h.Peak * intensity * math.Exp(-(d*d)/(2*r*r))
+	}
+	return v
+}
+
+// Sampler draws noisy sensor readings from a field.
+type Sampler struct {
+	Field Field
+	// NoiseStdDev is the standard deviation of additive Gaussian
+	// measurement noise.
+	NoiseStdDev float64
+	rng         *rand.Rand
+}
+
+// NewSampler returns a sampler with the given seed for reproducible noise.
+func NewSampler(f Field, noise float64, seed int64) *Sampler {
+	return &Sampler{Field: f, NoiseStdDev: noise, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Sample reads the field at the node's position at time t.
+func (s *Sampler) Sample(n *Node, t float64) Reading {
+	v := s.Field.At(n.Pos, t)
+	if s.NoiseStdDev > 0 {
+		v += s.rng.NormFloat64() * s.NoiseStdDev
+	}
+	return Reading{Sensor: n.ID, Time: t, Value: v}
+}

@@ -1,0 +1,79 @@
+package sensornet
+
+import "pervasivegrid/internal/simevent"
+
+// Mobility and link-failure support: the paper singles out "dynamic network
+// topologies" and "frequent disconnections" as what separates the pervasive
+// grid from classical grid computing. Nodes can move (handhelds, field
+// units), links can drop packets, and senders can retransmit.
+
+// MoveNode relocates a node and rebuilds the neighbor lists. Moving an
+// unknown node reports false.
+func (nw *Network) MoveNode(id NodeID, to Position) bool {
+	n := nw.Node(id)
+	if n == nil {
+		return false
+	}
+	n.Pos = to
+	nw.rebuildNeighbors()
+	return true
+}
+
+// MoveBase relocates the base station (e.g. a mobile command vehicle).
+func (nw *Network) MoveBase(to Position) {
+	nw.Base.Pos = to
+	nw.rebuildNeighbors()
+}
+
+// SetLossProb sets the per-transmission loss probability applied by Send
+// and Broadcast. Lost transmissions still cost the sender (and, for
+// unicast, the receiver's radio does not hear anything, so only the sender
+// pays).
+func (nw *Network) SetLossProb(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	nw.lossProb = p
+}
+
+// LossProb reports the current loss probability.
+func (nw *Network) LossProb() float64 { return nw.lossProb }
+
+// lost draws one loss event.
+func (nw *Network) lost() bool {
+	return nw.lossProb > 0 && nw.rng.Float64() < nw.lossProb
+}
+
+// SendReliable transmits with up to maxAttempts tries (ARQ-style): each
+// attempt pays full transmission energy; the first successful attempt
+// schedules the delivery. It returns the attempts used and whether the
+// message got through.
+func (nw *Network) SendReliable(from, to NodeID, payloadBytes, maxAttempts int, deliver func(at simevent.Time)) (int, bool) {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		if nw.Send(from, to, payloadBytes, deliver) {
+			return attempt, true
+		}
+		// Send returning false for structural reasons (dead node, out
+		// of range) will not improve with retries.
+		if !nw.retryable(from, to) {
+			return attempt, false
+		}
+	}
+	return maxAttempts, false
+}
+
+// retryable reports whether a failed send could succeed on retry (i.e. the
+// failure was a loss, not a structural impossibility).
+func (nw *Network) retryable(from, to NodeID) bool {
+	src, dst := nw.Node(from), nw.Node(to)
+	if src == nil || dst == nil {
+		return false
+	}
+	return src.Alive() && dst.Alive() && nw.InRange(from, to)
+}

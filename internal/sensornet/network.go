@@ -1,0 +1,420 @@
+package sensornet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pervasivegrid/internal/simevent"
+)
+
+// Config parameterises a simulated network.
+type Config struct {
+	// Width and Height bound the deployment area in meters.
+	Width, Height float64
+	// RadioRange is the maximum link distance in meters.
+	RadioRange float64
+	// BandwidthBps is the radio bandwidth in bits per second.
+	BandwidthBps float64
+	// HopDelay is a fixed per-hop MAC/processing delay in seconds.
+	HopDelay float64
+	// HeaderBytes is the per-message overhead added to every payload.
+	HeaderBytes int
+	// InitialEnergy is the battery per sensor in joules.
+	InitialEnergy float64
+	// BasePos places the base station; defaults to the area corner.
+	BasePos Position
+	// Energy is the radio/computation energy model.
+	Energy EnergyModel
+	// Seed makes placement and protocol randomness reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns a 100 m × 100 m network with mica-mote-like
+// parameters: 30 m radio range, 40 kbit/s bandwidth, 2 J batteries.
+func DefaultConfig() Config {
+	return Config{
+		Width:         100,
+		Height:        100,
+		RadioRange:    30,
+		BandwidthBps:  40_000,
+		HopDelay:      0.002,
+		HeaderBytes:   8,
+		InitialEnergy: 2.0,
+		BasePos:       Position{X: 50, Y: 0},
+		Energy:        DefaultEnergyModel(),
+		Seed:          1,
+	}
+}
+
+// Stats accumulates network-wide accounting for an experiment window.
+type Stats struct {
+	Messages   int     // transmissions (a broadcast counts once)
+	Deliveries int     // successful receptions
+	Bytes      int     // payload+header bytes transmitted
+	Dropped    int     // sends that failed (dead or out-of-range nodes)
+	Lost       int     // transmissions lost to the radio loss model
+	EnergyJ    float64 // total energy drained from sensors
+	ComputeOps float64 // abstract in-network computation performed
+}
+
+// Network is a simulated sensor network attached to a discrete-event
+// kernel.
+type Network struct {
+	Cfg     Config
+	Kernel  *simevent.Kernel
+	Base    *Node
+	Sensors []*Node
+	Sampler *Sampler
+
+	stats    Stats
+	rng      *rand.Rand
+	lossProb float64
+}
+
+// NewNetwork builds a network with the given sensor positions. Positions
+// outside the configured area are accepted; the area only guides random
+// placement helpers.
+func NewNetwork(cfg Config, positions []Position) *Network {
+	nw := &Network{
+		Cfg:    cfg,
+		Kernel: simevent.NewKernel(),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
+	nw.Base = &Node{ID: BaseStationID, Pos: cfg.BasePos, Energy: 1e12, InitialEnergy: 1e12}
+	nw.Sensors = make([]*Node, len(positions))
+	for i, p := range positions {
+		nw.Sensors[i] = &Node{
+			ID: NodeID(i), Pos: p,
+			Energy: cfg.InitialEnergy, InitialEnergy: cfg.InitialEnergy,
+		}
+	}
+	nw.Sampler = NewSampler(UniformField(0), 0, cfg.Seed+1)
+	nw.rebuildNeighbors()
+	return nw
+}
+
+// NewGridNetwork places rows×cols sensors on a regular lattice filling the
+// configured area.
+func NewGridNetwork(cfg Config, rows, cols int) *Network {
+	positions := make([]Position, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			x := cfg.Width * (float64(c) + 0.5) / float64(cols)
+			y := cfg.Height * (float64(r) + 0.5) / float64(rows)
+			positions = append(positions, Position{X: x, Y: y})
+		}
+	}
+	return NewNetwork(cfg, positions)
+}
+
+// NewRandomNetwork places n sensors uniformly at random in the area.
+func NewRandomNetwork(cfg Config, n int) *Network {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	positions := make([]Position, n)
+	for i := range positions {
+		positions[i] = Position{X: rng.Float64() * cfg.Width, Y: rng.Float64() * cfg.Height}
+	}
+	return NewNetwork(cfg, positions)
+}
+
+// SetField installs the physical field sensors sample, with measurement
+// noise of the given standard deviation.
+func (nw *Network) SetField(f Field, noise float64) {
+	nw.Sampler = NewSampler(f, noise, nw.Cfg.Seed+1)
+}
+
+// Node returns the node with the given ID (the base station for
+// BaseStationID), or nil if out of range.
+func (nw *Network) Node(id NodeID) *Node {
+	if id == BaseStationID {
+		return nw.Base
+	}
+	if id < 0 || int(id) >= len(nw.Sensors) {
+		return nil
+	}
+	return nw.Sensors[id]
+}
+
+// Stats returns a copy of the accumulated accounting.
+func (nw *Network) Stats() Stats { return nw.stats }
+
+// ResetStats zeroes the accounting window (node counters are preserved).
+func (nw *Network) ResetStats() { nw.stats = Stats{} }
+
+// AliveCount reports how many sensors still have battery.
+func (nw *Network) AliveCount() int {
+	alive := 0
+	for _, s := range nw.Sensors {
+		if s.Alive() {
+			alive++
+		}
+	}
+	return alive
+}
+
+// MinEnergy reports the lowest remaining battery across alive sensors, or 0
+// when all are dead.
+func (nw *Network) MinEnergy() float64 {
+	min, any := 0.0, false
+	for _, s := range nw.Sensors {
+		if !s.Alive() {
+			return 0
+		}
+		if !any || s.Energy < min {
+			min, any = s.Energy, true
+		}
+	}
+	return min
+}
+
+// TotalEnergyUsed reports joules drained across all sensors since
+// deployment.
+func (nw *Network) TotalEnergyUsed() float64 {
+	used := 0.0
+	for _, s := range nw.Sensors {
+		used += s.InitialEnergy - s.Energy
+	}
+	return used
+}
+
+// rebuildNeighbors recomputes the neighbor lists from positions and radio
+// range. O(n²), fine at the network sizes the paper considers.
+func (nw *Network) rebuildNeighbors() {
+	all := append([]*Node{nw.Base}, nw.Sensors...)
+	for _, n := range all {
+		n.Neighbors = n.Neighbors[:0]
+	}
+	for i, a := range all {
+		for _, b := range all[i+1:] {
+			if a.Pos.Distance(b.Pos) <= nw.Cfg.RadioRange {
+				a.Neighbors = append(a.Neighbors, b.ID)
+				b.Neighbors = append(b.Neighbors, a.ID)
+			}
+		}
+	}
+}
+
+// InRange reports whether two nodes can communicate directly.
+func (nw *Network) InRange(a, b NodeID) bool {
+	na, nb := nw.Node(a), nw.Node(b)
+	if na == nil || nb == nil {
+		return false
+	}
+	return na.Pos.Distance(nb.Pos) <= nw.Cfg.RadioRange
+}
+
+// txDuration returns the virtual time to push a payload onto the air.
+func (nw *Network) txDuration(payloadBytes int) simevent.Duration {
+	total := float64(payloadBytes+nw.Cfg.HeaderBytes) * 8
+	return simevent.Duration(total/nw.Cfg.BandwidthBps) + simevent.Duration(nw.Cfg.HopDelay)
+}
+
+// Send transmits payloadBytes from one node to a specific neighbor,
+// invoking deliver at the virtual delivery time. It reports false (and
+// counts a drop) when the sender is dead, the receiver is dead, or the pair
+// is out of range. Energy is charged to both endpoints.
+func (nw *Network) Send(from, to NodeID, payloadBytes int, deliver func(at simevent.Time)) bool {
+	src, dst := nw.Node(from), nw.Node(to)
+	if src == nil || dst == nil {
+		nw.stats.Dropped++
+		return false
+	}
+	if !src.Alive() || !dst.Alive() || !nw.InRange(from, to) {
+		nw.stats.Dropped++
+		return false
+	}
+	size := payloadBytes + nw.Cfg.HeaderBytes
+	d := src.Pos.Distance(dst.Pos)
+	if nw.lost() {
+		// The sender transmits into the void: it pays, nobody hears.
+		src.drain(nw.Cfg.Energy.TxCost(size, d))
+		src.Sent++
+		src.TxBytes += size
+		nw.stats.Messages++
+		nw.stats.Bytes += size
+		nw.stats.Lost++
+		nw.stats.EnergyJ += nw.Cfg.Energy.TxCost(size, d)
+		return false
+	}
+	src.drain(nw.Cfg.Energy.TxCost(size, d))
+	dst.drain(nw.Cfg.Energy.RxCost(size))
+	src.Sent++
+	src.TxBytes += size
+	dst.Received++
+	dst.RxBytes += size
+	nw.stats.Messages++
+	nw.stats.Deliveries++
+	nw.stats.Bytes += size
+	nw.stats.EnergyJ += nw.Cfg.Energy.TxCost(size, d) + nw.Cfg.Energy.RxCost(size)
+	if deliver != nil {
+		at := nw.reserveTx(src, payloadBytes)
+		if _, err := nw.Kernel.Schedule(at, fmt.Sprintf("deliver %d->%d", from, to), func() {
+			deliver(nw.Kernel.Now())
+		}); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// reserveTx serialises a node's transmissions: the radio is half-duplex,
+// so a send starts when the previous one finishes. It returns the
+// delivery time and advances the node's radio reservation.
+func (nw *Network) reserveTx(src *Node, payloadBytes int) simevent.Time {
+	start := nw.Kernel.Now()
+	if simevent.Time(src.txFree) > start {
+		start = simevent.Time(src.txFree)
+	}
+	end := start + nw.txDuration(payloadBytes)
+	src.txFree = float64(end)
+	return end
+}
+
+// Broadcast transmits payloadBytes from a node to every alive neighbor in
+// one radio transmission (the sender pays once at full range; each receiver
+// pays reception). deliver is invoked once per receiving neighbor.
+func (nw *Network) Broadcast(from NodeID, payloadBytes int, deliver func(to NodeID, at simevent.Time)) int {
+	src := nw.Node(from)
+	if src == nil || !src.Alive() {
+		nw.stats.Dropped++
+		return 0
+	}
+	size := payloadBytes + nw.Cfg.HeaderBytes
+	src.drain(nw.Cfg.Energy.TxCost(size, nw.Cfg.RadioRange))
+	src.Sent++
+	src.TxBytes += size
+	nw.stats.Messages++
+	nw.stats.Bytes += size
+	nw.stats.EnergyJ += nw.Cfg.Energy.TxCost(size, nw.Cfg.RadioRange)
+	bcastAt := nw.reserveTx(src, payloadBytes)
+	reached := 0
+	for _, nbrID := range src.Neighbors {
+		dst := nw.Node(nbrID)
+		if dst == nil || !dst.Alive() {
+			continue
+		}
+		if nw.lost() {
+			nw.stats.Lost++
+			continue
+		}
+		dst.drain(nw.Cfg.Energy.RxCost(size))
+		dst.Received++
+		dst.RxBytes += size
+		nw.stats.Deliveries++
+		nw.stats.EnergyJ += nw.Cfg.Energy.RxCost(size)
+		reached++
+		if deliver != nil {
+			to := nbrID
+			if _, err := nw.Kernel.Schedule(bcastAt, fmt.Sprintf("bcast %d->%d", from, to), func() {
+				deliver(to, nw.Kernel.Now())
+			}); err != nil {
+				break
+			}
+		}
+	}
+	return reached
+}
+
+// Compute charges a node for ops abstract operations of local computation.
+func (nw *Network) Compute(id NodeID, ops float64) {
+	n := nw.Node(id)
+	if n == nil || !n.Alive() {
+		return
+	}
+	n.Computed += ops
+	cost := nw.Cfg.Energy.ComputeCost(ops)
+	n.drain(cost)
+	if n.ID != BaseStationID {
+		nw.stats.EnergyJ += cost
+		nw.stats.ComputeOps += ops
+	}
+}
+
+// ChargeIdle drains idle-listening energy from every alive sensor for a
+// span of virtual seconds. Lifetime experiments call this once per epoch.
+func (nw *Network) ChargeIdle(seconds float64) {
+	cost := nw.Cfg.Energy.IdleJPerSec * seconds
+	for _, s := range nw.Sensors {
+		if s.Alive() {
+			s.drain(cost)
+			nw.stats.EnergyJ += cost
+		}
+	}
+}
+
+// HopTree computes a BFS hop tree rooted at the base station over alive
+// nodes. The result maps each reachable sensor to its parent (toward the
+// base). Unreachable sensors are absent.
+func (nw *Network) HopTree() map[NodeID]NodeID {
+	parent := make(map[NodeID]NodeID)
+	visited := map[NodeID]bool{BaseStationID: true}
+	queue := []NodeID{BaseStationID}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nbr := range nw.Node(cur).Neighbors {
+			if visited[nbr] {
+				continue
+			}
+			n := nw.Node(nbr)
+			if n == nil || !n.Alive() {
+				continue
+			}
+			visited[nbr] = true
+			parent[nbr] = cur
+			queue = append(queue, nbr)
+		}
+	}
+	return parent
+}
+
+// Connected reports whether every alive sensor can reach the base station.
+func (nw *Network) Connected() bool {
+	tree := nw.HopTree()
+	for _, s := range nw.Sensors {
+		if s.Alive() {
+			if _, ok := tree[s.ID]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Depth returns the hop count from a sensor to the base station along the
+// given hop tree, or -1 when unreachable.
+func Depth(tree map[NodeID]NodeID, id NodeID) int {
+	d := 0
+	for id != BaseStationID {
+		p, ok := tree[id]
+		if !ok {
+			return -1
+		}
+		id = p
+		d++
+		if d > len(tree)+1 {
+			return -1 // defensive: malformed tree
+		}
+	}
+	return d
+}
+
+// RouteToBase returns the hop path from a sensor to the base station along
+// the current hop tree, excluding the sensor itself and including the base.
+func (nw *Network) RouteToBase(id NodeID) []NodeID {
+	tree := nw.HopTree()
+	var path []NodeID
+	cur := id
+	for cur != BaseStationID {
+		p, ok := tree[cur]
+		if !ok {
+			return nil
+		}
+		path = append(path, p)
+		cur = p
+		if len(path) > len(nw.Sensors)+1 {
+			return nil
+		}
+	}
+	return path
+}

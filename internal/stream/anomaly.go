@@ -1,0 +1,77 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+)
+
+// AnomalyDetector flags readings that deviate from a stream's recent
+// behaviour — the paper's defense scenario asks for "discovery of anomalous
+// patterns" and "detection of any anomaly" in sensor streams. It keeps an
+// exponentially weighted mean and variance and flags z-scores beyond a
+// threshold, so it runs in O(1) memory on a constrained node.
+type AnomalyDetector struct {
+	// Lambda is the EWMA decay in (0, 1]; smaller adapts slower.
+	Lambda float64
+	// Threshold is the |z| beyond which a reading is anomalous
+	// (default 3).
+	Threshold float64
+	// Warmup is how many readings to absorb before flagging (default 10).
+	Warmup int
+
+	n        int
+	mean     float64
+	variance float64
+	flagged  int
+}
+
+// NewAnomalyDetector validates the decay parameter.
+func NewAnomalyDetector(lambda, threshold float64) (*AnomalyDetector, error) {
+	if lambda <= 0 || lambda > 1 {
+		return nil, fmt.Errorf("stream: lambda %v outside (0,1]", lambda)
+	}
+	if threshold <= 0 {
+		threshold = 3
+	}
+	return &AnomalyDetector{Lambda: lambda, Threshold: threshold, Warmup: 10}, nil
+}
+
+// Observe folds in a reading and reports whether it is anomalous together
+// with its z-score against the pre-update statistics.
+func (a *AnomalyDetector) Observe(v float64) (anomalous bool, z float64) {
+	if a.n >= a.Warmup && a.variance > 0 {
+		z = (v - a.mean) / math.Sqrt(a.variance)
+		if math.Abs(z) > a.Threshold {
+			anomalous = true
+			a.flagged++
+			// Anomalies update the statistics with a reduced weight so
+			// a burst does not immediately become the new normal.
+			a.update(v, a.Lambda*0.1)
+			a.n++
+			return anomalous, z
+		}
+	}
+	a.update(v, a.Lambda)
+	a.n++
+	return anomalous, z
+}
+
+func (a *AnomalyDetector) update(v, lambda float64) {
+	if a.n == 0 {
+		a.mean = v
+		a.variance = 0
+		return
+	}
+	d := v - a.mean
+	a.mean += lambda * d
+	a.variance = (1-lambda)*(a.variance) + lambda*d*d
+}
+
+// Stats reports the current EWMA mean and variance.
+func (a *AnomalyDetector) Stats() (mean, variance float64) { return a.mean, a.variance }
+
+// Flagged reports how many anomalies have been raised.
+func (a *AnomalyDetector) Flagged() int { return a.flagged }
+
+// Seen reports how many readings have been observed.
+func (a *AnomalyDetector) Seen() int { return a.n }

@@ -1,0 +1,509 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pervasivegrid/internal/ml"
+)
+
+func TestTumblingWindowBasic(t *testing.T) {
+	w, err := NewTumblingWindow(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []Element{
+		{T: 1, V: 5}, {T: 4, V: 7}, {T: 11, V: 100}, {T: 25, V: 1},
+	} {
+		w.Push(e)
+	}
+	got := w.Results()
+	if len(got) != 2 {
+		t.Fatalf("closed windows = %d, want 2", len(got))
+	}
+	if got[0].Agg.Final(0 /* sum */) != 12 || got[0].Start != 0 || got[0].End != 10 {
+		t.Fatalf("window 0 = %+v", got[0])
+	}
+	if got[1].Agg.Count != 1 || got[1].Agg.Max != 100 {
+		t.Fatalf("window 1 = %+v", got[1])
+	}
+	w.Flush()
+	final := w.Results()
+	if len(final) != 1 || final[0].Agg.Sum != 1 {
+		t.Fatalf("flush = %+v", final)
+	}
+}
+
+func TestTumblingWindowLateElements(t *testing.T) {
+	w, err := NewTumblingWindow(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Push(Element{T: 35, V: 1})
+	w.Push(Element{T: 5, V: 2}) // late: before the open window
+	if w.Late() != 1 {
+		t.Fatalf("late = %d, want 1", w.Late())
+	}
+}
+
+func TestTumblingWindowGap(t *testing.T) {
+	w, _ := NewTumblingWindow(1)
+	w.Push(Element{T: 0.5, V: 1})
+	w.Push(Element{T: 5.5, V: 2}) // 4 empty windows skipped
+	got := w.Results()
+	if len(got) != 1 {
+		t.Fatalf("windows emitted = %d, want 1 (empty windows not emitted as data)", len(got))
+	}
+}
+
+func TestWindowValidation(t *testing.T) {
+	if _, err := NewTumblingWindow(0); err == nil {
+		t.Fatal("zero window should fail")
+	}
+	if _, err := NewSlidingStats(0); err == nil {
+		t.Fatal("zero sliding window should fail")
+	}
+	if _, err := NewMerge(0, 4); err == nil {
+		t.Fatal("empty merge should fail")
+	}
+}
+
+func TestSlidingStats(t *testing.T) {
+	s, err := NewSlidingStats(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		s.Push(v)
+	}
+	p := s.Snapshot()
+	if p.Count != 3 || p.Min != 3 || p.Max != 5 || p.Sum != 12 {
+		t.Fatalf("snapshot = %+v, want last 3 values", p)
+	}
+}
+
+func TestMergeNonBlocking(t *testing.T) {
+	m, err := NewMerge(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One quiet source must not block the others — the Fjords property.
+	if !m.Offer(0, Element{Source: 0, V: 1}) {
+		t.Fatal("offer failed")
+	}
+	if !m.Offer(2, Element{Source: 2, V: 3}) {
+		t.Fatal("offer failed")
+	}
+	got := m.Poll(0)
+	if len(got) != 2 {
+		t.Fatalf("polled %d, want 2", len(got))
+	}
+	if more := m.Poll(0); len(more) != 0 {
+		t.Fatal("second poll should be empty")
+	}
+}
+
+func TestMergeBackpressure(t *testing.T) {
+	m, _ := NewMerge(1, 2)
+	if !m.Offer(0, Element{}) || !m.Offer(0, Element{}) {
+		t.Fatal("offers within capacity failed")
+	}
+	if m.Offer(0, Element{}) {
+		t.Fatal("offer past capacity should report false")
+	}
+	if m.Offer(5, Element{}) {
+		t.Fatal("offer to invalid input should report false")
+	}
+}
+
+func TestMergeBudget(t *testing.T) {
+	m, _ := NewMerge(2, 8)
+	for i := 0; i < 6; i++ {
+		m.Offer(i%2, Element{V: float64(i)})
+	}
+	got := m.Poll(4)
+	if len(got) != 4 {
+		t.Fatalf("budgeted poll = %d, want 4", len(got))
+	}
+}
+
+// parityPredict is the d-bit parity function, the classic hard case whose
+// spectrum is a single coefficient at the full mask.
+func parityPredict(d int) func([]float64) int {
+	return func(x []float64) int {
+		p := 0
+		for b := 0; b < d; b++ {
+			if x[b] >= 0.5 {
+				p ^= 1
+			}
+		}
+		return p
+	}
+}
+
+func TestFunctionSpectrumParity(t *testing.T) {
+	d := 4
+	s, err := FunctionSpectrum(parityPredict(d), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parity maps to exactly one coefficient: mask 1111 with value -1
+	// (since parity=1 -> +1 = -ψ_full under our 0/1→±1 mapping).
+	if len(s.Coef) != 1 {
+		t.Fatalf("parity spectrum has %d coefficients, want 1: %v", len(s.Coef), s.Coef)
+	}
+	c, ok := s.Coef[uint32(1<<d)-1]
+	if !ok || math.Abs(math.Abs(c)-1) > 1e-12 {
+		t.Fatalf("full-mask coefficient = %v ok=%v", c, ok)
+	}
+}
+
+func TestSpectrumReconstructsFunction(t *testing.T) {
+	d := 6
+	rng := rand.New(rand.NewSource(9))
+	table := make([]int, 1<<d)
+	for i := range table {
+		table[i] = rng.Intn(2)
+	}
+	predict := func(x []float64) int {
+		idx := 0
+		for b := 0; b < d; b++ {
+			if x[b] >= 0.5 {
+				idx |= 1 << b
+			}
+		}
+		return table[idx]
+	}
+	s, err := FunctionSpectrum(predict, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full spectrum must reconstruct the function exactly.
+	x := make([]float64, d)
+	for i := 0; i < 1<<d; i++ {
+		for b := 0; b < d; b++ {
+			x[b] = float64((i >> b) & 1)
+		}
+		if s.Classify(x) != table[i] {
+			t.Fatalf("reconstruction differs at %06b", i)
+		}
+	}
+}
+
+func TestSpectrumParseval(t *testing.T) {
+	// Property: Σ w_S² = 1 for ±1-valued functions (Parseval).
+	f := func(seed int64) bool {
+		d := 5
+		rng := rand.New(rand.NewSource(seed))
+		table := make([]int, 1<<d)
+		for i := range table {
+			table[i] = rng.Intn(2)
+		}
+		predict := func(x []float64) int {
+			idx := 0
+			for b := 0; b < d; b++ {
+				if x[b] >= 0.5 {
+					idx |= 1 << b
+				}
+			}
+			return table[idx]
+		}
+		s, err := FunctionSpectrum(predict, d)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, c := range s.Coef {
+			sum += c * c
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncateKeepsDominant(t *testing.T) {
+	d := 4
+	s, err := FunctionSpectrum(func(x []float64) int {
+		if x[0] >= 0.5 {
+			return 1
+		}
+		return 0
+	}, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f depends only on x0: spectrum is one coefficient at mask 0001.
+	tr := s.Truncate(1)
+	if len(tr.Coef) != 1 {
+		t.Fatalf("truncated size = %d", len(tr.Coef))
+	}
+	if _, ok := tr.Coef[1]; !ok {
+		t.Fatalf("dominant mask missing: %v", tr.Coef)
+	}
+	// Truncate with k >= len keeps everything.
+	if got := s.Truncate(100); len(got.Coef) != len(s.Coef) {
+		t.Fatal("over-truncation changed size")
+	}
+	if got := s.Truncate(0); len(got.Coef) != len(s.Coef) {
+		t.Fatal("k=0 should keep everything")
+	}
+}
+
+func TestCombineValidation(t *testing.T) {
+	if _, err := Combine(nil, nil); err == nil {
+		t.Fatal("empty combine should fail")
+	}
+	a, _ := FunctionSpectrum(parityPredict(3), 3)
+	b, _ := FunctionSpectrum(parityPredict(4), 4)
+	if _, err := Combine([]*Spectrum{a, b}, nil); err == nil {
+		t.Fatal("dimension mismatch should fail")
+	}
+	if _, err := Combine([]*Spectrum{a}, []float64{1, 2}); err == nil {
+		t.Fatal("weight count mismatch should fail")
+	}
+	if _, err := Combine([]*Spectrum{a}, []float64{-1}); err == nil {
+		t.Fatal("negative weight should fail")
+	}
+	if _, err := Combine([]*Spectrum{a}, []float64{0}); err == nil {
+		t.Fatal("zero weights should fail")
+	}
+}
+
+func TestCombineAgreeingSpectra(t *testing.T) {
+	d := 4
+	a, _ := FunctionSpectrum(parityPredict(d), d)
+	b, _ := FunctionSpectrum(parityPredict(d), d)
+	c, err := Combine([]*Spectrum{a, b}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1, 0, 0, 0}
+	if c.Classify(x) != parityPredict(d)(x) {
+		t.Fatal("combined identical spectra should agree with the source")
+	}
+}
+
+func TestFourierDimensionBounds(t *testing.T) {
+	if _, err := FunctionSpectrum(parityPredict(1), 0); err == nil {
+		t.Fatal("d=0 should fail")
+	}
+	if _, err := FunctionSpectrum(parityPredict(1), MaxFourierDim+1); err == nil {
+		t.Fatal("too-large d should fail")
+	}
+	if _, err := TreeSpectrum(nil, 4); err == nil {
+		t.Fatal("nil tree should fail")
+	}
+	if _, err := NewEnsembleMiner(0, 4); err == nil {
+		t.Fatal("bad miner dimension should fail")
+	}
+}
+
+// blockFor synthesises a labelled block from a boolean concept with label
+// noise.
+func blockFor(rng *rand.Rand, d, n int, concept func([]float64) int, noise float64) ml.Dataset {
+	var ds ml.Dataset
+	for i := 0; i < n; i++ {
+		x := make([]float64, d)
+		for b := range x {
+			x[b] = float64(rng.Intn(2))
+		}
+		y := concept(x)
+		if rng.Float64() < noise {
+			y = 1 - y
+		}
+		ds.Add(x, y)
+	}
+	return ds
+}
+
+func TestEnsembleMinerLearnsConcept(t *testing.T) {
+	d := 8
+	concept := func(x []float64) int {
+		if x[0] >= 0.5 && x[3] >= 0.5 {
+			return 1
+		}
+		return 0
+	}
+	rng := rand.New(rand.NewSource(17))
+	miner, err := NewEnsembleMiner(d, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for block := 0; block < 6; block++ {
+		if _, err := miner.AddBlock(blockFor(rng, d, 200, concept, 0.05)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if miner.Blocks() != 6 {
+		t.Fatalf("blocks = %d", miner.Blocks())
+	}
+	// Evaluate on clean data.
+	hits := 0
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		x := make([]float64, d)
+		for b := range x {
+			x[b] = float64(rng.Intn(2))
+		}
+		got, err := miner.Classify(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == concept(x) {
+			hits++
+		}
+	}
+	if acc := float64(hits) / trials; acc < 0.9 {
+		t.Fatalf("ensemble accuracy = %v, want >= 0.9", acc)
+	}
+}
+
+func TestEnsembleCommunicationSavings(t *testing.T) {
+	// The point of shipping truncated spectra: bytes on the wire are far
+	// below shipping the raw blocks.
+	d := 10
+	concept := func(x []float64) int {
+		if x[1] >= 0.5 {
+			return 1
+		}
+		return 0
+	}
+	rng := rand.New(rand.NewSource(3))
+	miner, err := NewEnsembleMiner(d, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawBytes := 0
+	blockSize := 500
+	for block := 0; block < 4; block++ {
+		ds := blockFor(rng, d, blockSize, concept, 0.02)
+		rawBytes += blockSize * (d + 1) // one byte per binary feature + label
+		if _, err := miner.AddBlock(ds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if miner.WireBytes() >= rawBytes/10 {
+		t.Fatalf("spectra bytes %d not ≪ raw bytes %d", miner.WireBytes(), rawBytes)
+	}
+}
+
+func TestEnsembleMinerBlockValidation(t *testing.T) {
+	miner, _ := NewEnsembleMiner(4, 4)
+	var wrong ml.Dataset
+	wrong.Add([]float64{1, 0}, 1) // 2 features, miner wants 4
+	if _, err := miner.AddBlock(wrong); err == nil {
+		t.Fatal("wrong feature width should fail")
+	}
+	if _, err := miner.AddBlock(ml.Dataset{}); err == nil {
+		t.Fatal("empty block should fail")
+	}
+	if _, err := miner.Classify([]float64{0, 0, 0, 0}); err == nil {
+		t.Fatal("classify with no blocks should fail")
+	}
+}
+
+func BenchmarkTreeSpectrum10(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	d := 10
+	ds := blockFor(rng, d, 300, parityPredict(3), 0)
+	tree, err := ml.TrainTree(ds, ml.TreeConfig{MaxDepth: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TreeSpectrum(tree, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestAnomalyDetectorValidation(t *testing.T) {
+	if _, err := NewAnomalyDetector(0, 3); err == nil {
+		t.Fatal("lambda 0 should fail")
+	}
+	if _, err := NewAnomalyDetector(1.5, 3); err == nil {
+		t.Fatal("lambda > 1 should fail")
+	}
+	a, err := NewAnomalyDetector(0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Threshold != 3 {
+		t.Fatal("default threshold should be 3")
+	}
+}
+
+func TestAnomalyDetectorFlagsSpike(t *testing.T) {
+	a, err := NewAnomalyDetector(0.1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	falsePositives := 0
+	for i := 0; i < 200; i++ {
+		if anom, _ := a.Observe(20 + rng.NormFloat64()); anom {
+			falsePositives++
+		}
+	}
+	if falsePositives > 5 {
+		t.Fatalf("false positives = %d on a stationary stream", falsePositives)
+	}
+	anom, z := a.Observe(500) // fire!
+	if !anom {
+		t.Fatal("spike not flagged")
+	}
+	if z < 10 {
+		t.Fatalf("spike z = %v, want large", z)
+	}
+	if a.Flagged() < 1 {
+		t.Fatal("flag counter not incremented")
+	}
+}
+
+func TestAnomalyDetectorWarmup(t *testing.T) {
+	a, _ := NewAnomalyDetector(0.2, 3)
+	// Even wild values during warmup are not flagged.
+	for _, v := range []float64{0, 1000, -1000, 500, 2, 3, 4, 5, 6, 7} {
+		if anom, _ := a.Observe(v); anom {
+			t.Fatal("warmup reading flagged")
+		}
+	}
+	if a.Seen() != 10 {
+		t.Fatalf("seen = %d", a.Seen())
+	}
+}
+
+func TestAnomalyDetectorAdaptsToLevelShift(t *testing.T) {
+	a, _ := NewAnomalyDetector(0.2, 3)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 100; i++ {
+		a.Observe(10 + rng.NormFloat64()*0.5)
+	}
+	// A persistent level shift: first readings flag, but the detector
+	// adapts and stops flagging.
+	flagsEarly, flagsLate := 0, 0
+	for i := 0; i < 300; i++ {
+		anom, _ := a.Observe(14 + rng.NormFloat64()*0.5)
+		if i < 30 && anom {
+			flagsEarly++
+		}
+		if i >= 270 && anom {
+			flagsLate++
+		}
+	}
+	if flagsEarly == 0 {
+		t.Fatal("level shift not noticed at all")
+	}
+	if flagsLate > 3 {
+		t.Fatalf("detector failed to adapt: %d late flags", flagsLate)
+	}
+	mean, _ := a.Stats()
+	if mean < 12 {
+		t.Fatalf("mean = %v, should have tracked the shift", mean)
+	}
+}
