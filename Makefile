@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test race vet check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# The verification gate: static analysis plus the full suite under the
+# race detector. The agent platform, transports, and solvers must stay
+# race-clean.
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

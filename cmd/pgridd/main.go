@@ -15,9 +15,11 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"pervasivegrid/internal/agent"
 	"pervasivegrid/internal/core"
+	"pervasivegrid/internal/faultinject"
 	"pervasivegrid/internal/sensornet"
 )
 
@@ -28,6 +30,10 @@ func main() {
 	fire := flag.Bool("fire", true, "ignite a fire at the building center")
 	noise := flag.Float64("noise", 0.5, "sensor measurement noise stddev")
 	cacheTTL := flag.Float64("cache", 0, "result-cache TTL in virtual seconds (0 = off)")
+	faultDrop := flag.Float64("fault-drop", 0, "chaos: probability of silently dropping an inbound envelope")
+	faultDup := flag.Float64("fault-dup", 0, "chaos: probability of duplicating an inbound envelope")
+	faultLatency := flag.Duration("fault-latency", time.Duration(0), "chaos: added delivery latency")
+	faultSeed := flag.Int64("fault-seed", 1, "chaos: fault-injection RNG seed")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -55,6 +61,19 @@ func main() {
 		rt.EnableCache(*cacheTTL)
 	}
 
+	var injector *faultinject.Injector
+	if *faultDrop > 0 || *faultDup > 0 || *faultLatency > 0 {
+		injector = faultinject.New(faultinject.Config{
+			Seed:     *faultSeed,
+			DropProb: *faultDrop,
+			DupProb:  *faultDup,
+			Latency:  *faultLatency,
+		})
+		rt.DeputyWrap = injector.WrapDeputy
+		fmt.Printf("pgridd: CHAOS MODE drop=%.0f%% dup=%.0f%% latency=%v seed=%d\n",
+			*faultDrop*100, *faultDup*100, *faultLatency, *faultSeed)
+	}
+
 	platform := agent.NewPlatform("pgridd")
 	defer platform.Close()
 	if err := rt.RegisterQueryAgent(platform); err != nil {
@@ -80,5 +99,16 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("pgridd: shutting down")
+	st := platform.DeliveryStats()
+	fmt.Printf("pgridd: shutting down (delivered=%d dropped=%d retries=%d dead-letters=%d",
+		st.Delivered, st.Dropped, st.Retries, st.DeadLettered)
+	for reason, n := range st.Reasons {
+		fmt.Printf(" %s=%d", reason, n)
+	}
+	fmt.Println(")")
+	if injector != nil {
+		fs := injector.Stats()
+		fmt.Printf("pgridd: chaos stats seen=%d dropped=%d duplicated=%d delayed=%d\n",
+			fs.Seen, fs.Dropped, fs.Duplicated, fs.Delayed)
+	}
 }

@@ -1,5 +1,8 @@
 // Command pgridquery is the handheld-device client: it connects to a
-// pgridd daemon over TCP and submits a query in the paper's language.
+// pgridd daemon over TCP and submits a query in the paper's language. The
+// connection is a reconnecting link and the conversation rides the retry
+// layer, so a lossy or briefly unreachable daemon costs latency, not a
+// failed query.
 //
 // Usage:
 //
@@ -20,7 +23,8 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "pgridd address")
-	timeout := flag.Duration("timeout", 30*time.Second, "reply timeout")
+	timeout := flag.Duration("timeout", 30*time.Second, "overall conversation timeout")
+	attempts := flag.Int("attempts", 4, "max send attempts (retry with backoff)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, `usage: pgridquery [-addr host:port] "SELECT avg(temp) FROM sensors"`)
@@ -30,61 +34,42 @@ func main() {
 
 	platform := agent.NewPlatform("pgridquery")
 	defer platform.Close()
-	link, err := agent.Dial(platform, *addr, nil)
-	if err != nil {
-		log.Fatalf("pgridquery: %v", err)
-	}
+	link := agent.DialReconnect(platform, *addr, agent.ReconnectOptions{})
 	defer link.Close()
 
-	self := agent.ID(fmt.Sprintf("handheld-%d", os.Getpid()))
-	replies := make(chan core.QueryReply, 1)
-	err = platform.Register(self, agent.HandlerFunc(func(env agent.Envelope, ctx *agent.Context) {
-		var r core.QueryReply
-		if err := env.Decode(&r); err == nil {
-			replies <- r
-		}
-	}), agent.Attributes{Agent: map[string]string{agent.AttrRole: agent.RoleClient}}, nil)
+	policy := agent.DefaultRetryPolicy()
+	policy.MaxAttempts = *attempts
+	r, err := core.AskQuery(platform, src, *timeout, policy)
 	if err != nil {
-		log.Fatalf("pgridquery: %v", err)
+		st := platform.DeliveryStats()
+		log.Fatalf("pgridquery: %v (retries=%d dead-letters=%d)", err, st.Retries, st.DeadLettered)
 	}
-
-	env, err := agent.NewEnvelope(self, core.QueryAgentID, "request", core.QueryOntology,
-		core.QueryRequest{Query: src})
-	if err != nil {
-		log.Fatalf("pgridquery: %v", err)
+	if !r.OK {
+		log.Fatalf("pgridquery: query failed: %s", r.Error)
 	}
-	if err := platform.Send(env); err != nil {
-		log.Fatalf("pgridquery: send: %v", err)
+	fmt.Printf("kind:     %s\n", r.Kind)
+	fmt.Printf("model:    %s\n", r.Model)
+	fmt.Printf("value:    %g\n", r.Value)
+	fmt.Printf("coverage: %d sensors\n", r.Coverage)
+	fmt.Printf("energy:   %g J\n", r.EnergyJ)
+	fmt.Printf("latency:  %g s\n", r.TimeSec)
+	if r.Rounds > 0 {
+		fmt.Printf("rounds:   %d\n", r.Rounds)
 	}
-
-	select {
-	case r := <-replies:
-		if !r.OK {
-			log.Fatalf("pgridquery: query failed: %s", r.Error)
+	if len(r.Groups) > 0 {
+		keys := make([]string, 0, len(r.Groups))
+		for k := range r.Groups {
+			keys = append(keys, k)
 		}
-		fmt.Printf("kind:     %s\n", r.Kind)
-		fmt.Printf("model:    %s\n", r.Model)
-		fmt.Printf("value:    %g\n", r.Value)
-		fmt.Printf("coverage: %d sensors\n", r.Coverage)
-		fmt.Printf("energy:   %g J\n", r.EnergyJ)
-		fmt.Printf("latency:  %g s\n", r.TimeSec)
-		if r.Rounds > 0 {
-			fmt.Printf("rounds:   %d\n", r.Rounds)
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %s: %g\n", k, r.Groups[k])
 		}
-		if len(r.Groups) > 0 {
-			keys := make([]string, 0, len(r.Groups))
-			for k := range r.Groups {
-				keys = append(keys, k)
-			}
-			sort.Strings(keys)
-			for _, k := range keys {
-				fmt.Printf("  %s: %g\n", k, r.Groups[k])
-			}
-		}
-		if r.Cached {
-			fmt.Println("cached:   true")
-		}
-	case <-time.After(*timeout):
-		log.Fatal("pgridquery: timed out waiting for reply")
+	}
+	if r.Cached {
+		fmt.Println("cached:   true")
+	}
+	if st := platform.DeliveryStats(); st.Retries > 0 {
+		fmt.Printf("retries:  %d\n", st.Retries)
 	}
 }

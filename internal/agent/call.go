@@ -49,10 +49,11 @@ func Call(p *Platform, to ID, performative, ontology string, body any, timeout t
 	for {
 		select {
 		case r := <-replies:
-			if r.InReplyTo == env.Seq || r.InReplyTo == 0 {
+			if r.InReplyTo == env.Seq {
 				return r, nil
 			}
-			// A stray reply to an earlier conversation: keep waiting.
+			// A stray envelope — an unrelated broadcast (InReplyTo 0)
+			// or a reply to an earlier conversation: keep waiting.
 		case <-deadline.C:
 			return Envelope{}, fmt.Errorf("%w: %s -> %s after %v", ErrCallTimeout, performative, to, timeout)
 		}

@@ -130,13 +130,16 @@ func ContractNet(p *Platform, contractors []ID, cfp CFP, deadline time.Duration)
 	}
 	defer p.Deregister(self)
 
+	// CFPs ride the retry layer: a contractor whose mailbox is briefly
+	// full (or whose link is mid-reconnect) still gets tendered.
+	cfpPolicy := RetryPolicy{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond}
 	sent := 0
 	for _, c := range contractors {
 		env, err := NewEnvelope(self, c, PerformativeCFP, "contract-net", cfp)
 		if err != nil {
 			continue
 		}
-		if p.Send(env) == nil {
+		if SendRetry(p, env, deadline/2, cfpPolicy) == nil {
 			sent++
 		}
 	}
@@ -174,9 +177,11 @@ func ContractNet(p *Platform, contractors []ID, cfp CFP, deadline time.Duration)
 	res.Winner = best.from
 	res.Cost = best.prop.Cost
 
+	// The award is the one envelope that must not be lost to a transient
+	// full mailbox — the winner would never perform.
 	award, err := NewEnvelope(self, best.from, PerformativeAward, "contract-net", Award{Task: cfp.Task})
 	if err == nil {
-		_ = p.Send(award)
+		_ = SendRetry(p, award, deadline, cfpPolicy)
 	}
 	for _, c := range contractors {
 		if c == best.from {

@@ -69,24 +69,30 @@ func (d *DisconnectionDeputy) Deliver(env Envelope) error {
 }
 
 // SetConnected flips connectivity; reconnecting flushes the buffer in
-// order. It returns how many buffered envelopes were flushed.
+// order. It returns how many buffered envelopes were flushed. The flush
+// delivers outside d.mu so a downstream deputy may re-enter this deputy
+// (query Buffered, even Deliver) without deadlocking.
 func (d *DisconnectionDeputy) SetConnected(up bool) int {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	d.connected = up
 	if !up {
+		d.mu.Unlock()
 		return 0
 	}
+	buf := d.buffer
+	d.buffer = nil
+	d.mu.Unlock()
 	flushed := 0
-	for _, env := range d.buffer {
+	for i, env := range buf {
 		if err := d.next.Deliver(env); err != nil {
-			break
+			// Keep the undelivered tail ahead of anything buffered
+			// again in the meantime.
+			d.mu.Lock()
+			d.buffer = append(buf[i:len(buf):len(buf)], d.buffer...)
+			d.mu.Unlock()
+			return flushed
 		}
 		flushed++
-	}
-	d.buffer = d.buffer[flushed:]
-	if len(d.buffer) == 0 {
-		d.buffer = nil
 	}
 	return flushed
 }

@@ -38,6 +38,11 @@ type Envelope struct {
 	Ontology string `json:"ontology"`
 	// InReplyTo correlates a response with a request Seq.
 	InReplyTo uint64 `json:"inReplyTo,omitempty"`
+	// Hops counts platform ingress points traversed. Transports
+	// increment it when injecting a remote envelope; Send drops
+	// envelopes whose hop count exceeds the platform budget so retry
+	// storms and route loops cannot circulate forever.
+	Hops int `json:"hops,omitempty"`
 	// Content is the opaque payload.
 	Content []byte `json:"content"`
 }

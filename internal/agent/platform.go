@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Handler is an agent's behaviour: it receives each envelope delivered to
@@ -35,13 +36,77 @@ func (c *Context) Send(env Envelope) error {
 }
 
 // registration is one hosted agent: its deputy chain, mailbox, and
-// attributes.
+// attributes. The mailbox channel is never closed — concurrent deliveries
+// (including delayed ones from decorating deputies) may race a
+// deregistration, and a send on a closed channel would panic the sender.
+// Termination is signalled through quit instead; the agent goroutine
+// drains what is already queued and exits.
 type registration struct {
 	id      ID
 	deputy  Deputy
 	attrs   Attributes
 	mailbox chan Envelope
+	quit    chan struct{}
 	done    chan struct{}
+}
+
+// RouteID names an installed gateway route so it can be removed when the
+// underlying transport goes away (see Link.Close, Gateway.Close).
+type RouteID uint64
+
+// routeEntry pairs an installed route with its removal handle.
+type routeEntry struct {
+	id RouteID
+	fn RouteFunc
+}
+
+// DropReason classifies why an envelope became undeliverable.
+type DropReason string
+
+// Drop reasons recorded in the dead-letter ring.
+const (
+	// DropMailboxFull: the destination deputy rejected the envelope
+	// (agent mailbox or disconnection buffer full).
+	DropMailboxFull DropReason = "mailbox_full"
+	// DropNoRoute: no local agent and no gateway route accepted it.
+	DropNoRoute DropReason = "no_route"
+	// DropLinkDown: a link's store-and-forward buffer overflowed or was
+	// abandoned while its transport was disconnected.
+	DropLinkDown DropReason = "link_down"
+	// DropTTLExpired: the envelope exceeded the platform hop budget
+	// (a routing loop, or a retry storm bouncing between gateways).
+	DropTTLExpired DropReason = "ttl_expired"
+)
+
+// DeadLetter is one undeliverable envelope held for post-mortem.
+type DeadLetter struct {
+	Env    Envelope
+	Reason DropReason
+}
+
+// DefaultDeadLetterCap bounds the dead-letter ring.
+const DefaultDeadLetterCap = 128
+
+// DefaultMaxHops bounds how many platform ingress points an envelope may
+// traverse before it is dropped as looping.
+const DefaultMaxHops = 16
+
+// DeliveryStats is a point-in-time snapshot of a platform's envelope
+// accounting, the paper's "mission control ... evaluating the overall
+// performance" view of the messaging layer.
+type DeliveryStats struct {
+	// Delivered counts envelopes accepted by a deputy or a route.
+	Delivered uint64
+	// Dropped counts terminally undeliverable envelopes.
+	Dropped uint64
+	// Retries counts re-attempted sends (CallRetry / SendRetry).
+	Retries uint64
+	// DeadLettered counts envelopes pushed into the dead-letter ring
+	// (equals Dropped; kept separate so the ring can be bounded while
+	// the counter is not).
+	DeadLettered uint64
+	// Reasons breaks Dropped down by drop reason.
+	Reasons map[DropReason]uint64
 }
 
 // Platform hosts agents and routes envelopes between them. Remote platforms
@@ -49,33 +114,32 @@ type registration struct {
 type Platform struct {
 	Name string
 
-	mu     sync.RWMutex
-	agents map[ID]*registration
-	routes []RouteFunc
-	seq    seqCounter
-	closed bool
+	// MaxHops bounds envelope forwarding across platforms (0 = the
+	// DefaultMaxHops budget). Transports increment Envelope.Hops at
+	// ingress; Send dead-letters envelopes over budget.
+	MaxHops int
 
-	// Delivered counts envelopes successfully handed to a deputy.
-	delivered atomic64
-	// Dropped counts undeliverable envelopes.
-	dropped atomic64
-}
+	mu      sync.RWMutex
+	agents  map[ID]*registration
+	routes  []routeEntry
+	nextRID RouteID
+	seq     seqCounter
+	closed  bool
 
-type atomic64 struct {
-	mu sync.Mutex
-	n  uint64
-}
+	// delivered counts envelopes successfully handed to a deputy or
+	// accepted by a route; dropped counts undeliverable envelopes;
+	// retries counts re-attempted sends.
+	delivered atomic.Uint64
+	dropped   atomic.Uint64
+	retries   atomic.Uint64
 
-func (a *atomic64) inc() {
-	a.mu.Lock()
-	a.n++
-	a.mu.Unlock()
-}
-
-func (a *atomic64) get() uint64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.n
+	// Dead-letter accounting: a bounded ring of the most recent
+	// undeliverable envelopes plus an unbounded per-reason counter.
+	dlMu    sync.Mutex
+	dlRing  []DeadLetter
+	dlNext  int // next write position once the ring is full
+	dlTotal uint64
+	dlWhy   map[DropReason]uint64
 }
 
 // RouteFunc tries to deliver an envelope to a non-local destination. It
@@ -88,9 +152,16 @@ var ErrUnknownAgent = errors.New("agent: unknown destination")
 // ErrClosed reports use of a closed platform.
 var ErrClosed = errors.New("agent: platform closed")
 
+// ErrTTLExpired reports an envelope that exceeded the platform hop budget.
+var ErrTTLExpired = errors.New("agent: envelope hop budget exhausted")
+
 // NewPlatform builds an empty platform.
 func NewPlatform(name string) *Platform {
-	return &Platform{Name: name, agents: map[ID]*registration{}}
+	return &Platform{
+		Name:   name,
+		agents: map[ID]*registration{},
+		dlWhy:  map[DropReason]uint64{},
+	}
 }
 
 // Register hosts an agent under id with the given behaviour and attributes.
@@ -113,6 +184,7 @@ func (p *Platform) Register(id ID, h Handler, attrs Attributes, wrap func(Deputy
 		id:      id,
 		attrs:   attrs.Clone(),
 		mailbox: make(chan Envelope, 64),
+		quit:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
 	var d Deputy = &directDeputy{mailbox: reg.mailbox}
@@ -125,8 +197,21 @@ func (p *Platform) Register(id ID, h Handler, attrs Attributes, wrap func(Deputy
 	ctx := &Context{Self: id, Platform: p}
 	go func() {
 		defer close(reg.done)
-		for env := range reg.mailbox {
-			h.Handle(env, ctx)
+		for {
+			select {
+			case env := <-reg.mailbox:
+				h.Handle(env, ctx)
+			case <-reg.quit:
+				// Drain whatever was queued before the stop, then exit.
+				for {
+					select {
+					case env := <-reg.mailbox:
+						h.Handle(env, ctx)
+					default:
+						return
+					}
+				}
+			}
 		}
 	}()
 	return nil
@@ -142,7 +227,7 @@ func (p *Platform) Deregister(id ID) {
 	}
 	p.mu.Unlock()
 	if ok {
-		close(reg.mailbox)
+		close(reg.quit)
 		<-reg.done
 	}
 }
@@ -196,15 +281,48 @@ func (p *Platform) FindByRole(role string) []ID {
 	return out
 }
 
-// AddRoute appends a gateway route for non-local destinations.
-func (p *Platform) AddRoute(r RouteFunc) {
+// AddRoute appends a gateway route for non-local destinations and returns
+// a handle for RemoveRoute.
+func (p *Platform) AddRoute(r RouteFunc) RouteID {
 	p.mu.Lock()
-	p.routes = append(p.routes, r)
-	p.mu.Unlock()
+	defer p.mu.Unlock()
+	p.nextRID++
+	id := p.nextRID
+	// Copy-on-write so Send can iterate a snapshot outside the lock.
+	routes := make([]routeEntry, len(p.routes), len(p.routes)+1)
+	copy(routes, p.routes)
+	p.routes = append(routes, routeEntry{id: id, fn: r})
+	return id
+}
+
+// RemoveRoute uninstalls a route. It reports whether the handle was
+// installed. Transports must call this when they close, or the dead route
+// leaks and keeps rejecting (or worse, black-holing) traffic.
+func (p *Platform) RemoveRoute(id RouteID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, e := range p.routes {
+		if e.id == id {
+			routes := make([]routeEntry, 0, len(p.routes)-1)
+			routes = append(routes, p.routes[:i]...)
+			routes = append(routes, p.routes[i+1:]...)
+			p.routes = routes
+			return true
+		}
+	}
+	return false
+}
+
+// Routes reports how many gateway routes are installed.
+func (p *Platform) Routes() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.routes)
 }
 
 // Send assigns a sequence number and routes the envelope: local deputy
-// first, then gateway routes in order.
+// first, then gateway routes in order. Undeliverable envelopes land in the
+// dead-letter ring with a drop reason.
 func (p *Platform) Send(env Envelope) error {
 	p.mu.RLock()
 	if p.closed {
@@ -218,29 +336,83 @@ func (p *Platform) Send(env Envelope) error {
 	if env.Seq == 0 {
 		env.Seq = p.seq.next()
 	}
+	maxHops := p.MaxHops
+	if maxHops <= 0 {
+		maxHops = DefaultMaxHops
+	}
+	if env.Hops > maxHops {
+		p.deadLetter(env, DropTTLExpired)
+		return fmt.Errorf("%w: %q after %d hops", ErrTTLExpired, env.To, env.Hops)
+	}
 	if local {
 		if err := reg.deputy.Deliver(env); err != nil {
-			p.dropped.inc()
+			p.deadLetter(env, DropMailboxFull)
 			return err
 		}
-		p.delivered.inc()
+		p.delivered.Add(1)
 		return nil
 	}
 	for _, r := range routes {
-		if r(env) {
-			p.delivered.inc()
+		if r.fn(env) {
+			p.delivered.Add(1)
 			return nil
 		}
 	}
-	p.dropped.inc()
+	p.deadLetter(env, DropNoRoute)
 	return fmt.Errorf("%w: %q", ErrUnknownAgent, env.To)
 }
 
+// deadLetter records a terminally undeliverable envelope.
+func (p *Platform) deadLetter(env Envelope, reason DropReason) {
+	p.dropped.Add(1)
+	p.dlMu.Lock()
+	defer p.dlMu.Unlock()
+	p.dlTotal++
+	p.dlWhy[reason]++
+	if len(p.dlRing) < DefaultDeadLetterCap {
+		p.dlRing = append(p.dlRing, DeadLetter{Env: env, Reason: reason})
+		return
+	}
+	p.dlRing[p.dlNext] = DeadLetter{Env: env, Reason: reason}
+	p.dlNext = (p.dlNext + 1) % len(p.dlRing)
+}
+
+// noteRetry bumps the retry counter (CallRetry / SendRetry attempts beyond
+// the first).
+func (p *Platform) noteRetry() { p.retries.Add(1) }
+
+// DeliveryStats snapshots the platform's envelope accounting.
+func (p *Platform) DeliveryStats() DeliveryStats {
+	st := DeliveryStats{
+		Delivered: p.delivered.Load(),
+		Dropped:   p.dropped.Load(),
+		Retries:   p.retries.Load(),
+		Reasons:   map[DropReason]uint64{},
+	}
+	p.dlMu.Lock()
+	st.DeadLettered = p.dlTotal
+	for k, v := range p.dlWhy {
+		st.Reasons[k] = v
+	}
+	p.dlMu.Unlock()
+	return st
+}
+
+// DeadLetters returns the retained dead letters, oldest first.
+func (p *Platform) DeadLetters() []DeadLetter {
+	p.dlMu.Lock()
+	defer p.dlMu.Unlock()
+	out := make([]DeadLetter, 0, len(p.dlRing))
+	out = append(out, p.dlRing[p.dlNext:]...)
+	out = append(out, p.dlRing[:p.dlNext]...)
+	return out
+}
+
 // Delivered and Dropped report routing counters.
-func (p *Platform) Delivered() uint64 { return p.delivered.get() }
+func (p *Platform) Delivered() uint64 { return p.delivered.Load() }
 
 // Dropped reports envelopes that could not be routed or delivered.
-func (p *Platform) Dropped() uint64 { return p.dropped.get() }
+func (p *Platform) Dropped() uint64 { return p.dropped.Load() }
 
 // Close stops every agent. Subsequent Sends fail with ErrClosed.
 func (p *Platform) Close() {
@@ -255,9 +427,10 @@ func (p *Platform) Close() {
 		regs = append(regs, reg)
 	}
 	p.agents = map[ID]*registration{}
+	p.routes = nil
 	p.mu.Unlock()
 	for _, reg := range regs {
-		close(reg.mailbox)
+		close(reg.quit)
 		<-reg.done
 	}
 }

@@ -1,0 +1,258 @@
+package agent
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"sync"
+	"time"
+)
+
+// ReconnectLink is the disconnection-tolerant client-side link: where Link
+// dies with its TCP connection, ReconnectLink redials with capped
+// exponential backoff, buffers outbound envelopes while down (the
+// DisconnectionDeputy's store-and-forward semantics applied to a
+// transport), and replays the buffer in order on reconnect. Overflowed and
+// abandoned envelopes land in the platform's dead-letter ring with reason
+// link_down.
+type ReconnectLink struct {
+	platform *Platform
+	addr     string
+	opts     ReconnectOptions
+	routeID  RouteID
+	done     chan struct{}
+	wake     chan struct{} // posted once per connection loss
+
+	mu         sync.Mutex
+	wc         *wireConn // nil while disconnected
+	buffer     []Envelope
+	closed     bool
+	connects   int
+	replayed   int
+	overflowed int
+}
+
+// ReconnectOptions tunes a ReconnectLink.
+type ReconnectOptions struct {
+	// Filter restricts which destinations the link forwards (nil = every
+	// non-local ID), like Dial's filter.
+	Filter func(ID) bool
+	// MaxBuffer bounds the store-and-forward queue while disconnected
+	// (default 256). On overflow the oldest envelope is dead-lettered.
+	MaxBuffer int
+	// BaseDelay and MaxDelay shape the capped-exponential redial backoff
+	// (defaults 20ms and 2s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+func (o ReconnectOptions) withDefaults() ReconnectOptions {
+	if o.MaxBuffer <= 0 {
+		o.MaxBuffer = 256
+	}
+	if o.BaseDelay <= 0 {
+		o.BaseDelay = 20 * time.Millisecond
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = 2 * time.Second
+	}
+	return o
+}
+
+// ReconnectStats is a snapshot of a ReconnectLink's lifetime counters.
+type ReconnectStats struct {
+	// Connects counts successful connection establishments (1 = the
+	// initial connect; more = reconnections happened).
+	Connects int
+	// Replayed counts buffered envelopes re-sent after a reconnect.
+	Replayed int
+	// Buffered is the current store-and-forward queue length.
+	Buffered int
+	// Overflowed counts envelopes dead-lettered because the buffer was
+	// full.
+	Overflowed int
+}
+
+// DialReconnect installs a reconnecting link from the platform to a remote
+// gateway. It returns immediately: the first connection is established in
+// the background, and envelopes routed before it comes up are buffered —
+// so dialling an address that is not listening *yet* is not an error.
+func DialReconnect(p *Platform, addr string, opts ReconnectOptions) *ReconnectLink {
+	l := &ReconnectLink{
+		platform: p,
+		addr:     addr,
+		opts:     opts.withDefaults(),
+		done:     make(chan struct{}),
+		wake:     make(chan struct{}, 1),
+	}
+	l.routeID = p.AddRoute(l.route)
+	go l.dialLoop()
+	return l
+}
+
+// Connected reports whether the link currently has a live connection.
+func (l *ReconnectLink) Connected() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.wc != nil
+}
+
+// Stats snapshots the link's counters.
+func (l *ReconnectLink) Stats() ReconnectStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return ReconnectStats{
+		Connects:   l.connects,
+		Replayed:   l.replayed,
+		Buffered:   len(l.buffer),
+		Overflowed: l.overflowed,
+	}
+}
+
+// Close stops redialling, uninstalls the route, and dead-letters whatever
+// is still buffered.
+func (l *ReconnectLink) Close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	wc := l.wc
+	l.wc = nil
+	buf := l.buffer
+	l.buffer = nil
+	l.mu.Unlock()
+	close(l.done)
+	l.platform.RemoveRoute(l.routeID)
+	if wc != nil {
+		wc.conn.Close()
+	}
+	for _, env := range buf {
+		l.platform.deadLetter(env, DropLinkDown)
+	}
+}
+
+// route implements RouteFunc: write when up, store-and-forward when down.
+// It accepts the envelope either way; loss is only possible by buffer
+// overflow, which is dead-lettered rather than silent.
+func (l *ReconnectLink) route(env Envelope) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return false
+	}
+	if l.opts.Filter != nil && !l.opts.Filter(env.To) {
+		return false
+	}
+	if l.wc != nil {
+		wc := l.wc
+		if err := wc.write(env); err == nil {
+			return true
+		}
+		// The connection died under us: take it down, buffer this
+		// envelope, and wake the dialler.
+		l.wc = nil
+		wc.conn.Close()
+		select {
+		case l.wake <- struct{}{}:
+		default:
+		}
+	}
+	if len(l.buffer) >= l.opts.MaxBuffer {
+		oldest := l.buffer[0]
+		l.buffer = l.buffer[1:]
+		l.overflowed++
+		l.platform.deadLetter(oldest, DropLinkDown)
+	}
+	l.buffer = append(l.buffer, env)
+	return true
+}
+
+// dialLoop keeps the link connected: dial with capped exponential backoff,
+// replay the buffer, then sleep until the connection is lost again.
+func (l *ReconnectLink) dialLoop() {
+	delay := l.opts.BaseDelay
+	for {
+		select {
+		case <-l.done:
+			return
+		default:
+		}
+		conn, err := net.Dial("tcp", l.addr)
+		if err != nil {
+			select {
+			case <-l.done:
+				return
+			case <-time.After(delay):
+			}
+			delay *= 2
+			if delay > l.opts.MaxDelay {
+				delay = l.opts.MaxDelay
+			}
+			continue
+		}
+		delay = l.opts.BaseDelay
+		wc := newWireConn(conn)
+		if !l.install(wc) {
+			conn.Close()
+			continue // closed, or the replay write failed: redial
+		}
+		go l.readLoop(wc)
+		select {
+		case <-l.done:
+			return
+		case <-l.wake:
+		}
+	}
+}
+
+// install replays the store-and-forward buffer over the new connection and
+// makes it the live one. Replay happens under l.mu so concurrently routed
+// envelopes queue behind the replayed ones — order is preserved.
+func (l *ReconnectLink) install(wc *wireConn) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return false
+	}
+	for len(l.buffer) > 0 {
+		if err := wc.write(l.buffer[0]); err != nil {
+			return false
+		}
+		l.buffer = l.buffer[1:]
+		l.replayed++
+	}
+	l.buffer = nil
+	l.wc = wc
+	l.connects++
+	return true
+}
+
+// markDown reacts to a read error: drop the connection (if it is still the
+// live one) and wake the dialler.
+func (l *ReconnectLink) markDown(wc *wireConn) {
+	l.mu.Lock()
+	if l.wc == wc {
+		l.wc = nil
+		select {
+		case l.wake <- struct{}{}:
+		default:
+		}
+	}
+	l.mu.Unlock()
+	wc.conn.Close()
+}
+
+func (l *ReconnectLink) readLoop(wc *wireConn) {
+	dec := json.NewDecoder(bufio.NewReader(wc.conn))
+	for {
+		var env Envelope
+		if err := dec.Decode(&env); err != nil {
+			l.markDown(wc)
+			return
+		}
+		env.Hops++
+		_ = l.platform.Send(env)
+	}
+}

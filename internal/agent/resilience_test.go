@@ -1,0 +1,668 @@
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// --- satellite regressions -------------------------------------------------
+
+// TestCallRejectsStrayBroadcast: an uncorrelated envelope (InReplyTo 0)
+// must not satisfy a pending Call. Before the fix, any broadcast arriving
+// at the ephemeral caller completed the conversation with the wrong body.
+func TestCallRejectsStrayBroadcast(t *testing.T) {
+	p := NewPlatform("test")
+	defer p.Close()
+	err := p.Register("noisy", HandlerFunc(func(env Envelope, ctx *Context) {
+		// Reply with an unrelated broadcast instead of a correlated reply.
+		stray, err := NewEnvelope(ctx.Self, env.From, "inform", "spam", "not-your-reply")
+		if err != nil {
+			return
+		}
+		_ = ctx.Send(stray) // InReplyTo stays 0
+	}), Attributes{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Call(p, "noisy", "request", "o", "hi", 100*time.Millisecond)
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("err = %v, want ErrCallTimeout (stray broadcast must not match)", err)
+	}
+}
+
+// TestCallSkipsStrayThenAcceptsExactReply: the stray arrives first, the
+// real reply second; Call must wait through the stray and return the
+// correlated one.
+func TestCallSkipsStrayThenAcceptsExactReply(t *testing.T) {
+	p := NewPlatform("test")
+	defer p.Close()
+	err := p.Register("mixed", HandlerFunc(func(env Envelope, ctx *Context) {
+		stray, _ := NewEnvelope(ctx.Self, env.From, "inform", "spam", "noise")
+		_ = ctx.Send(stray)
+		r, err := env.Reply("inform", "real")
+		if err != nil {
+			return
+		}
+		_ = ctx.Send(r)
+	}), Attributes{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := Call(p, "mixed", "request", "o", "hi", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body string
+	if err := reply.Decode(&body); err != nil || body != "real" {
+		t.Fatalf("body = %q err=%v, want the correlated reply", body, err)
+	}
+}
+
+// TestRemoveRoute: an uninstalled route must stop receiving traffic.
+func TestRemoveRoute(t *testing.T) {
+	p := NewPlatform("test")
+	defer p.Close()
+	var accepted int
+	id := p.AddRoute(func(env Envelope) bool {
+		accepted++
+		return true
+	})
+	env, _ := NewEnvelope("a", "remote", "inform", "o", nil)
+	if err := p.Send(env); err != nil {
+		t.Fatal(err)
+	}
+	if !p.RemoveRoute(id) {
+		t.Fatal("RemoveRoute reported the route missing")
+	}
+	if p.RemoveRoute(id) {
+		t.Fatal("double removal should report false")
+	}
+	env2, _ := NewEnvelope("a", "remote", "inform", "o", nil)
+	if err := p.Send(env2); !errors.Is(err, ErrUnknownAgent) {
+		t.Fatalf("send after removal = %v, want ErrUnknownAgent", err)
+	}
+	if accepted != 1 {
+		t.Fatalf("route saw %d envelopes after removal", accepted)
+	}
+}
+
+// TestLinkCloseRemovesRoute: the satellite bug — Link.Close used to leave
+// the dead route installed on the platform forever.
+func TestLinkCloseRemovesRoute(t *testing.T) {
+	server := NewPlatform("server")
+	defer server.Close()
+	gw, err := ListenAndServe(server, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+	client := NewPlatform("client")
+	defer client.Close()
+	link, err := Dial(client, gw.Addr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if client.Routes() != 1 {
+		t.Fatalf("routes = %d before close", client.Routes())
+	}
+	link.Close()
+	if client.Routes() != 0 {
+		t.Fatalf("routes = %d after Link.Close, want 0 (route leak)", client.Routes())
+	}
+}
+
+// TestGatewayCloseRemovesRoute mirrors the link fix on the server side.
+func TestGatewayCloseRemovesRoute(t *testing.T) {
+	server := NewPlatform("server")
+	defer server.Close()
+	gw, err := ListenAndServe(server, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if server.Routes() != 1 {
+		t.Fatalf("routes = %d", server.Routes())
+	}
+	gw.Close()
+	if server.Routes() != 0 {
+		t.Fatalf("routes = %d after Gateway.Close, want 0", server.Routes())
+	}
+}
+
+// reentrantDeputy queries its parent DisconnectionDeputy from inside
+// Deliver — the shape that deadlocked when SetConnected flushed while
+// holding d.mu.
+type reentrantDeputy struct {
+	mu  sync.Mutex
+	dd  *DisconnectionDeputy
+	got []Envelope
+}
+
+func (r *reentrantDeputy) Deliver(env Envelope) error {
+	if r.dd != nil {
+		_ = r.dd.Buffered() // re-enters the deputy's lock
+	}
+	r.mu.Lock()
+	r.got = append(r.got, env)
+	r.mu.Unlock()
+	return nil
+}
+
+func TestDisconnectionDeputyReentrantFlush(t *testing.T) {
+	next := &reentrantDeputy{}
+	dd := NewDisconnectionDeputy(next)
+	next.dd = dd
+	dd.SetConnected(false)
+	for i := 0; i < 3; i++ {
+		if err := dd.Deliver(Envelope{Seq: uint64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan int, 1)
+	go func() { done <- dd.SetConnected(true) }()
+	select {
+	case flushed := <-done:
+		if flushed != 3 {
+			t.Fatalf("flushed = %d, want 3", flushed)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("SetConnected deadlocked against a re-entrant deputy")
+	}
+	next.mu.Lock()
+	defer next.mu.Unlock()
+	for i, env := range next.got {
+		if env.Seq != uint64(i+1) {
+			t.Fatalf("flush order broken: %v", next.got)
+		}
+	}
+}
+
+// TestDisconnectionDeputyFlushFailureKeepsTail: a mid-flush delivery
+// failure must keep the undelivered tail buffered, in order.
+func TestDisconnectionDeputyFlushFailureKeepsTail(t *testing.T) {
+	base := &directDeputy{mailbox: make(chan Envelope, 2)}
+	dd := NewDisconnectionDeputy(base)
+	dd.SetConnected(false)
+	for i := 0; i < 5; i++ {
+		if err := dd.Deliver(Envelope{Seq: uint64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Only 2 fit in the mailbox.
+	if flushed := dd.SetConnected(true); flushed != 2 {
+		t.Fatalf("flushed = %d, want 2", flushed)
+	}
+	if dd.Buffered() != 3 {
+		t.Fatalf("buffered = %d, want the 3-envelope tail", dd.Buffered())
+	}
+}
+
+// --- retry layer -----------------------------------------------------------
+
+// lossyDeputy silently drops the first n deliveries — a deterministic
+// stand-in for a lossy radio.
+type lossyDeputy struct {
+	mu    sync.Mutex
+	next  Deputy
+	drops int
+}
+
+func (l *lossyDeputy) Deliver(env Envelope) error {
+	l.mu.Lock()
+	drop := l.drops > 0
+	if drop {
+		l.drops--
+	}
+	l.mu.Unlock()
+	if drop {
+		return nil // swallowed, like a lost packet
+	}
+	return l.next.Deliver(env)
+}
+
+func TestCallRetryRecoversFromLoss(t *testing.T) {
+	p := NewPlatform("test")
+	defer p.Close()
+	err := p.Register("flaky", HandlerFunc(func(env Envelope, ctx *Context) {
+		r, err := env.Reply("inform", "finally")
+		if err != nil {
+			return
+		}
+		_ = ctx.Send(r)
+	}), Attributes{}, func(next Deputy) Deputy {
+		return &lossyDeputy{next: next, drops: 2}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy := RetryPolicy{
+		MaxAttempts:    5,
+		BaseDelay:      5 * time.Millisecond,
+		MaxDelay:       20 * time.Millisecond,
+		AttemptTimeout: 50 * time.Millisecond,
+		Seed:           1,
+	}
+	reply, err := CallRetry(p, "flaky", "request", "o", "hi", 5*time.Second, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body string
+	if err := reply.Decode(&body); err != nil || body != "finally" {
+		t.Fatalf("body = %q err=%v", body, err)
+	}
+	if st := p.DeliveryStats(); st.Retries < 2 {
+		t.Fatalf("retries = %d, want >= 2 (two attempts were dropped)", st.Retries)
+	}
+}
+
+func TestCallRetryExhaustsAgainstTotalLoss(t *testing.T) {
+	p := NewPlatform("test")
+	defer p.Close()
+	err := p.Register("void", HandlerFunc(func(Envelope, *Context) {}),
+		Attributes{}, func(next Deputy) Deputy {
+			return &lossyDeputy{next: next, drops: 1 << 30}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy := RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond,
+		AttemptTimeout: 10 * time.Millisecond, Seed: 1}
+	start := time.Now()
+	_, err = CallRetry(p, "void", "request", "o", nil, 500*time.Millisecond, policy)
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("err = %v, want ErrCallTimeout", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("CallRetry overshot its deadline badly")
+	}
+	if st := p.DeliveryStats(); st.Retries != 2 {
+		t.Fatalf("retries = %d, want 2 (3 attempts)", st.Retries)
+	}
+}
+
+func TestCallRetryHonoursOverallDeadline(t *testing.T) {
+	p := NewPlatform("test")
+	defer p.Close()
+	if err := p.Register("mute", HandlerFunc(func(Envelope, *Context) {}), Attributes{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	policy := RetryPolicy{MaxAttempts: 100, BaseDelay: time.Millisecond,
+		AttemptTimeout: 5 * time.Millisecond, Seed: 1}
+	start := time.Now()
+	_, err := CallRetry(p, "mute", "request", "o", nil, 100*time.Millisecond, policy)
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("ran %v past a 100ms overall deadline", elapsed)
+	}
+}
+
+func TestSendRetryRecoversWhenMailboxDrains(t *testing.T) {
+	p := NewPlatform("test")
+	defer p.Close()
+	block := make(chan struct{})
+	if err := p.Register("slow", HandlerFunc(func(Envelope, *Context) {
+		<-block
+	}), Attributes{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the mailbox (64) plus the envelope being handled.
+	for i := 0; ; i++ {
+		env, _ := NewEnvelope("a", "slow", "inform", "o", i)
+		if err := p.Send(env); err != nil {
+			break
+		}
+		if i > 200 {
+			t.Fatal("mailbox never filled")
+		}
+	}
+	// Unblock the handler shortly; SendRetry should succeed on a retry.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(block)
+	}()
+	env, _ := NewEnvelope("a", "slow", "inform", "o", "late")
+	policy := RetryPolicy{MaxAttempts: 10, BaseDelay: 10 * time.Millisecond,
+		MaxDelay: 50 * time.Millisecond, Seed: 1}
+	if err := SendRetry(p, env, 5*time.Second, policy); err != nil {
+		t.Fatalf("SendRetry = %v", err)
+	}
+	if st := p.DeliveryStats(); st.Retries == 0 {
+		t.Fatal("expected at least one retry")
+	}
+}
+
+// --- dead-letter accounting ------------------------------------------------
+
+func TestDeadLetterReasons(t *testing.T) {
+	p := NewPlatform("test")
+	defer p.Close()
+	// no_route
+	env, _ := NewEnvelope("a", "ghost", "inform", "o", nil)
+	if err := p.Send(env); !errors.Is(err, ErrUnknownAgent) {
+		t.Fatal(err)
+	}
+	// mailbox_full
+	block := make(chan struct{})
+	defer close(block)
+	if err := p.Register("slow", HandlerFunc(func(Envelope, *Context) { <-block }), Attributes{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	full := false
+	for i := 0; i < 200; i++ {
+		e, _ := NewEnvelope("a", "slow", "inform", "o", i)
+		if err := p.Send(e); errors.Is(err, ErrMailboxFull) {
+			full = true
+			break
+		}
+	}
+	if !full {
+		t.Fatal("mailbox never filled")
+	}
+	st := p.DeliveryStats()
+	if st.Reasons[DropNoRoute] != 1 {
+		t.Fatalf("no_route = %d, want 1", st.Reasons[DropNoRoute])
+	}
+	if st.Reasons[DropMailboxFull] != 1 {
+		t.Fatalf("mailbox_full = %d, want 1", st.Reasons[DropMailboxFull])
+	}
+	if st.DeadLettered != 2 || st.Dropped != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	dls := p.DeadLetters()
+	if len(dls) != 2 {
+		t.Fatalf("retained %d dead letters", len(dls))
+	}
+	if dls[0].Reason != DropNoRoute || dls[0].Env.To != "ghost" {
+		t.Fatalf("oldest dead letter = %+v", dls[0])
+	}
+}
+
+func TestDeadLetterRingIsBounded(t *testing.T) {
+	p := NewPlatform("test")
+	defer p.Close()
+	n := DefaultDeadLetterCap + 10
+	for i := 0; i < n; i++ {
+		env, _ := NewEnvelope("a", ID(fmt.Sprintf("ghost-%d", i)), "inform", "o", nil)
+		_ = p.Send(env)
+	}
+	dls := p.DeadLetters()
+	if len(dls) != DefaultDeadLetterCap {
+		t.Fatalf("ring holds %d, want %d", len(dls), DefaultDeadLetterCap)
+	}
+	// Oldest retained is the (n-cap)th envelope; newest is the last.
+	if dls[0].Env.To != ID(fmt.Sprintf("ghost-%d", n-DefaultDeadLetterCap)) {
+		t.Fatalf("oldest retained = %s", dls[0].Env.To)
+	}
+	if dls[len(dls)-1].Env.To != ID(fmt.Sprintf("ghost-%d", n-1)) {
+		t.Fatalf("newest retained = %s", dls[len(dls)-1].Env.To)
+	}
+	if st := p.DeliveryStats(); st.DeadLettered != uint64(n) {
+		t.Fatalf("dead-letter counter = %d, want %d (counter is unbounded)", st.DeadLettered, n)
+	}
+}
+
+// TestHopBudgetStopsRoutingLoop: two platforms whose routes forward to
+// each other must not circulate an unroutable envelope forever.
+func TestHopBudgetStopsRoutingLoop(t *testing.T) {
+	a := NewPlatform("a")
+	defer a.Close()
+	b := NewPlatform("b")
+	defer b.Close()
+	// Each route models a transport: increments Hops at ingress of the
+	// peer platform, exactly like Gateway.readLoop does.
+	a.AddRoute(func(env Envelope) bool {
+		env.Hops++
+		return b.Send(env) == nil
+	})
+	b.AddRoute(func(env Envelope) bool {
+		env.Hops++
+		return a.Send(env) == nil
+	})
+	env, _ := NewEnvelope("x", "nowhere", "inform", "o", nil)
+	_ = a.Send(env) // must terminate
+	expired := a.DeliveryStats().Reasons[DropTTLExpired] + b.DeliveryStats().Reasons[DropTTLExpired]
+	if expired == 0 {
+		t.Fatal("looping envelope was never dropped as ttl_expired")
+	}
+}
+
+// --- transport failure paths ----------------------------------------------
+
+// TestGatewaySurvivesPeerClosingMidStream: a peer that sends garbage and
+// slams the connection must not take the gateway down.
+func TestGatewaySurvivesPeerClosingMidStream(t *testing.T) {
+	server := NewPlatform("server")
+	defer server.Close()
+	c := newCollector(1)
+	if err := server.Register("sink", c, Attributes{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	gw, err := ListenAndServe(server, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	// A rude peer: half an envelope, then gone.
+	conn, err := net.Dial("tcp", gw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte(`{"seq":1,"from":"rude","to":"si`)); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	// A well-behaved peer still gets through.
+	client := NewPlatform("client")
+	defer client.Close()
+	link, err := Dial(client, gw.Addr(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer link.Close()
+	env, _ := NewEnvelope("polite", "sink", "inform", "o", "hello")
+	if err := client.Send(env); err != nil {
+		t.Fatal(err)
+	}
+	got := c.wait(t)
+	var body string
+	if err := got[0].Decode(&body); err != nil || body != "hello" {
+		t.Fatalf("body = %q err=%v", body, err)
+	}
+}
+
+// freeAddr reserves an address and releases it, so a later listener can
+// claim it.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestDialReconnectToDeadAddressBuffersAndReplays: dialling an address
+// nobody is listening on is not an error — envelopes buffer and replay
+// once the gateway appears.
+func TestDialReconnectToDeadAddressBuffersAndReplays(t *testing.T) {
+	addr := freeAddr(t)
+
+	client := NewPlatform("client")
+	defer client.Close()
+	link := DialReconnect(client, addr, ReconnectOptions{BaseDelay: 5 * time.Millisecond})
+	defer link.Close()
+
+	const n = 5
+	for i := 0; i < n; i++ {
+		env, _ := NewEnvelope("src", "sink", "inform", "o", i)
+		if err := client.Send(env); err != nil {
+			t.Fatalf("send while down: %v", err)
+		}
+	}
+	if link.Stats().Buffered != n {
+		t.Fatalf("buffered = %d, want %d", link.Stats().Buffered, n)
+	}
+
+	server := NewPlatform("server")
+	defer server.Close()
+	c := newCollector(n)
+	if err := server.Register("sink", c, Attributes{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	gw, err := ListenAndServe(server, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	got := c.wait(t)
+	for i, env := range got {
+		var v int
+		if err := env.Decode(&v); err != nil || v != i {
+			t.Fatalf("replay order broken at %d: got %d (err %v)", i, v, err)
+		}
+		if env.Hops != 1 {
+			t.Fatalf("hops = %d after one transport ingress", env.Hops)
+		}
+	}
+	st := link.Stats()
+	if st.Replayed != n || st.Connects != 1 || st.Buffered != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// waitFor polls until cond is true or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestReconnectAfterGatewayRestartReplaysInOrder: the full disconnect →
+// buffer → redial → replay cycle against a restarted gateway.
+func TestReconnectAfterGatewayRestartReplaysInOrder(t *testing.T) {
+	server := NewPlatform("server")
+	defer server.Close()
+	c := newCollector(4)
+	if err := server.Register("sink", c, Attributes{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	gw, err := ListenAndServe(server, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := gw.Addr()
+
+	client := NewPlatform("client")
+	defer client.Close()
+	link := DialReconnect(client, addr, ReconnectOptions{BaseDelay: 5 * time.Millisecond})
+	defer link.Close()
+	waitFor(t, "initial connect", link.Connected)
+
+	env0, _ := NewEnvelope("src", "sink", "inform", "o", 0)
+	if err := client.Send(env0); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "first envelope to land", func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return len(c.got) == 1
+	})
+
+	// Forced disconnect: the gateway goes away with the connection.
+	gw.Close()
+	waitFor(t, "link to notice the disconnect", func() bool { return !link.Connected() })
+
+	for i := 1; i <= 3; i++ {
+		env, _ := NewEnvelope("src", "sink", "inform", "o", i)
+		if err := client.Send(env); err != nil {
+			t.Fatalf("send while disconnected: %v", err)
+		}
+	}
+
+	gw2, err := ListenAndServe(server, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw2.Close()
+
+	got := c.wait(t)
+	for i, env := range got {
+		var v int
+		if err := env.Decode(&v); err != nil || v != i {
+			t.Fatalf("order broken at %d: got %d (err %v); all: %d envelopes", i, v, err, len(got))
+		}
+	}
+	st := link.Stats()
+	if st.Connects < 2 {
+		t.Fatalf("connects = %d, want a reconnection", st.Connects)
+	}
+	if st.Replayed != 3 {
+		t.Fatalf("replayed = %d, want 3", st.Replayed)
+	}
+}
+
+// TestReconnectBufferOverflowDeadLetters: the store-and-forward queue is
+// bounded; the overflow is accounted, not silent.
+func TestReconnectBufferOverflowDeadLetters(t *testing.T) {
+	addr := freeAddr(t)
+	client := NewPlatform("client")
+	defer client.Close()
+	link := DialReconnect(client, addr, ReconnectOptions{MaxBuffer: 2, BaseDelay: time.Hour})
+	defer link.Close()
+	for i := 0; i < 5; i++ {
+		env, _ := NewEnvelope("src", "sink", "inform", "o", i)
+		if err := client.Send(env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := link.Stats()
+	if st.Buffered != 2 || st.Overflowed != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	ds := client.DeliveryStats()
+	if ds.Reasons[DropLinkDown] != 3 {
+		t.Fatalf("link_down dead letters = %d, want 3", ds.Reasons[DropLinkDown])
+	}
+	// The oldest envelopes were evicted; the newest two remain queued.
+	dls := client.DeadLetters()
+	var v int
+	if err := dls[0].Env.Decode(&v); err != nil || v != 0 {
+		t.Fatalf("first evicted = %d (err %v), want 0", v, err)
+	}
+}
+
+// TestReconnectLinkCloseDeadLettersBuffer: closing a down link accounts
+// for what it was still holding.
+func TestReconnectLinkCloseDeadLettersBuffer(t *testing.T) {
+	addr := freeAddr(t)
+	client := NewPlatform("client")
+	defer client.Close()
+	link := DialReconnect(client, addr, ReconnectOptions{BaseDelay: time.Hour})
+	env, _ := NewEnvelope("src", "sink", "inform", "o", nil)
+	if err := client.Send(env); err != nil {
+		t.Fatal(err)
+	}
+	link.Close()
+	link.Close() // idempotent
+	if client.Routes() != 0 {
+		t.Fatalf("routes = %d after close", client.Routes())
+	}
+	if n := client.DeliveryStats().Reasons[DropLinkDown]; n != 1 {
+		t.Fatalf("link_down dead letters = %d, want 1", n)
+	}
+}

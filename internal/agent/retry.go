@@ -1,0 +1,250 @@
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Retry layer: the paper's runtime must "handle the transport level
+// problems caused by low bandwidth, high latency, frequent disconnections
+// and network topology changes". Envelope delivery is at-most-once per
+// attempt, so conversations that must survive loss re-send with
+// exponential backoff and correlate the reply against every attempt.
+
+// RetryPolicy shapes CallRetry / SendRetry backoff.
+type RetryPolicy struct {
+	// MaxAttempts bounds total sends (first try included; default 4).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff (default 2s).
+	MaxDelay time.Duration
+	// Multiplier grows the backoff per attempt (default 2).
+	Multiplier float64
+	// Jitter randomises each backoff by ±Jitter fraction (default 0.2).
+	Jitter float64
+	// AttemptTimeout bounds the wait for a reply per attempt before
+	// re-sending (CallRetry only; default: overall timeout divided by
+	// MaxAttempts).
+	AttemptTimeout time.Duration
+	// Seed makes the jitter sequence deterministic when nonzero —
+	// chaos tests pin it so backoff schedules are reproducible.
+	Seed int64
+}
+
+// DefaultRetryPolicy returns the stock policy.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    2 * time.Second,
+		Multiplier:  2,
+		Jitter:      0.2,
+	}
+}
+
+// withDefaults fills zero fields.
+func (rp RetryPolicy) withDefaults() RetryPolicy {
+	def := DefaultRetryPolicy()
+	if rp.MaxAttempts <= 0 {
+		rp.MaxAttempts = def.MaxAttempts
+	}
+	if rp.BaseDelay <= 0 {
+		rp.BaseDelay = def.BaseDelay
+	}
+	if rp.MaxDelay <= 0 {
+		rp.MaxDelay = def.MaxDelay
+	}
+	if rp.Multiplier < 1 {
+		rp.Multiplier = def.Multiplier
+	}
+	if rp.Jitter < 0 || rp.Jitter > 1 {
+		rp.Jitter = def.Jitter
+	}
+	return rp
+}
+
+// backoffSource yields the jittered backoff before each retry.
+type backoffSource struct {
+	policy RetryPolicy
+	delay  time.Duration
+	mu     sync.Mutex
+	rng    *rand.Rand // nil = global rand
+}
+
+func newBackoffSource(rp RetryPolicy) *backoffSource {
+	b := &backoffSource{policy: rp, delay: rp.BaseDelay}
+	if rp.Seed != 0 {
+		b.rng = rand.New(rand.NewSource(rp.Seed))
+	}
+	return b
+}
+
+// next returns the current jittered delay and grows the base delay.
+func (b *backoffSource) next() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	d := b.delay
+	grown := time.Duration(float64(b.delay) * b.policy.Multiplier)
+	if grown > b.policy.MaxDelay {
+		grown = b.policy.MaxDelay
+	}
+	b.delay = grown
+	if b.policy.Jitter > 0 {
+		var u float64
+		if b.rng != nil {
+			u = b.rng.Float64()
+		} else {
+			u = rand.Float64()
+		}
+		// Scale into [1-Jitter, 1+Jitter].
+		d = time.Duration(float64(d) * (1 - b.policy.Jitter + 2*b.policy.Jitter*u))
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// SendRetry sends an envelope, re-attempting transient failures (mailbox
+// full, no route — e.g. a link mid-reconnect) with backoff until the
+// policy or deadline is exhausted. Permanent errors (closed platform, TTL
+// exhausted) fail immediately. The envelope keeps one sequence number
+// across attempts, so a duplicate arrival is detectable by the receiver.
+func SendRetry(p *Platform, env Envelope, timeout time.Duration, policy RetryPolicy) error {
+	rp := policy.withDefaults()
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	if env.Seq == 0 {
+		env.Seq = p.seq.next()
+	}
+	deadline := time.Now().Add(timeout)
+	backoff := newBackoffSource(rp)
+	var err error
+	for attempt := 1; attempt <= rp.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			p.noteRetry()
+		}
+		err = p.Send(env)
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, ErrClosed) || errors.Is(err, ErrTTLExpired) {
+			return err
+		}
+		wait := backoff.next()
+		if attempt == rp.MaxAttempts || time.Now().Add(wait).After(deadline) {
+			break
+		}
+		time.Sleep(wait)
+	}
+	return err
+}
+
+// CallRetry performs a Call that survives envelope loss: each attempt
+// re-sends the request with a fresh sequence number, waits up to the
+// attempt timeout, and backs off (exponential + jitter) before the next
+// attempt, never exceeding the overall timeout. The reply is correlated
+// against *every* attempt's sequence number, so a slow reply to attempt 1
+// still completes the conversation during attempt 3 — which also means
+// the request may be handled more than once: use it for idempotent
+// conversations (queries, discovery, advertisements with leases).
+func CallRetry(p *Platform, to ID, performative, ontology string, body any, timeout time.Duration, policy RetryPolicy) (Envelope, error) {
+	rp := policy.withDefaults()
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	attemptTimeout := rp.AttemptTimeout
+	if attemptTimeout <= 0 {
+		attemptTimeout = timeout / time.Duration(rp.MaxAttempts)
+		if attemptTimeout < time.Millisecond {
+			attemptTimeout = time.Millisecond
+		}
+	}
+
+	self := ID(fmt.Sprintf("caller-%d", callCounter.Add(1)))
+	replies := make(chan Envelope, 8)
+	err := p.Register(self, HandlerFunc(func(env Envelope, ctx *Context) {
+		select {
+		case replies <- env:
+		default:
+		}
+	}), Attributes{Agent: map[string]string{AttrRole: RoleClient}}, nil)
+	if err != nil {
+		return Envelope{}, err
+	}
+	defer p.Deregister(self)
+
+	template, err := NewEnvelope(self, to, performative, ontology, body)
+	if err != nil {
+		return Envelope{}, err
+	}
+
+	deadline := time.Now().Add(timeout)
+	backoff := newBackoffSource(rp)
+	// Seqs of every attempt sent so far; a reply to any of them wins.
+	sent := map[uint64]bool{}
+	var lastErr error
+	for attempt := 1; attempt <= rp.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			p.noteRetry()
+		}
+		env := template
+		env.Seq = p.seq.next()
+		sent[env.Seq] = true
+		if err := p.Send(env); err != nil {
+			if errors.Is(err, ErrClosed) {
+				return Envelope{}, err
+			}
+			// Transient (mailbox full, link down with no buffer, no
+			// route yet): back off and re-attempt like a lost packet.
+			lastErr = err
+		}
+
+		attemptDeadline := time.Now().Add(attemptTimeout)
+		if attemptDeadline.After(deadline) {
+			attemptDeadline = deadline
+		}
+		timer := time.NewTimer(time.Until(attemptDeadline))
+	wait:
+		for {
+			select {
+			case r := <-replies:
+				if sent[r.InReplyTo] {
+					timer.Stop()
+					return r, nil
+				}
+				// Stray envelope: keep waiting.
+			case <-timer.C:
+				break wait
+			}
+		}
+		if attempt == rp.MaxAttempts || !time.Now().Before(deadline) {
+			break
+		}
+		wait := backoff.next()
+		if remaining := time.Until(deadline); wait > remaining {
+			wait = remaining
+		}
+		if wait > 0 {
+			time.Sleep(wait)
+		}
+		// A reply may have landed during the backoff sleep.
+		select {
+		case r := <-replies:
+			if sent[r.InReplyTo] {
+				return r, nil
+			}
+		default:
+		}
+	}
+	if lastErr != nil {
+		return Envelope{}, fmt.Errorf("agent: call retry exhausted: %w", lastErr)
+	}
+	return Envelope{}, fmt.Errorf("%w: %s -> %s after %d attempts in %v",
+		ErrCallTimeout, performative, to, len(sent), timeout)
+}

@@ -11,7 +11,9 @@ import (
 // Transport: envelopes travel between platforms as newline-delimited JSON
 // over TCP. The framework is "network protocol independent" in the Ronin
 // sense — a platform only sees RouteFuncs; this file provides the stdlib
-// TCP instantiation used by the pgridd daemon.
+// TCP instantiation used by the pgridd daemon. Remote envelopes get their
+// Hops count incremented at ingress so the platform's hop budget can stop
+// routing loops.
 
 // wireConn wraps a connection with a locked JSON encoder.
 type wireConn struct {
@@ -37,6 +39,7 @@ func (w *wireConn) write(env Envelope) error {
 type Gateway struct {
 	platform *Platform
 	ln       net.Listener
+	routeID  RouteID
 
 	mu    sync.Mutex
 	conns map[*wireConn]map[ID]bool // remote IDs seen per connection
@@ -51,7 +54,7 @@ func ListenAndServe(p *Platform, addr string) (*Gateway, error) {
 		return nil, fmt.Errorf("agent: gateway listen: %w", err)
 	}
 	g := &Gateway{platform: p, ln: ln, conns: map[*wireConn]map[ID]bool{}, done: make(chan struct{})}
-	p.AddRoute(g.route)
+	g.routeID = p.AddRoute(g.route)
 	go g.acceptLoop()
 	return g, nil
 }
@@ -59,7 +62,8 @@ func ListenAndServe(p *Platform, addr string) (*Gateway, error) {
 // Addr reports the gateway's listen address.
 func (g *Gateway) Addr() string { return g.ln.Addr().String() }
 
-// Close stops accepting and closes all connections.
+// Close stops accepting, closes all connections, and uninstalls the
+// gateway's route from the platform.
 func (g *Gateway) Close() {
 	select {
 	case <-g.done:
@@ -67,6 +71,7 @@ func (g *Gateway) Close() {
 	default:
 		close(g.done)
 	}
+	g.platform.RemoveRoute(g.routeID)
 	g.ln.Close()
 	g.mu.Lock()
 	for wc := range g.conns {
@@ -105,7 +110,8 @@ func (g *Gateway) readLoop(wc *wireConn) {
 		g.mu.Lock()
 		g.conns[wc][env.From] = true
 		g.mu.Unlock()
-		_ = g.platform.Send(env) // undeliverable remote envelopes are counted as drops
+		env.Hops++
+		_ = g.platform.Send(env) // undeliverable remote envelopes are dead-lettered
 	}
 }
 
@@ -122,10 +128,13 @@ func (g *Gateway) route(env Envelope) bool {
 }
 
 // Link is a client-side connection from one platform to a remote gateway.
+// It does not survive the connection: see ReconnectLink for the
+// disconnection-tolerant variant.
 type Link struct {
 	platform *Platform
 	wc       *wireConn
 	filter   func(ID) bool
+	routeID  RouteID
 	closed   chan struct{}
 }
 
@@ -139,13 +148,12 @@ func Dial(p *Platform, addr string, filter func(ID) bool) (*Link, error) {
 		return nil, fmt.Errorf("agent: dial gateway: %w", err)
 	}
 	l := &Link{platform: p, wc: newWireConn(conn), filter: filter, closed: make(chan struct{})}
-	p.AddRoute(l.route)
+	l.routeID = p.AddRoute(l.route)
 	go l.readLoop()
 	return l, nil
 }
 
-// Close tears the link down. The platform route remains installed but
-// rejects traffic.
+// Close tears the link down and uninstalls its route from the platform.
 func (l *Link) Close() {
 	select {
 	case <-l.closed:
@@ -153,6 +161,7 @@ func (l *Link) Close() {
 	default:
 		close(l.closed)
 	}
+	l.platform.RemoveRoute(l.routeID)
 	l.wc.conn.Close()
 }
 
@@ -175,6 +184,7 @@ func (l *Link) readLoop() {
 		if err := dec.Decode(&env); err != nil {
 			return
 		}
+		env.Hops++
 		_ = l.platform.Send(env)
 	}
 }

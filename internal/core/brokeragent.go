@@ -117,6 +117,39 @@ func (rt *Runtime) RegisterBrokerAgent(p *agent.Platform) error {
 		if err != nil {
 			return
 		}
-		_ = ctx.Send(out)
-	}), attrs, nil)
+		out.From = ctx.Self
+		_ = agent.SendRetry(ctx.Platform, out, 2*time.Second, replyPolicy)
+	}), attrs, rt.DeputyWrap)
+}
+
+// Discover asks a platform's broker agent for service matches through the
+// retry layer. Discovery is a pure lookup, so replayed requests are
+// harmless.
+func Discover(p *agent.Platform, req ontology.Request, max int, timeout time.Duration, policy agent.RetryPolicy) (DiscoverReply, error) {
+	env, err := agent.CallRetry(p, BrokerAgentID, "discover", DiscoveryOntology,
+		DiscoverRequest{Request: req, Max: max}, timeout, policy)
+	if err != nil {
+		return DiscoverReply{}, err
+	}
+	var reply DiscoverReply
+	if err := env.Decode(&reply); err != nil {
+		return DiscoverReply{}, err
+	}
+	return reply, nil
+}
+
+// Advertise registers a service profile with a platform's broker agent
+// through the retry layer. Re-registration under the same name renews the
+// lease, so a duplicated request is idempotent.
+func Advertise(p *agent.Platform, profile ontology.Profile, ttl time.Duration, timeout time.Duration, policy agent.RetryPolicy) (AdvertiseReply, error) {
+	env, err := agent.CallRetry(p, BrokerAgentID, "advertise", DiscoveryOntology,
+		AdvertiseRequest{Profile: profile, TTLSeconds: ttl.Seconds()}, timeout, policy)
+	if err != nil {
+		return AdvertiseReply{}, err
+	}
+	var reply AdvertiseReply
+	if err := env.Decode(&reply); err != nil {
+		return AdvertiseReply{}, err
+	}
+	return reply, nil
 }

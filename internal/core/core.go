@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 
+	"pervasivegrid/internal/agent"
 	"pervasivegrid/internal/discovery"
 	"pervasivegrid/internal/grid"
 	"pervasivegrid/internal/ontology"
@@ -78,6 +79,12 @@ type Runtime struct {
 	DM      *partition.DecisionMaker
 	Onto    *ontology.Ontology
 	Broker  *discovery.Broker
+
+	// DeputyWrap, when set, decorates the deputy of every agent this
+	// runtime registers (query, broker, solver bidders). The pgridd
+	// daemon points it at a faultinject.Injector for chaos experiments;
+	// tests use it to make the real messaging path lossy.
+	DeputyWrap func(agent.Deputy) agent.Deputy
 
 	// clock is the runtime's virtual time in seconds, advanced by query
 	// execution and continuous epochs.

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+	"time"
+
 	"pervasivegrid/internal/agent"
 	"pervasivegrid/internal/partition"
 	"pervasivegrid/internal/query"
@@ -83,8 +86,33 @@ func (rt *Runtime) RegisterQueryAgent(p *agent.Platform) error {
 		if err != nil {
 			return
 		}
-		_ = ctx.Send(out)
-	}), attrs, nil)
+		out.From = ctx.Self
+		// A computed query result is too expensive to lose to a briefly
+		// full mailbox or a link mid-reconnect: retry the reply.
+		_ = agent.SendRetry(ctx.Platform, out, 2*time.Second, replyPolicy)
+	}), attrs, rt.DeputyWrap)
+}
+
+// replyPolicy is the short retry used for agent replies: enough to ride
+// out a reconnect window, cheap enough not to stall the handler goroutine.
+var replyPolicy = agent.RetryPolicy{MaxAttempts: 3, BaseDelay: 20 * time.Millisecond, MaxDelay: 200 * time.Millisecond}
+
+// AskQuery is the handheld side of the conversation: it submits a query
+// to a platform's query agent (local, or across a gateway/link) through
+// the retry layer, so a lossy or briefly partitioned transport degrades
+// into latency instead of failure. Query execution is idempotent, which
+// is what makes the re-send safe.
+func AskQuery(p *agent.Platform, src string, timeout time.Duration, policy agent.RetryPolicy) (QueryReply, error) {
+	env, err := agent.CallRetry(p, QueryAgentID, "request", QueryOntology,
+		QueryRequest{Query: src}, timeout, policy)
+	if err != nil {
+		return QueryReply{}, err
+	}
+	var reply QueryReply
+	if err := env.Decode(&reply); err != nil {
+		return QueryReply{}, fmt.Errorf("core: bad query reply: %w", err)
+	}
+	return reply, nil
 }
 
 // ChooseOnly runs the decision maker without executing — used by tools

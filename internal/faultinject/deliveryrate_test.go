@@ -1,0 +1,72 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+
+	"pervasivegrid/internal/agent"
+)
+
+// Delivery-rate experiment (EXPERIMENTS.md E11): under 10% injected drop
+// on the responder's deputy, a bare Call succeeds ~90% of the time — each
+// lost request is a lost conversation — while CallRetry with 6 attempts
+// recovers all of them (per-conversation failure rate 0.1^6; with seed 3
+// one conversation loses 4 attempts in a row, so 4 is not enough). The
+// seeds are fixed, so the measured rates are exactly reproducible.
+func TestDeliveryRateUnderTenPercentDrop(t *testing.T) {
+	const n = 300
+
+	run := func(seed int64, converse func(p *agent.Platform, i int) bool) (ok int, retries uint64) {
+		p := agent.NewPlatform("rate")
+		defer p.Close()
+		in := New(Config{Seed: seed, DropProb: 0.10})
+		err := p.Register("echo", agent.HandlerFunc(func(env agent.Envelope, ctx *agent.Context) {
+			r, err := env.Reply("inform", "pong")
+			if err != nil {
+				return
+			}
+			_ = ctx.Send(r)
+		}), agent.Attributes{}, in.WrapDeputy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if converse(p, i) {
+				ok++
+			}
+		}
+		return ok, p.DeliveryStats().Retries
+	}
+
+	// Baseline: one shot per conversation, 10% of requests evaporate.
+	bareOK, _ := run(3, func(p *agent.Platform, i int) bool {
+		_, err := agent.Call(p, "echo", "request", "o", i, 25*time.Millisecond)
+		return err == nil
+	})
+
+	// Retry layer: the same loss becomes latency.
+	policy := agent.RetryPolicy{
+		MaxAttempts:    6,
+		BaseDelay:      2 * time.Millisecond,
+		MaxDelay:       10 * time.Millisecond,
+		AttemptTimeout: 25 * time.Millisecond,
+		Seed:           5,
+	}
+	retryOK, retries := run(3, func(p *agent.Platform, i int) bool {
+		_, err := agent.CallRetry(p, "echo", "request", "o", i, time.Second, policy)
+		return err == nil
+	})
+
+	t.Logf("bare Call:  %d/%d conversations (%.1f%%)", bareOK, n, 100*float64(bareOK)/n)
+	t.Logf("CallRetry:  %d/%d conversations (%.1f%%), %d retries", retryOK, n, 100*float64(retryOK)/n, retries)
+
+	if bareOK < n*80/100 || bareOK > n*97/100 {
+		t.Fatalf("bare success = %d/%d, want ~90%%", bareOK, n)
+	}
+	if retryOK != n {
+		t.Fatalf("retry success = %d/%d, want every conversation to complete", retryOK, n)
+	}
+	if retries == 0 {
+		t.Fatal("retry layer reported no retries under 10% loss")
+	}
+}

@@ -1,0 +1,216 @@
+// Package faultinject wraps the agent platform's delivery primitives with
+// seeded, deterministic fault injection: probabilistic envelope drop,
+// added latency, duplication, and explicit partition windows. The paper
+// demands a runtime that survives "low bandwidth, high latency, frequent
+// disconnections and network topology changes"; this package is how the
+// test suite *manufactures* those conditions on the real messaging path —
+// not just in the simulated sensornet — so retry, reconnect, and
+// dead-letter machinery can be exercised reproducibly.
+//
+// Faults are modelled as a lossy radio: a dropped envelope is silently
+// swallowed (Deliver returns nil, RouteFunc returns true), exactly like a
+// lost packet. Senders learn about it the only way a real sender can — by
+// not hearing back — which is what forces the retry layer to do its job.
+package faultinject
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"pervasivegrid/internal/agent"
+)
+
+// Config parameterises an Injector.
+type Config struct {
+	// Seed makes the fault sequence deterministic (0 picks seed 1, so an
+	// unconfigured injector is still reproducible).
+	Seed int64
+	// DropProb is the probability an envelope is silently dropped.
+	DropProb float64
+	// DupProb is the probability an envelope is delivered twice.
+	DupProb float64
+	// Latency delays each delivery by Latency plus a uniform random
+	// amount in [0, LatencyJitter). Delayed deliveries happen on a
+	// timer goroutine, so senders are not blocked.
+	Latency       time.Duration
+	LatencyJitter time.Duration
+	// DropEveryN deterministically drops every Nth envelope (counted
+	// across the injector) in addition to DropProb. Useful for tests
+	// that need an exact loss pattern.
+	DropEveryN int
+}
+
+// Stats counts injected faults.
+type Stats struct {
+	// Seen counts envelopes that entered the injector.
+	Seen uint64
+	// Passed counts envelopes forwarded unharmed (delayed ones count
+	// once delivered).
+	Passed uint64
+	// Dropped counts silently discarded envelopes.
+	Dropped uint64
+	// Duplicated counts extra copies delivered.
+	Duplicated uint64
+	// Delayed counts deliveries that went through the latency timer.
+	Delayed uint64
+}
+
+// Injector decides each envelope's fate from a seeded RNG. One injector
+// can wrap any number of deputies and routes; decisions interleave in
+// wrap-call order, which is deterministic when the traffic is.
+type Injector struct {
+	mu          sync.Mutex
+	rng         *rand.Rand
+	cfg         Config
+	partitioned bool
+	count       uint64
+	stats       Stats
+}
+
+// New builds an injector.
+func New(cfg Config) *Injector {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Injector{rng: rand.New(rand.NewSource(seed)), cfg: cfg}
+}
+
+// SetPartitioned opens (true) or heals (false) a full partition: while
+// partitioned every envelope is dropped regardless of DropProb.
+func (in *Injector) SetPartitioned(p bool) {
+	in.mu.Lock()
+	in.partitioned = p
+	in.mu.Unlock()
+}
+
+// PartitionFor opens a partition that heals itself after d — a scheduled
+// network outage for chaos experiments.
+func (in *Injector) PartitionFor(d time.Duration) {
+	in.SetPartitioned(true)
+	time.AfterFunc(d, func() { in.SetPartitioned(false) })
+}
+
+// Stats snapshots the fault counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// verdict is one envelope's fate.
+type verdict struct {
+	drop  bool
+	dup   bool
+	delay time.Duration
+}
+
+func (in *Injector) decide() verdict {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.count++
+	in.stats.Seen++
+	v := verdict{}
+	if in.partitioned {
+		v.drop = true
+	}
+	if in.cfg.DropEveryN > 0 && in.count%uint64(in.cfg.DropEveryN) == 0 {
+		v.drop = true
+	}
+	if in.cfg.DropProb > 0 && in.rng.Float64() < in.cfg.DropProb {
+		v.drop = true
+	}
+	if v.drop {
+		in.stats.Dropped++
+		return v
+	}
+	if in.cfg.DupProb > 0 && in.rng.Float64() < in.cfg.DupProb {
+		v.dup = true
+		in.stats.Duplicated++
+	}
+	if in.cfg.Latency > 0 || in.cfg.LatencyJitter > 0 {
+		v.delay = in.cfg.Latency
+		if in.cfg.LatencyJitter > 0 {
+			v.delay += time.Duration(in.rng.Int63n(int64(in.cfg.LatencyJitter)))
+		}
+		in.stats.Delayed++
+	}
+	return v
+}
+
+func (in *Injector) notePassed(n uint64) {
+	in.mu.Lock()
+	in.stats.Passed += n
+	in.mu.Unlock()
+}
+
+// apply runs the verdict against a delivery thunk.
+func (in *Injector) apply(deliver func()) {
+	v := in.decide()
+	if v.drop {
+		return
+	}
+	n := uint64(1)
+	if v.dup {
+		n = 2
+	}
+	run := func() {
+		for i := uint64(0); i < n; i++ {
+			deliver()
+		}
+		in.notePassed(n)
+	}
+	if v.delay > 0 {
+		time.AfterFunc(v.delay, run)
+		return
+	}
+	run()
+}
+
+// faultDeputy wraps a Deputy.
+type faultDeputy struct {
+	in   *Injector
+	next agent.Deputy
+}
+
+// Deliver implements agent.Deputy. Drops return nil — a lossy radio, not
+// an error the sender could observe.
+func (d *faultDeputy) Deliver(env agent.Envelope) error {
+	d.in.apply(func() { _ = d.next.Deliver(env) })
+	return nil
+}
+
+// WrapDeputy decorates a deputy with this injector's faults; pass it as
+// the wrap argument of Platform.Register.
+func (in *Injector) WrapDeputy(next agent.Deputy) agent.Deputy {
+	return &faultDeputy{in: in, next: next}
+}
+
+// WrapRoute decorates a RouteFunc: faulted envelopes are still reported
+// as accepted (true), mimicking a link that took the packet and lost it.
+func (in *Injector) WrapRoute(next agent.RouteFunc) agent.RouteFunc {
+	return func(env agent.Envelope) bool {
+		accepted := true
+		v := in.decide()
+		if v.drop {
+			return true
+		}
+		n := 1
+		if v.dup {
+			n = 2
+		}
+		run := func() {
+			for i := 0; i < n; i++ {
+				accepted = next(env) && accepted
+			}
+			in.notePassed(uint64(n))
+		}
+		if v.delay > 0 {
+			time.AfterFunc(v.delay, run)
+			return true
+		}
+		run()
+		return accepted
+	}
+}
