@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test race vet check bench
+# Total-statement coverage must not regress below the seed baseline
+# (85% at the time the observability layer landed).
+COVER_FLOOR ?= 84.0
+
+.PHONY: build test race vet cover check bench
 
 build:
 	$(GO) build ./...
@@ -12,12 +16,25 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -count=1 ./...
 
-# The verification gate: static analysis plus the full suite under the
-# race detector. The agent platform, transports, and solvers must stay
-# race-clean.
-check: vet race
+# cover enforces the repository-wide statement coverage floor.
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out ./...
+	@total=$$($(GO) tool cover -func=cover.out | tail -1 | awk '{gsub(/%/,"",$$3); print $$3}'); \
+	awk -v t=$$total -v f=$(COVER_FLOOR) 'BEGIN { \
+		if (t+0 < f+0) { printf "FAIL: coverage %.1f%% below floor %.1f%%\n", t, f; exit 1 } \
+		printf "coverage %.1f%% (floor %.1f%%)\n", t, f }'
 
+# The verification gate: static analysis, the full suite under the race
+# detector, and the coverage floor. The agent platform, transports, and
+# solvers must stay race-clean.
+check: vet race cover
+
+# bench regenerates every experiment table plus the instrumented
+# hot-path micro-benchmarks (delivery, discovery match, envelope codec)
+# once each, recording the run as test2json events in BENCH_obs.json.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x -json ./... > BENCH_obs.json
+	@grep -o '"Output":"Benchmark[^"]*ns/op[^"]*"' BENCH_obs.json | sed 's/"Output":"//; s/\\n"$$//; s/\\t/\t/g' || true
+	@echo "wrote BENCH_obs.json"

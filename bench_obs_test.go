@@ -1,0 +1,153 @@
+package pervasivegrid_test
+
+// Hot-path micro-benchmarks for the paths the observability layer
+// instruments: local envelope delivery, semantic discovery matching, and
+// envelope codec round-trips. `make bench` runs these (together with the
+// experiment-table benchmarks) and records the output in BENCH_obs.json,
+// so instrumentation overhead regressions show up as allocation or
+// latency deltas between runs.
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"pervasivegrid/internal/agent"
+	"pervasivegrid/internal/discovery"
+	"pervasivegrid/internal/obs"
+	"pervasivegrid/internal/ontology"
+)
+
+// BenchmarkPlatformDeliver measures one instrumented local delivery:
+// Send through the deputy into the handler, confirmed per iteration so
+// the mailbox never saturates.
+func BenchmarkPlatformDeliver(b *testing.B) {
+	p := agent.NewPlatform("bench")
+	defer p.Close()
+	done := make(chan struct{}, 1)
+	if err := p.Register("sink", agent.HandlerFunc(func(agent.Envelope, *agent.Context) {
+		done <- struct{}{}
+	}), agent.Attributes{}, nil); err != nil {
+		b.Fatal(err)
+	}
+	env, err := agent.NewEnvelope("bench", "sink", "inform", "b", map[string]float64{"temp": 21.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Send(env); err != nil {
+			b.Fatal(err)
+		}
+		<-done
+	}
+	b.StopTimer()
+	snap := p.MetricsSnapshot()
+	if h, ok := snap.Histograms["agent_deliver_latency_seconds"]; ok && h.Count > 0 {
+		b.ReportMetric(h.P99*1e9, "p99-ns")
+	}
+}
+
+// BenchmarkPlatformDeliverTraced is the same path with a tracer attached,
+// quantifying the per-envelope cost of span recording.
+func BenchmarkPlatformDeliverTraced(b *testing.B) {
+	p := agent.NewPlatform("bench")
+	p.Tracer = obs.NewTracer(4096)
+	defer p.Close()
+	done := make(chan struct{}, 1)
+	if err := p.Register("sink", agent.HandlerFunc(func(agent.Envelope, *agent.Context) {
+		done <- struct{}{}
+	}), agent.Attributes{}, nil); err != nil {
+		b.Fatal(err)
+	}
+	env, err := agent.NewEnvelope("bench", "sink", "inform", "b", map[string]float64{"temp": 21.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := env
+		e.TraceID = 0 // fresh trace per delivery
+		if err := p.Send(e); err != nil {
+			b.Fatal(err)
+		}
+		<-done
+	}
+}
+
+// BenchmarkDiscoveryMatch measures one semantic lookup against a
+// 500-profile registry — the paper's discovery hot path.
+func BenchmarkDiscoveryMatch(b *testing.B) {
+	o := ontology.Pervasive()
+	m := discovery.NewSemanticMatcher(o)
+	r := discovery.NewRegistry()
+	for i := 0; i < 500; i++ {
+		concept := "PrinterService"
+		if i%3 == 0 {
+			concept = "ColorPrinter"
+		}
+		p := &ontology.Profile{
+			Name: fmt.Sprintf("svc-%d", i), Concept: concept,
+			Interface: "Printer.printIt", UUID: fmt.Sprintf("uuid-%d", i),
+			Properties: map[string]ontology.Value{
+				"queue": ontology.Num(float64(i % 10)),
+				"cost":  ontology.Num(0.01 * float64(i%12)),
+				"color": ontology.Str("yes"),
+				"x":     ontology.Num(float64(i % 100)),
+				"y":     ontology.Num(float64(i % 80)),
+			},
+		}
+		if _, err := r.Register(p, time.Hour); err != nil {
+			b.Fatal(err)
+		}
+	}
+	req := ontology.Request{
+		Concept: "ColorPrinter",
+		Constraints: []ontology.Constraint{
+			{Property: "color", Op: ontology.OpEq, Value: ontology.Str("yes")},
+			{Property: "cost", Op: ontology.OpLe, Value: ontology.Num(0.10)},
+		},
+		PreferLow: []string{"queue"},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := r.Lookup(m, req); len(got) == 0 {
+			b.Fatal("lookup found nothing")
+		}
+	}
+}
+
+// BenchmarkEnvelopeCodec measures a full wire round-trip of one envelope:
+// JSON framing as the TCP transport sends it, then decode plus body
+// extraction on the receiving side.
+func BenchmarkEnvelopeCodec(b *testing.B) {
+	env, err := agent.NewEnvelope("handheld", "query-agent", "request", "pgrid-query-v1",
+		map[string]string{"query": "SELECT temp FROM sensors WHERE sensor = 44"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	env.TraceID = obs.NewTraceID()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wire, err := json.Marshal(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out agent.Envelope
+		if err := json.Unmarshal(wire, &out); err != nil {
+			b.Fatal(err)
+		}
+		var body map[string]string
+		if err := out.Decode(&body); err != nil {
+			b.Fatal(err)
+		}
+		if out.TraceID != env.TraceID {
+			b.Fatal("trace id lost on the wire")
+		}
+	}
+}

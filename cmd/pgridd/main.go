@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -20,6 +22,7 @@ import (
 	"pervasivegrid/internal/agent"
 	"pervasivegrid/internal/core"
 	"pervasivegrid/internal/faultinject"
+	"pervasivegrid/internal/obs"
 	"pervasivegrid/internal/sensornet"
 )
 
@@ -34,6 +37,7 @@ func main() {
 	faultDup := flag.Float64("fault-dup", 0, "chaos: probability of duplicating an inbound envelope")
 	faultLatency := flag.Duration("fault-latency", time.Duration(0), "chaos: added delivery latency")
 	faultSeed := flag.Int64("fault-seed", 1, "chaos: fault-injection RNG seed")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /metrics.json on this address (empty = off)")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -90,6 +94,23 @@ func main() {
 		log.Fatalf("pgridd: %v", err)
 	}
 	defer gw.Close()
+
+	if *metricsAddr != "" {
+		if injector != nil {
+			injector.AttachMetrics(rt.Metrics)
+		}
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("pgridd: metrics listener: %v", err)
+		}
+		defer ln.Close()
+		go func() {
+			if err := http.Serve(ln, obs.Handler(platform.Metrics(), rt.Metrics)); err != nil {
+				log.Printf("pgridd: metrics server stopped: %v", err)
+			}
+		}()
+		fmt.Printf("pgridd: metrics on http://%s/metrics (and /metrics.json)\n", ln.Addr())
+	}
 
 	fmt.Printf("pgridd: %d sensors, %d grid resources, %d services advertised\n",
 		len(rt.Net.Sensors), len(rt.Cluster.Resources()), rt.Broker.Reg.Len())

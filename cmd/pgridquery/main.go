@@ -19,12 +19,14 @@ import (
 
 	"pervasivegrid/internal/agent"
 	"pervasivegrid/internal/core"
+	"pervasivegrid/internal/obs"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "pgridd address")
 	timeout := flag.Duration("timeout", 30*time.Second, "overall conversation timeout")
 	attempts := flag.Int("attempts", 4, "max send attempts (retry with backoff)")
+	trace := flag.Bool("trace", false, "dump the conversation's span timeline (client-side hops) after the reply")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, `usage: pgridquery [-addr host:port] "SELECT avg(temp) FROM sensors"`)
@@ -34,6 +36,9 @@ func main() {
 
 	platform := agent.NewPlatform("pgridquery")
 	defer platform.Close()
+	if *trace {
+		platform.Tracer = obs.NewTracer(4096)
+	}
 	link := agent.DialReconnect(platform, *addr, agent.ReconnectOptions{})
 	defer link.Close()
 
@@ -71,5 +76,11 @@ func main() {
 	}
 	if st := platform.DeliveryStats(); st.Retries > 0 {
 		fmt.Printf("retries:  %d\n", st.Retries)
+	}
+	if *trace {
+		for _, id := range platform.Tracer.Traces() {
+			fmt.Println()
+			fmt.Print(platform.Tracer.Timeline(id))
+		}
 	}
 }

@@ -43,6 +43,11 @@ type Envelope struct {
 	// envelopes whose hop count exceeds the platform budget so retry
 	// storms and route loops cannot circulate forever.
 	Hops int `json:"hops,omitempty"`
+	// TraceID ties every hop of a conversation together for the trace
+	// sink (see internal/obs). Assigned by Send on a tracing platform
+	// when zero; replies inherit it, and it crosses the wire with the
+	// envelope so remote platforms extend the same causal timeline.
+	TraceID uint64 `json:"traceId,omitempty"`
 	// Content is the opaque payload.
 	Content []byte `json:"content"`
 }
@@ -77,6 +82,7 @@ func (e Envelope) Reply(performative string, body any) (Envelope, error) {
 		return Envelope{}, err
 	}
 	r.InReplyTo = e.Seq
+	r.TraceID = e.TraceID
 	return r, nil
 }
 

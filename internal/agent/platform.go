@@ -4,8 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"pervasivegrid/internal/obs"
 )
 
 // Handler is an agent's behaviour: it receives each envelope delivered to
@@ -119,6 +122,18 @@ type Platform struct {
 	// ingress; Send dead-letters envelopes over budget.
 	MaxHops int
 
+	// Tracer, when set, receives a span for every hop an envelope takes
+	// through this platform (send, deliver, route, ingress, retry,
+	// drop). Envelopes without a TraceID get one assigned on Send so
+	// the whole conversation — including replies and remote hops — can
+	// be reassembled into a causal timeline. Nil disables tracing.
+	Tracer *obs.Tracer
+
+	// Clock is the time source for deliver-latency measurement and the
+	// retry/reconnect layers. Nil means the wall clock; tests inject
+	// obs.FakeClock to run backoff schedules without sleeping.
+	Clock obs.Clock
+
 	mu      sync.RWMutex
 	agents  map[ID]*registration
 	routes  []routeEntry
@@ -140,6 +155,10 @@ type Platform struct {
 	dlNext  int // next write position once the ring is full
 	dlTotal uint64
 	dlWhy   map[DropReason]uint64
+
+	// metrics is always non-nil for platforms built via NewPlatform;
+	// see docs/observability.md for the series catalog.
+	metrics *obs.Registry
 }
 
 // RouteFunc tries to deliver an envelope to a non-local destination. It
@@ -158,10 +177,44 @@ var ErrTTLExpired = errors.New("agent: envelope hop budget exhausted")
 // NewPlatform builds an empty platform.
 func NewPlatform(name string) *Platform {
 	return &Platform{
-		Name:   name,
-		agents: map[ID]*registration{},
-		dlWhy:  map[DropReason]uint64{},
+		Name:    name,
+		agents:  map[ID]*registration{},
+		dlWhy:   map[DropReason]uint64{},
+		metrics: obs.NewRegistry(),
 	}
+}
+
+// Metrics exposes the platform's metric registry so co-located
+// subsystems (runtime, injectors) can record into the same snapshot.
+func (p *Platform) Metrics() *obs.Registry { return p.metrics }
+
+// MetricsSnapshot captures every platform metric, including the
+// agent_deliver_latency_seconds histogram with p50/p95/p99.
+func (p *Platform) MetricsSnapshot() obs.Snapshot { return p.metrics.Snapshot() }
+
+// clock returns the configured time source (wall clock by default).
+func (p *Platform) clock() obs.Clock {
+	if p.Clock != nil {
+		return p.Clock
+	}
+	return obs.Real
+}
+
+// trace records a hop span when tracing is enabled.
+func (p *Platform) trace(kind string, env Envelope, note string) {
+	if p.Tracer == nil || env.TraceID == 0 {
+		return
+	}
+	p.Tracer.Record(obs.Span{
+		Trace: env.TraceID,
+		Seq:   env.Seq,
+		Time:  p.clock().Now(),
+		Node:  p.Name,
+		Kind:  kind,
+		From:  string(env.From),
+		To:    string(env.To),
+		Note:  note,
+	})
 }
 
 // Register hosts an agent under id with the given behaviour and attributes.
@@ -336,6 +389,10 @@ func (p *Platform) Send(env Envelope) error {
 	if env.Seq == 0 {
 		env.Seq = p.seq.next()
 	}
+	if p.Tracer != nil && env.TraceID == 0 {
+		env.TraceID = obs.NewTraceID()
+	}
+	p.trace(obs.SpanSend, env, "")
 	maxHops := p.MaxHops
 	if maxHops <= 0 {
 		maxHops = DefaultMaxHops
@@ -345,16 +402,27 @@ func (p *Platform) Send(env Envelope) error {
 		return fmt.Errorf("%w: %q after %d hops", ErrTTLExpired, env.To, env.Hops)
 	}
 	if local {
+		start := p.clock().Now()
 		if err := reg.deputy.Deliver(env); err != nil {
 			p.deadLetter(env, DropMailboxFull)
 			return err
 		}
 		p.delivered.Add(1)
+		p.metrics.Histogram("agent_deliver_latency_seconds").
+			Observe(p.clock().Now().Sub(start).Seconds())
+		p.metrics.Gauge("agent_mailbox_depth", "agent", string(env.To)).
+			Set(float64(len(reg.mailbox)))
+		p.metrics.Counter("agent_delivered_total").Inc()
+		p.trace(obs.SpanDeliver, env, "")
 		return nil
 	}
 	for _, r := range routes {
 		if r.fn(env) {
 			p.delivered.Add(1)
+			p.metrics.Counter("agent_delivered_total").Inc()
+			p.metrics.Counter("agent_route_delivered_total",
+				"route", strconv.FormatUint(uint64(r.id), 10)).Inc()
+			p.trace(obs.SpanRoute, env, "route "+strconv.FormatUint(uint64(r.id), 10))
 			return nil
 		}
 	}
@@ -365,6 +433,8 @@ func (p *Platform) Send(env Envelope) error {
 // deadLetter records a terminally undeliverable envelope.
 func (p *Platform) deadLetter(env Envelope, reason DropReason) {
 	p.dropped.Add(1)
+	p.metrics.Counter("agent_dead_letter_total", "reason", string(reason)).Inc()
+	p.trace(obs.SpanDrop, env, string(reason))
 	p.dlMu.Lock()
 	defer p.dlMu.Unlock()
 	p.dlTotal++
@@ -379,7 +449,10 @@ func (p *Platform) deadLetter(env Envelope, reason DropReason) {
 
 // noteRetry bumps the retry counter (CallRetry / SendRetry attempts beyond
 // the first).
-func (p *Platform) noteRetry() { p.retries.Add(1) }
+func (p *Platform) noteRetry() {
+	p.retries.Add(1)
+	p.metrics.Counter("agent_retries_total").Inc()
+}
 
 // DeliveryStats snapshots the platform's envelope accounting.
 func (p *Platform) DeliveryStats() DeliveryStats {

@@ -6,6 +6,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"pervasivegrid/internal/obs"
 )
 
 // ReconnectLink is the disconnection-tolerant client-side link: where Link
@@ -166,6 +168,7 @@ func (l *ReconnectLink) route(env Envelope) bool {
 		l.platform.deadLetter(oldest, DropLinkDown)
 	}
 	l.buffer = append(l.buffer, env)
+	l.platform.trace(obs.SpanBuffer, env, "link down")
 	return true
 }
 
@@ -220,6 +223,7 @@ func (l *ReconnectLink) install(wc *wireConn) bool {
 		if err := wc.write(l.buffer[0]); err != nil {
 			return false
 		}
+		l.platform.trace(obs.SpanReplay, l.buffer[0], "reconnected")
 		l.buffer = l.buffer[1:]
 		l.replayed++
 	}
@@ -253,6 +257,7 @@ func (l *ReconnectLink) readLoop(wc *wireConn) {
 			return
 		}
 		env.Hops++
+		l.platform.trace(obs.SpanIngress, env, "reconnect link")
 		_ = l.platform.Send(env)
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"pervasivegrid/internal/obs"
 )
 
 // --- satellite regressions -------------------------------------------------
@@ -268,15 +270,24 @@ func TestCallRetryExhaustsAgainstTotalLoss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	policy := RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond,
-		AttemptTimeout: 10 * time.Millisecond, Seed: 1}
+	// The fake clock runs a wall-clock-scale backoff schedule (seconds of
+	// attempt timeout) in microseconds of real time.
+	fc := obs.NewFakeClock()
+	stop := fc.AutoAdvance()
+	defer stop()
+	policy := RetryPolicy{MaxAttempts: 3, BaseDelay: 100 * time.Millisecond,
+		AttemptTimeout: time.Second, Seed: 1, Clock: fc}
+	epoch := fc.Now()
 	start := time.Now()
-	_, err = CallRetry(p, "void", "request", "o", nil, 500*time.Millisecond, policy)
+	_, err = CallRetry(p, "void", "request", "o", nil, 30*time.Second, policy)
 	if !errors.Is(err, ErrCallTimeout) {
 		t.Fatalf("err = %v, want ErrCallTimeout", err)
 	}
+	if elapsed := fc.Now().Sub(epoch); elapsed < 3*time.Second {
+		t.Fatalf("fake time advanced %v, want >= 3s (three 1s attempts)", elapsed)
+	}
 	if time.Since(start) > 2*time.Second {
-		t.Fatal("CallRetry overshot its deadline badly")
+		t.Fatal("fake-clock retry schedule burned real wall time")
 	}
 	if st := p.DeliveryStats(); st.Retries != 2 {
 		t.Fatalf("retries = %d, want 2 (3 attempts)", st.Retries)
@@ -289,15 +300,20 @@ func TestCallRetryHonoursOverallDeadline(t *testing.T) {
 	if err := p.Register("mute", HandlerFunc(func(Envelope, *Context) {}), Attributes{}, nil); err != nil {
 		t.Fatal(err)
 	}
-	policy := RetryPolicy{MaxAttempts: 100, BaseDelay: time.Millisecond,
-		AttemptTimeout: 5 * time.Millisecond, Seed: 1}
-	start := time.Now()
-	_, err := CallRetry(p, "mute", "request", "o", nil, 100*time.Millisecond, policy)
+	fc := obs.NewFakeClock()
+	stop := fc.AutoAdvance()
+	defer stop()
+	policy := RetryPolicy{MaxAttempts: 100, BaseDelay: 10 * time.Millisecond,
+		AttemptTimeout: 50 * time.Millisecond, Seed: 1, Clock: fc}
+	epoch := fc.Now()
+	_, err := CallRetry(p, "mute", "request", "o", nil, time.Second, policy)
 	if !errors.Is(err, ErrCallTimeout) {
 		t.Fatalf("err = %v", err)
 	}
-	if elapsed := time.Since(start); elapsed > time.Second {
-		t.Fatalf("ran %v past a 100ms overall deadline", elapsed)
+	// The overall deadline, not MaxAttempts, must have stopped the loop:
+	// 100 attempts at 50ms each would need 5s of (fake) time.
+	if elapsed := fc.Now().Sub(epoch); elapsed > 1100*time.Millisecond {
+		t.Fatalf("ran %v of fake time past a 1s overall deadline", elapsed)
 	}
 }
 
@@ -305,12 +321,33 @@ func TestSendRetryRecoversWhenMailboxDrains(t *testing.T) {
 	p := NewPlatform("test")
 	defer p.Close()
 	block := make(chan struct{})
+	closed := false
+	defer func() {
+		// Runs before the deferred p.Close(): a Fatal path must not leave
+		// the handler parked on block, or Close would never return.
+		if !closed {
+			close(block)
+		}
+	}()
+	entered := make(chan struct{}, 1)
 	if err := p.Register("slow", HandlerFunc(func(Envelope, *Context) {
+		select {
+		case entered <- struct{}{}:
+		default:
+		}
 		<-block
 	}), Attributes{}, nil); err != nil {
 		t.Fatal(err)
 	}
-	// Fill the mailbox (64) plus the envelope being handled.
+	// Prime the worker: once the handler holds a message, no mailbox slot
+	// can free up until block is closed, so filling to capacity below makes
+	// SendRetry's first attempt fail deterministically.
+	prime, _ := NewEnvelope("a", "slow", "inform", "o", "prime")
+	if err := p.Send(prime); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	// Fill the mailbox (64) behind the envelope being handled.
 	for i := 0; ; i++ {
 		env, _ := NewEnvelope("a", "slow", "inform", "o", i)
 		if err := p.Send(env); err != nil {
@@ -320,19 +357,42 @@ func TestSendRetryRecoversWhenMailboxDrains(t *testing.T) {
 			t.Fatal("mailbox never filled")
 		}
 	}
-	// Unblock the handler shortly; SendRetry should succeed on a retry.
-	go func() {
-		time.Sleep(20 * time.Millisecond)
-		close(block)
-	}()
+	// Drive the backoff schedule by hand: the first attempt must fail
+	// (the handler is still blocked when SendRetry parks its first backoff
+	// sleep), which guarantees at least one retry without a wall-clock
+	// race. Only then is the handler unblocked, and each manual Advance
+	// gives the drain a short real-time window before the next attempt.
+	fc := obs.NewFakeClock()
 	env, _ := NewEnvelope("a", "slow", "inform", "o", "late")
-	policy := RetryPolicy{MaxAttempts: 10, BaseDelay: 10 * time.Millisecond,
-		MaxDelay: 50 * time.Millisecond, Seed: 1}
-	if err := SendRetry(p, env, 5*time.Second, policy); err != nil {
-		t.Fatalf("SendRetry = %v", err)
-	}
-	if st := p.DeliveryStats(); st.Retries == 0 {
-		t.Fatal("expected at least one retry")
+	policy := RetryPolicy{MaxAttempts: 50, BaseDelay: 10 * time.Millisecond,
+		MaxDelay: 50 * time.Millisecond, Seed: 1, Clock: fc}
+	done := make(chan error, 1)
+	go func() { done <- SendRetry(p, env, time.Hour, policy) }()
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("SendRetry = %v", err)
+			}
+			if st := p.DeliveryStats(); st.Retries == 0 {
+				t.Fatal("expected at least one retry")
+			}
+			return
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("SendRetry never completed")
+		}
+		if fc.Waiters() > 0 {
+			if !closed {
+				close(block)
+				closed = true
+			}
+			time.Sleep(time.Millisecond) // real-time window for the drain
+			fc.Advance(time.Minute)
+		} else {
+			time.Sleep(50 * time.Microsecond)
+		}
 	}
 }
 

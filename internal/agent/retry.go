@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"pervasivegrid/internal/obs"
 )
 
 // Retry layer: the paper's runtime must "handle the transport level
@@ -33,6 +35,18 @@ type RetryPolicy struct {
 	// Seed makes the jitter sequence deterministic when nonzero —
 	// chaos tests pin it so backoff schedules are reproducible.
 	Seed int64
+	// Clock is the time source for deadlines and backoff sleeps. Nil
+	// means the wall clock; tests inject obs.FakeClock so multi-second
+	// backoff schedules run in microseconds.
+	Clock obs.Clock
+}
+
+// clock returns the policy's time source (wall clock by default).
+func (rp RetryPolicy) clock() obs.Clock {
+	if rp.Clock != nil {
+		return rp.Clock
+	}
+	return obs.Real
 }
 
 // DefaultRetryPolicy returns the stock policy.
@@ -122,12 +136,17 @@ func SendRetry(p *Platform, env Envelope, timeout time.Duration, policy RetryPol
 	if env.Seq == 0 {
 		env.Seq = p.seq.next()
 	}
-	deadline := time.Now().Add(timeout)
+	if p.Tracer != nil && env.TraceID == 0 {
+		env.TraceID = obs.NewTraceID()
+	}
+	clk := rp.clock()
+	deadline := clk.Now().Add(timeout)
 	backoff := newBackoffSource(rp)
 	var err error
 	for attempt := 1; attempt <= rp.MaxAttempts; attempt++ {
 		if attempt > 1 {
 			p.noteRetry()
+			p.trace(obs.SpanRetry, env, fmt.Sprintf("attempt %d", attempt))
 		}
 		err = p.Send(env)
 		if err == nil {
@@ -137,10 +156,10 @@ func SendRetry(p *Platform, env Envelope, timeout time.Duration, policy RetryPol
 			return err
 		}
 		wait := backoff.next()
-		if attempt == rp.MaxAttempts || time.Now().Add(wait).After(deadline) {
+		if attempt == rp.MaxAttempts || clk.Now().Add(wait).After(deadline) {
 			break
 		}
-		time.Sleep(wait)
+		clk.Sleep(wait)
 	}
 	return err
 }
@@ -183,19 +202,27 @@ func CallRetry(p *Platform, to ID, performative, ontology string, body any, time
 	if err != nil {
 		return Envelope{}, err
 	}
+	// One trace covers every attempt of the conversation: each retry
+	// re-sends with a fresh Seq but the same TraceID, so the dumped
+	// timeline shows the loss, the backoff, and the attempt that won.
+	if p.Tracer != nil {
+		template.TraceID = obs.NewTraceID()
+	}
 
-	deadline := time.Now().Add(timeout)
+	clk := rp.clock()
+	deadline := clk.Now().Add(timeout)
 	backoff := newBackoffSource(rp)
 	// Seqs of every attempt sent so far; a reply to any of them wins.
 	sent := map[uint64]bool{}
 	var lastErr error
 	for attempt := 1; attempt <= rp.MaxAttempts; attempt++ {
-		if attempt > 1 {
-			p.noteRetry()
-		}
 		env := template
 		env.Seq = p.seq.next()
 		sent[env.Seq] = true
+		if attempt > 1 {
+			p.noteRetry()
+			p.trace(obs.SpanRetry, env, fmt.Sprintf("attempt %d", attempt))
+		}
 		if err := p.Send(env); err != nil {
 			if errors.Is(err, ErrClosed) {
 				return Envelope{}, err
@@ -205,33 +232,32 @@ func CallRetry(p *Platform, to ID, performative, ontology string, body any, time
 			lastErr = err
 		}
 
-		attemptDeadline := time.Now().Add(attemptTimeout)
+		attemptDeadline := clk.Now().Add(attemptTimeout)
 		if attemptDeadline.After(deadline) {
 			attemptDeadline = deadline
 		}
-		timer := time.NewTimer(time.Until(attemptDeadline))
+		timer := clk.After(attemptDeadline.Sub(clk.Now()))
 	wait:
 		for {
 			select {
 			case r := <-replies:
 				if sent[r.InReplyTo] {
-					timer.Stop()
 					return r, nil
 				}
 				// Stray envelope: keep waiting.
-			case <-timer.C:
+			case <-timer:
 				break wait
 			}
 		}
-		if attempt == rp.MaxAttempts || !time.Now().Before(deadline) {
+		if attempt == rp.MaxAttempts || !clk.Now().Before(deadline) {
 			break
 		}
 		wait := backoff.next()
-		if remaining := time.Until(deadline); wait > remaining {
+		if remaining := deadline.Sub(clk.Now()); wait > remaining {
 			wait = remaining
 		}
 		if wait > 0 {
-			time.Sleep(wait)
+			clk.Sleep(wait)
 		}
 		// A reply may have landed during the backoff sleep.
 		select {

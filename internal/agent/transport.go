@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+
+	"pervasivegrid/internal/obs"
 )
 
 // Transport: envelopes travel between platforms as newline-delimited JSON
@@ -111,6 +113,7 @@ func (g *Gateway) readLoop(wc *wireConn) {
 		g.conns[wc][env.From] = true
 		g.mu.Unlock()
 		env.Hops++
+		g.platform.trace(obs.SpanIngress, env, "gateway")
 		_ = g.platform.Send(env) // undeliverable remote envelopes are dead-lettered
 	}
 }
@@ -185,6 +188,7 @@ func (l *Link) readLoop() {
 			return
 		}
 		env.Hops++
+		l.platform.trace(obs.SpanIngress, env, "link")
 		_ = l.platform.Send(env)
 	}
 }

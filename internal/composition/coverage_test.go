@@ -1,0 +1,50 @@
+package composition
+
+import (
+	"testing"
+
+	"pervasivegrid/internal/ontology"
+)
+
+func TestLibraryTaskLookup(t *testing.T) {
+	l := NewLibrary()
+	if err := l.Define(&Task{Name: "p", Concept: "X"}); err != nil {
+		t.Fatal(err)
+	}
+	if task, ok := l.Task("p"); !ok || task.Name != "p" || task.Concept != "X" {
+		t.Fatalf("lookup = %+v %v", task, ok)
+	}
+	if _, ok := l.Task("ghost"); ok {
+		t.Fatal("undefined task should not resolve")
+	}
+}
+
+// InvalidateCache must drop every proactive binding: the next execution
+// goes back through discovery (no cache hits) but still succeeds.
+func TestInvalidateCacheForcesRediscovery(t *testing.T) {
+	brokers, o := testWorld(t, 1, 2)
+	e := &Engine{
+		Brokers: brokers, Onto: o, Strategy: Proactive,
+		Invoke: func(*ontology.Profile, Step) error { return nil },
+	}
+	plan := minePlan(t)
+	if bound := e.Prebind(plan); bound == 0 {
+		t.Fatal("prebind bound nothing")
+	}
+	e.InvalidateCache()
+	exec := e.Execute(plan)
+	if !exec.Succeeded {
+		t.Fatalf("execution after invalidation failed: %+v", exec.Err)
+	}
+	// A proactive engine refills its cache as it executes, so a concept's
+	// repeat uses may hit again — but the first use of each concept must
+	// have gone back through discovery.
+	seen := map[string]bool{}
+	for i, s := range exec.Steps {
+		concept := plan[i].Task.Concept
+		if !seen[concept] && s.CacheHit {
+			t.Fatalf("step %s hit a cache that was invalidated", s.Task)
+		}
+		seen[concept] = true
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"pervasivegrid/internal/agent"
 	"pervasivegrid/internal/discovery"
 	"pervasivegrid/internal/grid"
+	"pervasivegrid/internal/obs"
 	"pervasivegrid/internal/ontology"
 	"pervasivegrid/internal/partition"
 	"pervasivegrid/internal/pde"
@@ -86,6 +87,11 @@ type Runtime struct {
 	// tests use it to make the real messaging path lossy.
 	DeputyWrap func(agent.Deputy) agent.Deputy
 
+	// Metrics receives runtime-level series (core_queries_total,
+	// core_conversation_seconds, cache hit/miss counters, energy and
+	// message totals). Always non-nil for runtimes built via New.
+	Metrics *obs.Registry
+
 	// clock is the runtime's virtual time in seconds, advanced by query
 	// execution and continuous epochs.
 	clock float64
@@ -137,9 +143,23 @@ func (rt *Runtime) record(res *Result) {
 	rt.stats.Models[res.Model.String()]++
 	if res.Cached {
 		rt.stats.CacheHits++
+		rt.Metrics.Counter("core_cache_hits_total").Inc()
+	} else {
+		rt.Metrics.Counter("core_cache_misses_total").Inc()
 	}
 	rt.stats.EnergyJ += res.EnergyJ
 	rt.stats.Messages += res.Messages
+	rt.Metrics.Counter("core_queries_total", "kind", res.Kind.String()).Inc()
+	rt.Metrics.Counter("core_models_total", "model", res.Model.String()).Inc()
+	rt.Metrics.Counter("core_energy_joules_total").Add(res.EnergyJ)
+	rt.Metrics.Counter("core_messages_total").Add(float64(res.Messages))
+	rt.Metrics.Histogram("core_query_virtual_seconds").Observe(res.TimeSec)
+	epochs := len(res.Rounds)
+	if epochs == 0 {
+		epochs = 1 // a one-shot query is a single epoch
+	}
+	rt.Metrics.Histogram("sensornet_messages_per_epoch").
+		Observe(float64(res.Messages) / float64(epochs))
 }
 
 // New assembles a runtime from the config.
@@ -201,7 +221,10 @@ func New(cfg Config) (*Runtime, error) {
 		DM:      partition.NewDecisionMaker(partition.NewEstimator(cfg.Platform)),
 		Onto:    onto,
 		Broker:  discovery.NewBroker("base-station", discovery.NewSemanticMatcher(onto)),
+		Metrics: obs.NewRegistry(),
 	}
+	rt.Broker.Reg.Metrics = rt.Metrics
+	nw.Metrics = rt.Metrics
 	return rt, nil
 }
 

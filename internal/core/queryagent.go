@@ -70,6 +70,7 @@ func (rt *Runtime) RegisterQueryAgent(p *agent.Platform) error {
 		Domain: map[string]string{"service": "sensor-query"},
 	}
 	return p.Register(QueryAgentID, agent.HandlerFunc(func(env agent.Envelope, ctx *agent.Context) {
+		start := time.Now()
 		var req QueryRequest
 		var reply QueryReply
 		if err := env.Decode(&req); err != nil {
@@ -90,6 +91,11 @@ func (rt *Runtime) RegisterQueryAgent(p *agent.Platform) error {
 		// A computed query result is too expensive to lose to a briefly
 		// full mailbox or a link mid-reconnect: retry the reply.
 		_ = agent.SendRetry(ctx.Platform, out, 2*time.Second, replyPolicy)
+		// Conversation duration: request receipt through reply handoff,
+		// wall time — the handheld-visible latency contribution of this
+		// node (transport latency is on the platform histogram).
+		rt.Metrics.Histogram("core_conversation_seconds").
+			Observe(time.Since(start).Seconds())
 	}), attrs, rt.DeputyWrap)
 }
 

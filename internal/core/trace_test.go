@@ -1,0 +1,105 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pervasivegrid/internal/agent"
+	"pervasivegrid/internal/faultinject"
+	"pervasivegrid/internal/obs"
+)
+
+// Acceptance test for the tracing tentpole: a pgridquery-style
+// conversation runs over a real TCP gateway with 10% injected envelope
+// drop on the query agent's deputy. Client and server platforms share
+// one trace sink (as pgridd and a co-located tool would share a file or
+// a scrape endpoint), so the dumped timeline is the full causal hop
+// chain: client send -> route over the link -> server ingress -> server
+// deliver -> reply send -> route back -> client ingress -> client
+// deliver — plus the retry hops where the injector ate an attempt.
+func TestTracedConversationUnderDropDumpsEveryHop(t *testing.T) {
+	rt := fireRuntime(t)
+	inj := faultinject.New(faultinject.Config{Seed: 5, DropProb: 0.10})
+	rt.DeputyWrap = inj.WrapDeputy
+
+	tracer := obs.NewTracer(8192)
+
+	server := agent.NewPlatform("base-station")
+	server.Tracer = tracer
+	defer server.Close()
+	if err := rt.RegisterQueryAgent(server); err != nil {
+		t.Fatal(err)
+	}
+	gw, err := agent.ListenAndServe(server, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	client := agent.NewPlatform("handheld")
+	client.Tracer = tracer
+	defer client.Close()
+	link := agent.DialReconnect(client, gw.Addr(), agent.ReconnectOptions{})
+	defer link.Close()
+	chaosWaitFor(t, "initial connect", link.Connected)
+
+	policy := agent.RetryPolicy{
+		MaxAttempts:    8,
+		BaseDelay:      10 * time.Millisecond,
+		MaxDelay:       80 * time.Millisecond,
+		AttemptTimeout: 150 * time.Millisecond,
+		Seed:           3,
+	}
+
+	// Run conversations until one provably lost an attempt to the
+	// injector and still completed — that trace must show the retry.
+	var retried uint64
+	for i := 0; i < 100 && retried == 0; i++ {
+		env, err := agent.CallRetry(client, QueryAgentID, "request", QueryOntology,
+			QueryRequest{Query: "SELECT temp FROM sensors WHERE sensor = 44"}, 10*time.Second, policy)
+		if err != nil {
+			t.Fatalf("conversation %d: %v", i, err)
+		}
+		if env.TraceID == 0 {
+			t.Fatal("reply envelope lost its trace id")
+		}
+		for _, s := range tracer.Trace(env.TraceID) {
+			if s.Kind == obs.SpanRetry {
+				retried = env.TraceID
+				break
+			}
+		}
+	}
+	if retried == 0 {
+		t.Fatalf("no conversation retried in 100 runs at 10%% drop; injector: %+v", inj.Stats())
+	}
+
+	spans := tracer.Trace(retried)
+	kinds := map[string][]string{}
+	for _, s := range spans {
+		kinds[s.Kind] = append(kinds[s.Kind], s.Node)
+	}
+	// Every hop of the causal chain must be present.
+	for _, want := range []string{obs.SpanSend, obs.SpanRoute, obs.SpanIngress, obs.SpanDeliver, obs.SpanRetry} {
+		if len(kinds[want]) == 0 {
+			t.Fatalf("trace %x missing %q spans; have %v\n%s", retried, want, kinds, tracer.Timeline(retried))
+		}
+	}
+	// Both sides of the conversation contributed spans.
+	nodes := map[string]bool{}
+	for _, s := range spans {
+		nodes[s.Node] = true
+	}
+	if !nodes["handheld"] || !nodes["base-station"] {
+		t.Fatalf("trace should span both platforms, got %v", nodes)
+	}
+
+	tl := tracer.Timeline(retried)
+	for _, want := range []string{"send", "route", "ingress", "deliver", "retry", "handheld", "base-station", "query-agent"} {
+		if !strings.Contains(tl, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, tl)
+		}
+	}
+	t.Logf("dumped timeline:\n%s", tl)
+}

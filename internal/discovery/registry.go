@@ -7,7 +7,10 @@ import (
 	"time"
 )
 
-import "pervasivegrid/internal/ontology"
+import (
+	"pervasivegrid/internal/obs"
+	"pervasivegrid/internal/ontology"
+)
 
 // Lease is a time-bounded registration, the mechanism that keeps the
 // registry honest when "services may be coming up and going down
@@ -24,6 +27,11 @@ type Lease struct {
 type Registry struct {
 	// Now supplies the current time; defaults to time.Now.
 	Now func() time.Time
+
+	// Metrics, when set, receives discovery_match_latency_seconds,
+	// discovery_lookup_{hits,misses}_total, and a discovery_registry_size
+	// gauge. Nil disables instrumentation (obs.Registry is nil-safe).
+	Metrics *obs.Registry
 
 	mu      sync.RWMutex
 	nextID  uint64
@@ -120,5 +128,16 @@ func (r *Registry) Len() int { return len(r.Profiles()) }
 
 // Lookup runs the matcher over the live advertisements.
 func (r *Registry) Lookup(m Matcher, req ontology.Request) []Match {
-	return m.Match(req, r.Profiles())
+	profiles := r.Profiles()
+	r.Metrics.Gauge("discovery_registry_size").Set(float64(len(profiles)))
+	start := time.Now()
+	matches := m.Match(req, profiles)
+	r.Metrics.Histogram("discovery_match_latency_seconds").
+		Observe(time.Since(start).Seconds())
+	if len(matches) > 0 {
+		r.Metrics.Counter("discovery_lookup_hits_total").Inc()
+	} else {
+		r.Metrics.Counter("discovery_lookup_misses_total").Inc()
+	}
+	return matches
 }

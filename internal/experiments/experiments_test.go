@@ -54,8 +54,8 @@ func TestTableFprint(t *testing.T) {
 
 func TestAllRunnersPresent(t *testing.T) {
 	rs := All()
-	if len(rs) != 11 {
-		t.Fatalf("runners = %d, want 11", len(rs))
+	if len(rs) != 12 {
+		t.Fatalf("runners = %d, want 12", len(rs))
 	}
 	seen := map[string]bool{}
 	for _, r := range rs {
@@ -247,6 +247,30 @@ func TestE10SavingsAndAccuracy(t *testing.T) {
 		if save <= 1 {
 			t.Fatalf("topK=%s: no communication saving", row[0])
 		}
+	}
+}
+
+func TestE13ObservedCorrectionChangesDecisions(t *testing.T) {
+	tb, err := E13ObservedCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tb.Rows))
+	}
+	changed := 0
+	for _, row := range tb.Rows {
+		if row[len(row)-1] == "*" {
+			changed++
+		}
+	}
+	if changed == 0 {
+		var buf bytes.Buffer
+		tb.Fprint(&buf)
+		t.Fatalf("observed-cost correction changed no decision:\n%s", buf.String())
+	}
+	if !strings.Contains(tb.Notes, "measured per-hop latency") {
+		t.Fatalf("notes missing measurement summary: %s", tb.Notes)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"pervasivegrid/internal/agent"
+	"pervasivegrid/internal/obs"
 )
 
 // Config parameterises an Injector.
@@ -66,6 +67,7 @@ type Injector struct {
 	partitioned bool
 	count       uint64
 	stats       Stats
+	metrics     *obs.Registry
 }
 
 // New builds an injector.
@@ -99,6 +101,20 @@ func (in *Injector) Stats() Stats {
 	return in.stats
 }
 
+// AttachMetrics mirrors every fault event into reg as
+// faultinject_{seen,passed,dropped,duplicated,delayed}_total counters,
+// so injected chaos shows up next to the platform's delivery metrics.
+func (in *Injector) AttachMetrics(reg *obs.Registry) {
+	in.mu.Lock()
+	in.metrics = reg
+	in.mu.Unlock()
+}
+
+// countLocked bumps a mirrored metric; callers hold in.mu.
+func (in *Injector) countLocked(name string) {
+	in.metrics.Counter(name).Inc()
+}
+
 // verdict is one envelope's fate.
 type verdict struct {
 	drop  bool
@@ -123,11 +139,13 @@ func (in *Injector) decide() verdict {
 	}
 	if v.drop {
 		in.stats.Dropped++
+		in.countLocked("faultinject_dropped_total")
 		return v
 	}
 	if in.cfg.DupProb > 0 && in.rng.Float64() < in.cfg.DupProb {
 		v.dup = true
 		in.stats.Duplicated++
+		in.countLocked("faultinject_duplicated_total")
 	}
 	if in.cfg.Latency > 0 || in.cfg.LatencyJitter > 0 {
 		v.delay = in.cfg.Latency
@@ -135,6 +153,7 @@ func (in *Injector) decide() verdict {
 			v.delay += time.Duration(in.rng.Int63n(int64(in.cfg.LatencyJitter)))
 		}
 		in.stats.Delayed++
+		in.countLocked("faultinject_delayed_total")
 	}
 	return v
 }
@@ -142,11 +161,70 @@ func (in *Injector) decide() verdict {
 func (in *Injector) notePassed(n uint64) {
 	in.mu.Lock()
 	in.stats.Passed += n
+	if in.metrics != nil {
+		in.metrics.Counter("faultinject_passed_total").Add(float64(n))
+	}
 	in.mu.Unlock()
 }
 
-// apply runs the verdict against a delivery thunk.
-func (in *Injector) apply(deliver func()) {
+// delayLine serialises deliveries for one wrapped target so injected
+// latency cannot reorder envelopes: work is queued FIFO with its due
+// time and drained by (at most) one goroutine in queue order. An
+// undelayed envelope that arrives while earlier delayed work is pending
+// queues behind it — a real slow link delays everything behind the slow
+// packet; it does not let later packets overtake. In particular a
+// duplicated envelope can no longer be overtaken by traffic injected
+// after it (the pre-fix reordering bug).
+type delayLine struct {
+	mu      sync.Mutex
+	queue   []delayedItem
+	running bool
+}
+
+type delayedItem struct {
+	due time.Time
+	run func()
+}
+
+// dispatch runs `run` after delay — inline when nothing is pending
+// (reported by the return value), queued behind pending work otherwise.
+func (dl *delayLine) dispatch(delay time.Duration, run func()) (inline bool) {
+	dl.mu.Lock()
+	if delay <= 0 && !dl.running && len(dl.queue) == 0 {
+		dl.mu.Unlock()
+		run()
+		return true
+	}
+	dl.queue = append(dl.queue, delayedItem{due: time.Now().Add(delay), run: run})
+	if !dl.running {
+		dl.running = true
+		go dl.drain()
+	}
+	dl.mu.Unlock()
+	return false
+}
+
+func (dl *delayLine) drain() {
+	for {
+		dl.mu.Lock()
+		if len(dl.queue) == 0 {
+			dl.running = false
+			dl.mu.Unlock()
+			return
+		}
+		item := dl.queue[0]
+		dl.queue = dl.queue[1:]
+		dl.mu.Unlock()
+		if d := time.Until(item.due); d > 0 {
+			time.Sleep(d)
+		}
+		item.run()
+	}
+}
+
+// apply runs the verdict against a delivery thunk, preserving per-target
+// FIFO order through dl.
+func (in *Injector) apply(dl *delayLine, deliver func()) {
 	v := in.decide()
 	if v.drop {
 		return
@@ -155,29 +233,25 @@ func (in *Injector) apply(deliver func()) {
 	if v.dup {
 		n = 2
 	}
-	run := func() {
+	dl.dispatch(v.delay, func() {
 		for i := uint64(0); i < n; i++ {
 			deliver()
 		}
 		in.notePassed(n)
-	}
-	if v.delay > 0 {
-		time.AfterFunc(v.delay, run)
-		return
-	}
-	run()
+	})
 }
 
 // faultDeputy wraps a Deputy.
 type faultDeputy struct {
 	in   *Injector
+	line delayLine
 	next agent.Deputy
 }
 
 // Deliver implements agent.Deputy. Drops return nil — a lossy radio, not
 // an error the sender could observe.
 func (d *faultDeputy) Deliver(env agent.Envelope) error {
-	d.in.apply(func() { _ = d.next.Deliver(env) })
+	d.in.apply(&d.line, func() { _ = d.next.Deliver(env) })
 	return nil
 }
 
@@ -189,9 +263,12 @@ func (in *Injector) WrapDeputy(next agent.Deputy) agent.Deputy {
 
 // WrapRoute decorates a RouteFunc: faulted envelopes are still reported
 // as accepted (true), mimicking a link that took the packet and lost it.
+// Each wrapped route owns a delay line, so envelopes on that route keep
+// their send order even under injected latency; a synchronous delivery
+// still reports the underlying route's verdict.
 func (in *Injector) WrapRoute(next agent.RouteFunc) agent.RouteFunc {
+	dl := &delayLine{}
 	return func(env agent.Envelope) bool {
-		accepted := true
 		v := in.decide()
 		if v.drop {
 			return true
@@ -200,17 +277,16 @@ func (in *Injector) WrapRoute(next agent.RouteFunc) agent.RouteFunc {
 		if v.dup {
 			n = 2
 		}
-		run := func() {
+		accepted := true
+		inline := dl.dispatch(v.delay, func() {
 			for i := 0; i < n; i++ {
 				accepted = next(env) && accepted
 			}
 			in.notePassed(uint64(n))
+		})
+		if inline {
+			return accepted
 		}
-		if v.delay > 0 {
-			time.AfterFunc(v.delay, run)
-			return true
-		}
-		run()
-		return accepted
+		return true
 	}
 }

@@ -1,0 +1,91 @@
+package grid
+
+import (
+	"math"
+	"testing"
+)
+
+func TestResourceBusyUntilTracksReservations(t *testing.T) {
+	c := testCluster(t, FastestFirst)
+	p, err := c.Submit(Job{Name: "j", Ops: 1e10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := p.Resource.BusyUntil()
+	if busy <= 0 {
+		t.Fatalf("BusyUntil = %v, want > 0 after a reservation", busy)
+	}
+	p2, err := c.Submit(Job{Name: "j2", Ops: 1e10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Resource.Name == p.Resource.Name && p2.Resource.BusyUntil() <= busy {
+		t.Fatalf("second reservation should extend BusyUntil past %v", busy)
+	}
+}
+
+func TestPlacementResponseTime(t *testing.T) {
+	c := testCluster(t, MinCompletion)
+	p, err := c.Estimate(Job{Name: "j", Ops: 1e9, InputBytes: 1000, OutputBytes: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ResponseTime(); got != p.Finish {
+		t.Fatalf("ResponseTime = %v, want Finish %v", got, p.Finish)
+	}
+	if p.ResponseTime() < p.TransferIn+p.Compute {
+		t.Fatalf("response %v cannot undercut transfer %v + compute %v",
+			p.ResponseTime(), p.TransferIn, p.Compute)
+	}
+}
+
+func TestStageRefreshGrowAndShrink(t *testing.T) {
+	s := NewStageManager(0)
+	if _, err := s.Stage("k", 1000); err != nil {
+		t.Fatal(err)
+	}
+	// Growing pays only the delta across the link.
+	moved, err := s.Stage("k", 1500)
+	if err != nil || moved != 500 {
+		t.Fatalf("grow moved %d err=%v, want 500", moved, err)
+	}
+	// Shrinking moves nothing.
+	moved, err = s.Stage("k", 200)
+	if err != nil || moved != 0 {
+		t.Fatalf("shrink moved %d err=%v, want 0", moved, err)
+	}
+	if n, ok := s.Resident("k"); !ok || n != 200 {
+		t.Fatalf("resident = %d %v, want 200", n, ok)
+	}
+	if s.Hits("nope") != 0 {
+		t.Fatal("missing key should report zero hits")
+	}
+}
+
+func TestUtilisationBeforeClockAdvances(t *testing.T) {
+	c := testCluster(t, FastestFirst)
+	if _, err := c.Submit(Job{Name: "j", Ops: 1e12}); err != nil {
+		t.Fatal(err)
+	}
+	// Clock still at zero: utilisation must be 0, not NaN or Inf.
+	for name, u := range c.Utilisation() {
+		if u != 0 || math.IsNaN(u) {
+			t.Fatalf("%s utilisation = %v before any Advance", name, u)
+		}
+	}
+	// Reservations extending far past the clock clamp at 1.
+	c.Advance(1e-9)
+	for _, u := range c.Utilisation() {
+		if u > 1 {
+			t.Fatalf("utilisation %v exceeds 1", u)
+		}
+	}
+}
+
+func TestSubmitStagedPropagatesStageError(t *testing.T) {
+	c := testCluster(t, MinCompletion)
+	s := NewStageManager(0)
+	if _, err := c.SubmitStaged(s, "bad", Job{Name: "j", Ops: 1e6, InputBytes: -1}); err == nil {
+		t.Fatal("negative input bytes should fail staging")
+	}
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// WriteProm renders a snapshot in the Prometheus text exposition format
+// (version 0.0.4). Histograms emit _count, _sum, and quantile gauges
+// (suffix _p50/_p95/_p99 spliced before any label set) rather than
+// cumulative buckets — the consumers here are curl and scrapers that
+// want percentiles directly.
+func WriteProm(w io.Writer, s Snapshot) {
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(w, "%s %g\n", k, s.Counters[k])
+	}
+
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(w, "%s %g\n", k, s.Gauges[k])
+	}
+
+	names = names[:0]
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := s.Histograms[k]
+		fmt.Fprintf(w, "%s %d\n", spliceSuffix(k, "_count"), h.Count)
+		fmt.Fprintf(w, "%s %g\n", spliceSuffix(k, "_sum"), h.Sum)
+		fmt.Fprintf(w, "%s %g\n", spliceSuffix(k, "_p50"), h.P50)
+		fmt.Fprintf(w, "%s %g\n", spliceSuffix(k, "_p95"), h.P95)
+		fmt.Fprintf(w, "%s %g\n", spliceSuffix(k, "_p99"), h.P99)
+	}
+}
+
+// spliceSuffix turns `name{labels}` into `name_suffix{labels}` (and a
+// bare name into name_suffix).
+func spliceSuffix(key, suffix string) string {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i] + suffix + key[i:]
+	}
+	return key + suffix
+}
+
+// Source yields a metrics snapshot on demand; *Registry implements it.
+type Source interface{ Snapshot() Snapshot }
+
+// Merge combines snapshots; on key collision the later source wins.
+func Merge(snaps ...Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   map[string]float64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	for _, s := range snaps {
+		for k, v := range s.Counters {
+			out.Counters[k] = v
+		}
+		for k, v := range s.Gauges {
+			out.Gauges[k] = v
+		}
+		for k, v := range s.Histograms {
+			out.Histograms[k] = v
+		}
+	}
+	return out
+}
+
+// Handler serves the merged snapshot of the given sources:
+//
+//	GET /metrics       Prometheus text format
+//	GET /metrics.json  JSON (obs.Snapshot)
+//
+// Mount it on any mux, or pass it directly to http.Serve.
+func Handler(sources ...Source) http.Handler {
+	snap := func() Snapshot {
+		snaps := make([]Snapshot, 0, len(sources))
+		for _, src := range sources {
+			if src != nil {
+				snaps = append(snaps, src.Snapshot())
+			}
+		}
+		return Merge(snaps...)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteProm(w, snap())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap())
+	})
+	return mux
+}

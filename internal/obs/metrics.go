@@ -1,0 +1,401 @@
+// Package obs is the observability substrate for the pervasive grid:
+// a dependency-free metrics registry (counters, gauges, histograms with
+// quantile snapshots, labeled families), a lightweight envelope tracer,
+// and a deterministic clock seam for tests.
+//
+// The paper's dynamic partitioning scheme adapts "by comparing estimates
+// with measured cost"; this package is where the measured side lives.
+// Everything is safe for concurrent use and a nil *Registry is a valid
+// no-op sink, so instrumented code never needs to guard call sites.
+package obs
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metrics. Metrics are created on first use; the
+// same (name, labels) pair always returns the same instrument.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// metricKey renders "name" or `name{k1="v1",k2="v2"}` with label keys
+// sorted, so call-site label ordering never splits a series.
+func metricKey(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	if len(labels)%2 != 0 {
+		labels = append(labels, "")
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Counter is a monotonically increasing float64 value.
+type Counter struct{ bits atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds delta (negative deltas are ignored; counters only go up).
+func (c *Counter) Add(delta float64) {
+	if c == nil || delta < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current total.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a float64 value that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the value by delta.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets are the upper bounds (in seconds when timing, but the
+// histogram is unit-agnostic) of the default exponential bucket layout:
+// 1µs doubling up to ~34s, which spans an in-process deliver (~µs)
+// through a multi-attempt retry conversation (~s).
+var histBuckets = func() []float64 {
+	b := make([]float64, 0, 26)
+	for v := 1e-6; v < 40; v *= 2 {
+		b = append(b, v)
+	}
+	return b
+}()
+
+// Histogram accumulates observations into exponential buckets and can
+// report interpolated quantiles. All methods are lock-free.
+type Histogram struct {
+	counts  []atomic.Uint64 // len(histBuckets)+1; last is overflow
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+	minBits atomic.Uint64 // float64 bits
+	maxBits atomic.Uint64 // float64 bits
+	hasObs  atomic.Bool
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{counts: make([]atomic.Uint64, len(histBuckets)+1)}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	idx := sort.SearchFloat64s(histBuckets, v)
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	for {
+		old := h.minBits.Load()
+		if math.Float64frombits(old) <= v {
+			break
+		}
+		if h.minBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if math.Float64frombits(old) >= v {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	h.hasObs.Store(true)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Quantile returns the interpolated q-quantile (0 < q <= 1) of the
+// recorded distribution, or 0 when empty. Accuracy is bounded by the
+// bucket width (factor-of-two), with min/max used to tighten the tails.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	return h.snapshotLocked().quantile(q)
+}
+
+type histState struct {
+	counts   []uint64
+	total    uint64
+	min, max float64
+}
+
+func (h *Histogram) snapshotLocked() histState {
+	st := histState{counts: make([]uint64, len(h.counts))}
+	for i := range h.counts {
+		st.counts[i] = h.counts[i].Load()
+		st.total += st.counts[i]
+	}
+	st.min = math.Float64frombits(h.minBits.Load())
+	st.max = math.Float64frombits(h.maxBits.Load())
+	return st
+}
+
+func (st histState) quantile(q float64) float64 {
+	if st.total == 0 {
+		return 0
+	}
+	rank := q * float64(st.total)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i, c := range st.counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		if !math.IsInf(st.min, 1) && st.min > lo {
+			lo = st.min
+		}
+		if !math.IsInf(st.max, -1) && st.max < hi {
+			hi = st.max
+		}
+		if hi < lo {
+			hi = lo
+		}
+		frac := (rank - prev) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return st.max
+}
+
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, histBuckets[0]
+	}
+	if i >= len(histBuckets) {
+		return histBuckets[len(histBuckets)-1], math.Inf(1)
+	}
+	return histBuckets[i-1], histBuckets[i]
+}
+
+// Counter returns (creating if needed) the counter for name+labels.
+// Nil-safe: on a nil registry it returns a nil *Counter whose methods
+// are no-ops.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := metricKey(name, labels)
+	r.mu.RLock()
+	c := r.counters[key]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[key]; c == nil {
+		c = &Counter{}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge for name+labels.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := metricKey(name, labels)
+	r.mu.RLock()
+	g := r.gauges[key]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[key]; g == nil {
+		g = &Gauge{}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the histogram for name+labels.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := metricKey(name, labels)
+	r.mu.RLock()
+	h := r.histograms[key]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[key]; h == nil {
+		h = newHistogram()
+		r.histograms[key] = h
+	}
+	return h
+}
+
+// HistogramSnapshot is a point-in-time view of one histogram.
+type HistogramSnapshot struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot is a point-in-time view of every metric in a registry, keyed
+// by the rendered series name (including labels).
+type Snapshot struct {
+	Counters   map[string]float64           `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every metric. Safe on a nil registry (empty view).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]float64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for k, c := range r.counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range r.gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range r.histograms {
+		st := h.snapshotLocked()
+		hs := HistogramSnapshot{
+			Count: h.count.Load(),
+			Sum:   math.Float64frombits(h.sumBits.Load()),
+			P50:   st.quantile(0.50),
+			P95:   st.quantile(0.95),
+			P99:   st.quantile(0.99),
+		}
+		if h.hasObs.Load() {
+			hs.Min = st.min
+			hs.Max = st.max
+		}
+		s.Histograms[k] = hs
+	}
+	return s
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span kinds recorded by the platform and resilience layers. A span is
+// one causal hop event in a conversation, not an open/close interval:
+// envelopes in this system are fire-and-forget, so a point event per
+// hop reconstructs the timeline exactly.
+const (
+	SpanSend    = "send"    // envelope entered Platform.Send
+	SpanDeliver = "deliver" // envelope placed in a local mailbox
+	SpanRoute   = "route"   // envelope accepted by an outbound route
+	SpanIngress = "ingress" // envelope arrived from a remote link
+	SpanRetry   = "retry"   // resilience layer re-attempted a send
+	SpanDrop    = "drop"    // envelope dead-lettered
+	SpanBuffer  = "buffer"  // reconnect link buffered while down
+	SpanReplay  = "replay"  // reconnect link replayed after redial
+	SpanFault   = "fault"   // fault injector acted on the envelope
+)
+
+var (
+	traceHi  = uint64(time.Now().UnixNano()) << 20 // process-unique high bits
+	traceSeq atomic.Uint64
+)
+
+// NewTraceID returns a process-unique, never-zero trace identifier.
+func NewTraceID() uint64 {
+	return (traceHi | (traceSeq.Add(1) & 0xfffff)) | 1<<63
+}
+
+// Span is one recorded hop event.
+type Span struct {
+	Trace uint64    `json:"trace"`
+	Seq   uint64    `json:"seq"`  // envelope sequence number
+	Time  time.Time `json:"time"` // wall time at the recording node
+	Node  string    `json:"node"` // platform name
+	Kind  string    `json:"kind"` // one of the Span* constants
+	From  string    `json:"from"`
+	To    string    `json:"to"`
+	Note  string    `json:"note,omitempty"`
+}
+
+// Tracer is a bounded ring of spans. Recording is cheap (one mutexed
+// append); the ring keeps the most recent spans and drops the oldest.
+// A nil *Tracer is a valid no-op sink.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []Span
+	next  int
+	full  bool
+	total uint64
+}
+
+// NewTracer returns a tracer retaining up to capacity spans
+// (default 4096 when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Tracer{ring: make([]Span, capacity)}
+}
+
+// Record appends a span. Safe on nil.
+func (t *Tracer) Record(s Span) {
+	if t == nil {
+		return
+	}
+	if s.Time.IsZero() {
+		s.Time = time.Now()
+	}
+	t.mu.Lock()
+	t.ring[t.next] = s
+	t.next++
+	t.total++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Total reports how many spans have ever been recorded (including those
+// already evicted from the ring).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Spans returns the retained spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		out := make([]Span, t.next)
+		copy(out, t.ring[:t.next])
+		return out
+	}
+	out := make([]Span, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Trace returns the retained spans for one trace ID, in time order.
+func (t *Tracer) Trace(id uint64) []Span {
+	all := t.Spans()
+	out := make([]Span, 0, 16)
+	for _, s := range all {
+		if s.Trace == id {
+			out = append(out, s)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out
+}
+
+// Traces lists the distinct trace IDs currently retained, in first-seen
+// order.
+func (t *Tracer) Traces() []uint64 {
+	seen := map[uint64]bool{}
+	var out []uint64
+	for _, s := range t.Spans() {
+		if s.Trace == 0 || seen[s.Trace] {
+			continue
+		}
+		seen[s.Trace] = true
+		out = append(out, s.Trace)
+	}
+	return out
+}
+
+// Timeline renders one trace as a human-readable causal hop timeline,
+// with offsets relative to the first span:
+//
+//	trace 8000018f3a... (7 spans)
+//	  +0.000000s  [client]  send     seq=3  handheld -> query-agent
+//	  +0.000184s  [client]  route    seq=3  handheld -> query-agent  (route 1)
+//	  ...
+func (t *Tracer) Timeline(id uint64) string {
+	spans := t.Trace(id)
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %016x (%d spans)\n", id, len(spans))
+	if len(spans) == 0 {
+		return b.String()
+	}
+	t0 := spans[0].Time
+	nodeW, kindW := 0, 0
+	for _, s := range spans {
+		if len(s.Node) > nodeW {
+			nodeW = len(s.Node)
+		}
+		if len(s.Kind) > kindW {
+			kindW = len(s.Kind)
+		}
+	}
+	for _, s := range spans {
+		fmt.Fprintf(&b, "  +%9.6fs  [%-*s]  %-*s  seq=%-4d %s -> %s",
+			s.Time.Sub(t0).Seconds(), nodeW, s.Node, kindW, s.Kind, s.Seq, s.From, s.To)
+		if s.Note != "" {
+			fmt.Fprintf(&b, "  (%s)", s.Note)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

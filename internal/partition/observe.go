@@ -1,0 +1,44 @@
+package partition
+
+// Observed-transport feedback: the platform's estimator is built from
+// *configured* radio parameters (HopDelay, BandwidthBps), but a live
+// deployment measures what delivery actually costs — the obs layer's
+// agent_deliver_latency_seconds histogram and the dead-letter/fault
+// accounting. Feeding those measurements back corrects every per-hop
+// term of the analytic cost model at once, which is the paper's
+// "comparing the estimates with the actual values" applied below the
+// learned calibration layer: the learners fix per-(model, features)
+// bias; this fixes the transport constants everything is computed from.
+
+// ObservedTransport is a measured view of the messaging substrate.
+type ObservedTransport struct {
+	// AvgDeliverSec is the measured per-hop delivery latency in seconds
+	// (e.g. the p50 of agent_deliver_latency_seconds, or a sensornet
+	// measurement). Zero or negative leaves the configured HopDelay.
+	AvgDeliverSec float64
+	// DropRate is the measured fraction of envelopes lost in [0, 1).
+	// Lost envelopes are paid for by retransmission, so the effective
+	// bandwidth is derated by 1/(1-DropRate). Out-of-range values
+	// leave the configured bandwidth.
+	DropRate float64
+}
+
+// ApplyObserved returns a copy of the platform with its transport
+// constants corrected from measurements.
+func ApplyObserved(p Platform, o ObservedTransport) Platform {
+	if o.AvgDeliverSec > 0 {
+		p.Net.HopDelay = o.AvgDeliverSec
+	}
+	if o.DropRate > 0 && o.DropRate < 1 {
+		p.Net.BandwidthBps *= 1 - o.DropRate
+	}
+	return p
+}
+
+// CorrectTransport rebuilds the decision maker's estimator from the
+// measured transport, keeping everything it has learned (selector and
+// calibration state are untouched — they correct residual bias on top
+// of whatever analytic base they were trained against).
+func (d *DecisionMaker) CorrectTransport(o ObservedTransport) {
+	d.Est = NewEstimator(ApplyObserved(d.Est.P, o))
+}

@@ -1,0 +1,57 @@
+package partition
+
+import (
+	"testing"
+
+	"pervasivegrid/internal/query"
+)
+
+func TestApplyObservedCorrectsTransport(t *testing.T) {
+	p := DefaultPlatform()
+	o := ObservedTransport{AvgDeliverSec: 0.01, DropRate: 0.2}
+	c := ApplyObserved(p, o)
+	if c.Net.HopDelay != 0.01 {
+		t.Fatalf("HopDelay = %v, want 0.01", c.Net.HopDelay)
+	}
+	if want := p.Net.BandwidthBps * 0.8; c.Net.BandwidthBps != want {
+		t.Fatalf("BandwidthBps = %v, want %v", c.Net.BandwidthBps, want)
+	}
+	// Out-of-range measurements leave the platform untouched.
+	same := ApplyObserved(p, ObservedTransport{AvgDeliverSec: -1, DropRate: 1.5})
+	if same.Net.HopDelay != p.Net.HopDelay || same.Net.BandwidthBps != p.Net.BandwidthBps {
+		t.Fatalf("invalid observation should be ignored: %+v", same.Net)
+	}
+}
+
+func TestCorrectTransportRaisesHopHeavyEstimates(t *testing.T) {
+	dm := NewDecisionMaker(NewEstimator(DefaultPlatform()))
+	f := Features{Base: query.Aggregate, Selected: 100, AvgDepth: 6, MaxDepth: 10}
+	before := dm.Est.Estimate(ModelTree, f)
+	dm.CorrectTransport(ObservedTransport{AvgDeliverSec: 0.02, DropRate: 0.1})
+	after := dm.Est.Estimate(ModelTree, f)
+	if after.TimeSec <= before.TimeSec {
+		t.Fatalf("10x hop delay should raise tree latency: before %v, after %v",
+			before.TimeSec, after.TimeSec)
+	}
+	if after.EnergyJ < before.EnergyJ {
+		t.Fatalf("bandwidth derate should not lower energy: before %v, after %v",
+			before.EnergyJ, after.EnergyJ)
+	}
+}
+
+func TestCorrectTransportFlipsBoundaryDecision(t *testing.T) {
+	f := Features{Base: query.Aggregate, Selected: 40, AvgDepth: 4, MaxDepth: 6}
+	dm := NewDecisionMaker(NewEstimator(DefaultPlatform()))
+	before, err := dm.Choose(nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm.CorrectTransport(ObservedTransport{AvgDeliverSec: 0.012, DropRate: 0.05})
+	after, err := dm.Choose(nil, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Model == after.Model {
+		t.Fatalf("boundary decision should flip under 6x hop cost: %s both times", before.Model)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"pervasivegrid/internal/obs"
 	"pervasivegrid/internal/simevent"
 )
 
@@ -66,9 +67,28 @@ type Network struct {
 	Sensors []*Node
 	Sampler *Sampler
 
+	// Metrics, when set, mirrors the Stats accounting as sensornet_*
+	// gauges after every radio/compute operation, so a live /metrics
+	// endpoint sees energy and traffic without polling Stats().
+	Metrics *obs.Registry
+
 	stats    Stats
 	rng      *rand.Rand
 	lossProb float64
+}
+
+// mirror publishes the current accounting into the metrics registry.
+func (nw *Network) mirror() {
+	if nw.Metrics == nil {
+		return
+	}
+	nw.Metrics.Gauge("sensornet_energy_joules").Set(nw.stats.EnergyJ)
+	nw.Metrics.Gauge("sensornet_messages").Set(float64(nw.stats.Messages))
+	nw.Metrics.Gauge("sensornet_deliveries").Set(float64(nw.stats.Deliveries))
+	nw.Metrics.Gauge("sensornet_bytes").Set(float64(nw.stats.Bytes))
+	nw.Metrics.Gauge("sensornet_lost").Set(float64(nw.stats.Lost))
+	nw.Metrics.Gauge("sensornet_dropped").Set(float64(nw.stats.Dropped))
+	nw.Metrics.Gauge("sensornet_compute_ops").Set(nw.stats.ComputeOps)
 }
 
 // NewNetwork builds a network with the given sensor positions. Positions
@@ -234,6 +254,7 @@ func (nw *Network) Send(from, to NodeID, payloadBytes int, deliver func(at simev
 		nw.stats.Bytes += size
 		nw.stats.Lost++
 		nw.stats.EnergyJ += nw.Cfg.Energy.TxCost(size, d)
+		nw.mirror()
 		return false
 	}
 	src.drain(nw.Cfg.Energy.TxCost(size, d))
@@ -246,6 +267,7 @@ func (nw *Network) Send(from, to NodeID, payloadBytes int, deliver func(at simev
 	nw.stats.Deliveries++
 	nw.stats.Bytes += size
 	nw.stats.EnergyJ += nw.Cfg.Energy.TxCost(size, d) + nw.Cfg.Energy.RxCost(size)
+	nw.mirror()
 	if deliver != nil {
 		at := nw.reserveTx(src, payloadBytes)
 		if _, err := nw.Kernel.Schedule(at, fmt.Sprintf("deliver %d->%d", from, to), func() {
@@ -312,6 +334,7 @@ func (nw *Network) Broadcast(from NodeID, payloadBytes int, deliver func(to Node
 			}
 		}
 	}
+	nw.mirror()
 	return reached
 }
 
@@ -327,6 +350,7 @@ func (nw *Network) Compute(id NodeID, ops float64) {
 	if n.ID != BaseStationID {
 		nw.stats.EnergyJ += cost
 		nw.stats.ComputeOps += ops
+		nw.mirror()
 	}
 }
 
@@ -340,6 +364,7 @@ func (nw *Network) ChargeIdle(seconds float64) {
 			nw.stats.EnergyJ += cost
 		}
 	}
+	nw.mirror()
 }
 
 // HopTree computes a BFS hop tree rooted at the base station over alive
