@@ -4,7 +4,7 @@ GO ?= go
 # (85% at the time the observability layer landed).
 COVER_FLOOR ?= 84.0
 
-.PHONY: build test race vet cover check bench
+.PHONY: build test race vet cover check bench bench-baseline benchcmp experiments
 
 build:
 	$(GO) build ./...
@@ -15,8 +15,11 @@ test:
 vet:
 	$(GO) vet ./...
 
+# internal/experiments runs ~9 minutes under the race detector (E9 PDE
+# scaling dominates), right at go test's default 10m package timeout —
+# give it explicit headroom so a loaded machine doesn't flake the gate.
 race:
-	$(GO) test -race -count=1 ./...
+	$(GO) test -race -count=1 -timeout 30m ./...
 
 # cover enforces the repository-wide statement coverage floor.
 cover:
@@ -27,14 +30,42 @@ cover:
 		printf "coverage %.1f%% (floor %.1f%%)\n", t, f }'
 
 # The verification gate: static analysis, the full suite under the race
-# detector, and the coverage floor. The agent platform, transports, and
+# detector, the coverage floor, and (when a fresh bench capture exists)
+# the benchmark-regression gate. The agent platform, transports, and
 # solvers must stay race-clean.
-check: vet race cover
+check: vet race cover benchcmp
 
-# bench regenerates every experiment table plus the instrumented
-# hot-path micro-benchmarks (delivery, discovery match, envelope codec)
-# once each, recording the run as test2json events in BENCH_obs.json.
+# experiments regenerates every E1–E14 table into results.txt (a build
+# output, not a tracked file).
+experiments:
+	$(GO) run ./cmd/pgridbench -o results.txt
+	@echo "wrote results.txt"
+
+# bench runs the hot-path micro-benchmarks (delivery, discovery match,
+# envelope codec, ...) once each, then re-runs the regression-gated
+# Deliver/Route set best-of-3 at a fixed iteration count (single
+# iterations of microsecond benchmarks are too noisy to gate on).
+# Records everything as test2json events in BENCH_new.json for benchcmp.
 bench:
+	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x -json ./... > BENCH_new.json
+	$(GO) test -run '^$$' -bench='Deliver|Route' -benchtime=5000x -count=3 -json . >> BENCH_new.json
+	@grep -o '"Output":"Benchmark[^"]*ns/op[^"]*"' BENCH_new.json | sed 's/"Output":"//; s/\\n"$$//; s/\\t/\t/g' || true
+	@echo "wrote BENCH_new.json"
+
+# bench-baseline refreshes the tracked baseline capture with the same
+# recipe. Run it on a quiet machine when a deliberate perf change moves
+# the hot paths.
+bench-baseline:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x -json ./... > BENCH_obs.json
-	@grep -o '"Output":"Benchmark[^"]*ns/op[^"]*"' BENCH_obs.json | sed 's/"Output":"//; s/\\n"$$//; s/\\t/\t/g' || true
-	@echo "wrote BENCH_obs.json"
+	$(GO) test -run '^$$' -bench='Deliver|Route' -benchtime=5000x -count=3 -json . >> BENCH_obs.json
+	@echo "wrote BENCH_obs.json (tracked baseline)"
+
+# benchcmp fails on a >20% ns/op regression of the Deliver/Route
+# benchmarks relative to the tracked baseline. Skips quietly when no
+# fresh capture exists (run `make bench` first to arm it).
+benchcmp:
+	@if [ -f BENCH_new.json ]; then \
+		$(GO) run ./cmd/pgridbench -compare BENCH_obs.json BENCH_new.json; \
+	else \
+		echo "benchcmp: no BENCH_new.json (run 'make bench' to arm the regression gate); skipping"; \
+	fi

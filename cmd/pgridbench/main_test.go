@@ -1,0 +1,88 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeCapture fakes a test2json bench capture: one event per line, the
+// result line split across two Output events the way test2json does.
+func writeCapture(t *testing.T, name string, results map[string]float64) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fmt.Fprintln(f, `{"Action":"output","Package":"p","Output":"goos: linux\n"}`)
+	for bench, ns := range results {
+		fmt.Fprintf(f, `{"Action":"output","Package":"p","Output":"%s-8   "}`+"\n", bench)
+		fmt.Fprintf(f, `{"Action":"output","Package":"p","Output":"\t 100\t %.0f ns/op\n"}`+"\n", ns)
+	}
+	fmt.Fprintln(f, "not json at all")
+	return path
+}
+
+func TestReadBenchKeepsMinimumSample(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "b.json")
+	content := `{"Action":"output","Output":"BenchmarkPlatformDeliver-8 \t 100\t 2000 ns/op\n"}
+{"Action":"output","Output":"BenchmarkPlatformDeliver-8 \t 100\t 1500 ns/op\n"}
+{"Action":"output","Output":"BenchmarkPlatformDeliver-8 \t 100\t 1800 ns/op\n"}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := readBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["BenchmarkPlatformDeliver"] != 1500 {
+		t.Fatalf("best-of-3 = %v, want 1500", res["BenchmarkPlatformDeliver"])
+	}
+}
+
+func TestReadBenchRejectsEmptyCapture(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(path, []byte(`{"Action":"output","Output":"PASS\n"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readBench(path); err == nil {
+		t.Fatal("capture without benchmarks must error")
+	}
+}
+
+func TestCompareBenchVerdicts(t *testing.T) {
+	oldPath := writeCapture(t, "old.json", map[string]float64{
+		"BenchmarkPlatformDeliver": 1000,
+		"BenchmarkEnvelopeCodec":   5000,
+	})
+	cases := []struct {
+		name    string
+		newRes  map[string]float64
+		wantErr bool
+	}{
+		{"within threshold", map[string]float64{"BenchmarkPlatformDeliver": 1100}, false},
+		{"regression", map[string]float64{"BenchmarkPlatformDeliver": 1500}, true},
+		{"ungated regression ignored", map[string]float64{
+			"BenchmarkPlatformDeliver": 900, "BenchmarkEnvelopeCodec": 50000}, false},
+		{"new benchmark tolerated", map[string]float64{
+			"BenchmarkPlatformDeliver": 900, "BenchmarkRouteNew": 10}, false},
+		{"no gated overlap", map[string]float64{"BenchmarkEnvelopeCodec": 5000}, true},
+	}
+	for _, c := range cases {
+		newPath := writeCapture(t, "new.json", c.newRes)
+		err := compareBench(oldPath, newPath, "Deliver|Route", 0.20)
+		if (err != nil) != c.wantErr {
+			t.Fatalf("%s: err = %v, wantErr = %v", c.name, err, c.wantErr)
+		}
+	}
+	if err := compareBench(oldPath, oldPath, "(", 0.20); err == nil {
+		t.Fatal("bad gate regexp must error")
+	}
+	if err := compareBench(filepath.Join(t.TempDir(), "nope.json"), oldPath, ".", 0.20); err == nil {
+		t.Fatal("missing capture must error")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -24,10 +25,12 @@ import (
 	"pervasivegrid/internal/faultinject"
 	"pervasivegrid/internal/obs"
 	"pervasivegrid/internal/sensornet"
+	"pervasivegrid/internal/telemetry"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "listen address for agent envelopes")
+	name := flag.String("name", "pgridd", "node name: the platform name and the telemetry identity in the fleet view (make it unique per daemon)")
 	rows := flag.Int("rows", 10, "sensor grid rows")
 	cols := flag.Int("cols", 10, "sensor grid columns")
 	fire := flag.Bool("fire", true, "ignite a fire at the building center")
@@ -38,6 +41,11 @@ func main() {
 	faultLatency := flag.Duration("fault-latency", time.Duration(0), "chaos: added delivery latency")
 	faultSeed := flag.Int64("fault-seed", 1, "chaos: fault-injection RNG seed")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus text) and /metrics.json on this address (empty = off)")
+	monitorOn := flag.Bool("monitor", false, "host the fleet monitor agent: aggregate telemetry reports, serve /fleet.json + fleet-aware /healthz on -metrics-addr")
+	telemetryTo := flag.String("telemetry-to", "", "report this node's telemetry to a remote monitor daemon at host:port (empty = off)")
+	telemetryEvery := flag.Duration("telemetry-interval", time.Second, "telemetry report and uplink-probe period")
+	healthzOn := flag.Bool("healthz", false, "serve /healthz on -metrics-addr (liveness; fleet-aware when -monitor is set)")
+	pprofOn := flag.Bool("pprof", false, "serve /debug/pprof/* runtime profiles on -metrics-addr")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -78,8 +86,26 @@ func main() {
 			*faultDrop*100, *faultDup*100, *faultLatency, *faultSeed)
 	}
 
-	platform := agent.NewPlatform("pgridd")
+	platform := agent.NewPlatform(*name)
 	defer platform.Close()
+
+	// Telemetry plane. With -monitor this daemon is the fleet aggregator:
+	// it hosts the monitor agent (remote nodes report in over the same
+	// envelope gateway queries use) and the probe echo responder, and its
+	// own local hops feed the stitched trace ring.
+	var mon *telemetry.Monitor
+	if *monitorOn {
+		m, err := telemetry.RegisterMonitor(platform, telemetry.MonitorOptions{Interval: *telemetryEvery})
+		if err != nil {
+			log.Fatalf("pgridd: monitor: %v", err)
+		}
+		mon = m
+		platform.Tracer = mon.Tracer()
+		if err := telemetry.RegisterEcho(platform, telemetry.EchoID); err != nil {
+			log.Fatalf("pgridd: echo: %v", err)
+		}
+	}
+
 	if err := rt.RegisterQueryAgent(platform); err != nil {
 		log.Fatalf("pgridd: %v", err)
 	}
@@ -95,6 +121,38 @@ func main() {
 	}
 	defer gw.Close()
 
+	// With -telemetry-to this daemon is a reporting node: it dials the
+	// aggregator over a reconnecting link, ships delta-encoded snapshots
+	// + spans every interval, and probes its uplink with echo
+	// round-trips so the aggregator learns real transport cost.
+	if *telemetryTo != "" {
+		link := agent.DialReconnect(platform, *telemetryTo, agent.ReconnectOptions{})
+		defer link.Close()
+		rep, err := telemetry.StartReporter(platform, telemetry.ReporterOptions{
+			Interval: *telemetryEvery,
+			Sources:  []obs.Source{rt.Metrics},
+		})
+		if err != nil {
+			log.Fatalf("pgridd: reporter: %v", err)
+		}
+		defer rep.Close()
+		prober := telemetry.NewProber(platform, telemetry.ProbeOptions{Interval: *telemetryEvery})
+		prober.Start()
+		defer prober.Close()
+		fmt.Printf("pgridd: reporting telemetry to %s every %v\n", *telemetryTo, *telemetryEvery)
+	} else if mon != nil {
+		// The aggregator observes itself too, so the fleet view always
+		// includes the monitor host.
+		rep, err := telemetry.StartReporter(platform, telemetry.ReporterOptions{
+			Interval: *telemetryEvery,
+			Sources:  []obs.Source{rt.Metrics},
+		})
+		if err != nil {
+			log.Fatalf("pgridd: reporter: %v", err)
+		}
+		defer rep.Close()
+	}
+
 	if *metricsAddr != "" {
 		if injector != nil {
 			injector.AttachMetrics(rt.Metrics)
@@ -104,12 +162,43 @@ func main() {
 			log.Fatalf("pgridd: metrics listener: %v", err)
 		}
 		defer ln.Close()
+		mux := http.NewServeMux()
+		if mon != nil {
+			// Fleet view: /metrics is node-labeled and merged; /healthz,
+			// /fleet.json, /traces, /trace come with it.
+			mux.Handle("/", telemetry.Handler(mon, platform.Metrics(), rt.Metrics))
+		} else {
+			mux.Handle("/", obs.Handler(platform.Metrics(), rt.Metrics))
+			if *healthzOn {
+				mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+					w.Header().Set("Content-Type", "application/json")
+					fmt.Fprintln(w, `{"status":"ok"}`)
+				})
+			}
+		}
+		if *pprofOn {
+			mux.HandleFunc("/debug/pprof/", httppprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		}
 		go func() {
-			if err := http.Serve(ln, obs.Handler(platform.Metrics(), rt.Metrics)); err != nil {
+			if err := http.Serve(ln, mux); err != nil {
 				log.Printf("pgridd: metrics server stopped: %v", err)
 			}
 		}()
 		fmt.Printf("pgridd: metrics on http://%s/metrics (and /metrics.json)\n", ln.Addr())
+		if mon != nil {
+			fmt.Printf("pgridd: fleet view on http://%s/fleet.json, health on /healthz\n", ln.Addr())
+		} else if *healthzOn {
+			fmt.Printf("pgridd: liveness on http://%s/healthz\n", ln.Addr())
+		}
+		if *pprofOn {
+			fmt.Printf("pgridd: profiles on http://%s/debug/pprof/\n", ln.Addr())
+		}
+	} else if *pprofOn || *healthzOn || mon != nil {
+		log.Printf("pgridd: -monitor/-healthz/-pprof endpoints need -metrics-addr to be served")
 	}
 
 	fmt.Printf("pgridd: %d sensors, %d grid resources, %d services advertised\n",

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+// The demo is the fleet harness's only uncovered consumer shape: real
+// clock, real TCP, a mid-run kill. One node for two seconds keeps it
+// fast while still exercising every line of the loop.
+func TestRunFleetDemo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet demo runs ~2s of wall clock")
+	}
+	if err := runFleetDemo(1, 2, 1, "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+}

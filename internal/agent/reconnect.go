@@ -46,6 +46,11 @@ type ReconnectOptions struct {
 	// (defaults 20ms and 2s).
 	BaseDelay time.Duration
 	MaxDelay  time.Duration
+	// WrapRoute, when set, decorates the route this link installs on the
+	// platform — the seam chaos tests use to put a fault injector on one
+	// node's uplink (e.g. faultinject.Injector.WrapRoute) without
+	// touching the link machinery itself.
+	WrapRoute func(RouteFunc) RouteFunc
 }
 
 func (o ReconnectOptions) withDefaults() ReconnectOptions {
@@ -87,7 +92,11 @@ func DialReconnect(p *Platform, addr string, opts ReconnectOptions) *ReconnectLi
 		done:     make(chan struct{}),
 		wake:     make(chan struct{}, 1),
 	}
-	l.routeID = p.AddRoute(l.route)
+	route := RouteFunc(l.route)
+	if l.opts.WrapRoute != nil {
+		route = l.opts.WrapRoute(route)
+	}
+	l.routeID = p.AddRoute(route)
 	go l.dialLoop()
 	return l
 }

@@ -1,4 +1,4 @@
-// Package experiments implements the reproduction suite E1–E13 described
+// Package experiments implements the reproduction suite E1–E14 described
 // in DESIGN.md. The paper (a vision paper) publishes no quantitative
 // tables; each experiment here quantifies one of its explicit claims, and
 // E1 reproduces Figure 1's scenario end-to-end. The same runners back
@@ -89,6 +89,7 @@ func All() []Runner {
 		{"E10", E10StreamMining},
 		{"E11", E11Caching},
 		{"E13", E13ObservedCost},
+		{"E14", E14FleetTelemetry},
 	}
 }
 

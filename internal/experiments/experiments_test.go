@@ -54,8 +54,8 @@ func TestTableFprint(t *testing.T) {
 
 func TestAllRunnersPresent(t *testing.T) {
 	rs := All()
-	if len(rs) != 12 {
-		t.Fatalf("runners = %d, want 12", len(rs))
+	if len(rs) != 13 {
+		t.Fatalf("runners = %d, want 13", len(rs))
 	}
 	seen := map[string]bool{}
 	for _, r := range rs {
@@ -271,6 +271,38 @@ func TestE13ObservedCorrectionChangesDecisions(t *testing.T) {
 	}
 	if !strings.Contains(tb.Notes, "measured per-hop latency") {
 		t.Fatalf("notes missing measurement summary: %s", tb.Notes)
+	}
+}
+
+func TestE14FleetTelemetryDecisionFlip(t *testing.T) {
+	tb, err := E14FleetTelemetry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tb.Rows))
+	}
+	changed := 0
+	for _, row := range tb.Rows {
+		if row[len(row)-1] == "*" {
+			changed++
+		}
+	}
+	if changed == 0 {
+		var buf bytes.Buffer
+		tb.Fprint(&buf)
+		t.Fatalf("degraded-uplink correction changed no decision:\n%s", buf.String())
+	}
+	// The deep 100-sensor aggregate is far from every boundary; if the
+	// fleet correction flips it, the loop is scrambling rather than
+	// refining decisions.
+	for _, row := range tb.Rows {
+		if row[0] == "avg over 100, deep" && row[len(row)-1] == "*" {
+			t.Fatal("robust deep case flipped under fleet correction")
+		}
+	}
+	if !strings.Contains(tb.Notes, "monitor-aggregated uplink cost") {
+		t.Fatalf("notes missing aggregation summary: %s", tb.Notes)
 	}
 }
 

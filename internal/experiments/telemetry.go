@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pervasivegrid/internal/faultinject"
+	"pervasivegrid/internal/partition"
+	"pervasivegrid/internal/query"
+	"pervasivegrid/internal/telemetry"
+)
+
+// E14FleetTelemetry closes the same loop as E13 but fleet-wide, through
+// the telemetry plane: two real nodes report into a monitor agent over
+// TCP envelopes, each probing its own uplink with echo round-trips. One
+// node's uplink is degraded with injected latency and loss. The monitor
+// aggregates both nodes' measurements and corrects a decision maker per
+// node (Monitor.Correct -> partition.ApplyObserved); the experiment
+// compares the partition decisions the grid would make for work placed
+// behind the healthy uplink versus the degraded one.
+func E14FleetTelemetry() (*Table, error) {
+	t := &Table{
+		ID:    "E14",
+		Title: "fleet-telemetry correction: healthy vs degraded uplink",
+		Claim: "\"the actual values of the metrics for the chosen solution\" are fed back fleet-wide — a monitor agent's aggregated measurements repartition work when a remote node degrades",
+		Columns: []string{"query", "selected", "model(healthy node)", "model(degraded node)", "time-est(healthy)", "time-est(degraded)", "changed"},
+	}
+
+	// Node 1 keeps a clean uplink; node 2's uplink suffers congestion-like
+	// latency plus 12% envelope loss, the shape E13 injects locally.
+	fleet, err := telemetry.StartFleet(telemetry.FleetConfig{
+		Nodes:    2,
+		Interval: 100 * time.Millisecond,
+		NodeFaults: []faultinject.Config{
+			{},
+			{Seed: 17, DropProb: 0.12, Latency: 8 * time.Millisecond, LatencyJitter: 8 * time.Millisecond},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer fleet.Close()
+
+	// Each node measures its own uplink: echo round-trips against the
+	// monitor platform, recorded as transport_rtt_seconds /
+	// transport_probe_*_total in the node registry.
+	const probes = 30
+	for _, n := range fleet.Nodes {
+		for i := 0; i < probes; i++ {
+			n.Prober.ProbeOnce()
+		}
+		if err := n.Reporter.ReportNow(); err != nil {
+			return nil, fmt.Errorf("e14: %s report: %w", n.Name, err)
+		}
+	}
+
+	obsHealthy, ok := fleet.Monitor.ObservedTransport("node-1")
+	if !ok || obsHealthy.AvgDeliverSec <= 0 {
+		return nil, fmt.Errorf("e14: no healthy-uplink measurement aggregated")
+	}
+	obsDegraded, ok := fleet.Monitor.ObservedTransport("node-2")
+	if !ok || obsDegraded.AvgDeliverSec <= 0 {
+		return nil, fmt.Errorf("e14: no degraded-uplink measurement aggregated")
+	}
+
+	confPlat := partition.DefaultPlatform()
+	dmHealthy := partition.NewDecisionMaker(partition.NewEstimator(confPlat))
+	if _, ok := fleet.Monitor.Correct(dmHealthy, "node-1"); !ok {
+		return nil, fmt.Errorf("e14: correct(node-1) failed")
+	}
+	dmDegraded := partition.NewDecisionMaker(partition.NewEstimator(confPlat))
+	if _, ok := fleet.Monitor.Correct(dmDegraded, "node-2"); !ok {
+		return nil, fmt.Errorf("e14: correct(node-2) failed")
+	}
+
+	// The E13 workload set: boundary cases flip with hop cost, the
+	// deep/complex cases must stay put.
+	cases := []struct {
+		name string
+		f    partition.Features
+	}{
+		{"avg over 40, mid", partition.Features{Base: query.Aggregate, Selected: 40, AvgDepth: 4, MaxDepth: 6}},
+		{"raw readings, 40", partition.Features{Base: query.Simple, Selected: 40, AvgDepth: 4, MaxDepth: 6}},
+		{"avg over 100, deep", partition.Features{Base: query.Aggregate, Selected: 100, AvgDepth: 6, MaxDepth: 10}},
+		{"distribution, 100", partition.Features{Base: query.Complex, Selected: 100, AvgDepth: 6, MaxDepth: 10, ComputeOps: 5e7}},
+		{"continuous avg, 40", partition.Features{Base: query.Aggregate, Selected: 40, AvgDepth: 4, MaxDepth: 6, Epoch: 10}},
+	}
+	changed := 0
+	for _, c := range cases {
+		healthy, err := dmHealthy.Choose(nil, c.f)
+		if err != nil {
+			return nil, err
+		}
+		degraded, err := dmDegraded.Choose(nil, c.f)
+		if err != nil {
+			return nil, err
+		}
+		var tHealthy, tDegraded float64
+		for _, est := range healthy.Estimates {
+			if est.Model == healthy.Model {
+				tHealthy = est.TimeSec
+			}
+		}
+		for _, est := range degraded.Estimates {
+			if est.Model == degraded.Model {
+				tDegraded = est.TimeSec
+			}
+		}
+		mark := ""
+		if healthy.Model != degraded.Model {
+			mark = "*"
+			changed++
+		}
+		t.AddRow(c.name, itoa(c.f.Selected), healthy.Model.String(), degraded.Model.String(),
+			f3(tHealthy)+" s", f3(tDegraded)+" s", mark)
+	}
+
+	fv := fleet.Monitor.Fleet()
+	t.Notes = fmt.Sprintf(
+		"monitor-aggregated uplink cost: node-1 %s s rtt / %s loss, node-2 %s s rtt / %s loss (%d probes each, %d nodes reporting, fleet worst=%s); %d/%d decisions changed between the two corrections",
+		f3(obsHealthy.AvgDeliverSec), pct(obsHealthy.DropRate),
+		f3(obsDegraded.AvgDeliverSec), pct(obsDegraded.DropRate),
+		probes, len(fv.Nodes), fv.Worst, changed, len(cases))
+	return t, nil
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestSnapshotDeltaApplyRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(3)
+	r.Counter("b_total", "k", "v").Add(1)
+	r.Gauge("g").Set(7)
+	r.Histogram("h_seconds").Observe(0.01)
+	prev := r.Snapshot()
+
+	// Mutate a subset: one counter, one new gauge, the histogram.
+	r.Counter("a_total").Add(2)
+	r.Gauge("g2").Set(1)
+	r.Histogram("h_seconds").Observe(0.02)
+	cur := r.Snapshot()
+
+	d := cur.Delta(prev)
+	if len(d.Counters) != 1 || d.Counters["a_total"] != 5 {
+		t.Fatalf("delta counters = %v, want only a_total=5", d.Counters)
+	}
+	if len(d.Gauges) != 1 || d.Gauges["g2"] != 1 {
+		t.Fatalf("delta gauges = %v, want only g2=1", d.Gauges)
+	}
+	if len(d.Histograms) != 1 {
+		t.Fatalf("delta histograms = %v, want only h_seconds", d.Histograms)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("delta len = %d, want 3", d.Len())
+	}
+
+	merged := prev.Apply(d)
+	if len(merged.Counters) != len(cur.Counters) ||
+		merged.Counters["a_total"] != 5 || merged.Counters[`b_total{k="v"}`] != 1 {
+		t.Fatalf("apply counters = %v", merged.Counters)
+	}
+	if merged.Gauges["g"] != 7 || merged.Gauges["g2"] != 1 {
+		t.Fatalf("apply gauges = %v", merged.Gauges)
+	}
+	if merged.Histograms["h_seconds"].Count != 2 {
+		t.Fatalf("apply histogram count = %d, want 2", merged.Histograms["h_seconds"].Count)
+	}
+	// prev must be untouched (Apply copies).
+	if prev.Counters["a_total"] != 3 {
+		t.Fatalf("Apply mutated its receiver: %v", prev.Counters)
+	}
+}
+
+func TestSnapshotDeltaOfIdenticalIsEmpty(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Inc()
+	r.Histogram("h").Observe(1)
+	s := r.Snapshot()
+	if d := s.Delta(s.Clone()); d.Len() != 0 {
+		t.Fatalf("delta of identical snapshots = %+v, want empty", d)
+	}
+}
+
+func TestWithLabelAndMergeByNode(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("x_total").Add(1)
+	r1.Gauge("depth", "agent", "a").Set(4)
+	r2 := NewRegistry()
+	r2.Counter("x_total").Add(9)
+	r2.Histogram("h").Observe(2)
+
+	merged := MergeByNode(map[string]Snapshot{
+		"n1": r1.Snapshot(),
+		"n2": r2.Snapshot(),
+	})
+	if merged.Counters[`x_total{node="n1"}`] != 1 || merged.Counters[`x_total{node="n2"}`] != 9 {
+		t.Fatalf("merged counters = %v", merged.Counters)
+	}
+	if merged.Gauges[`depth{agent="a",node="n1"}`] != 4 {
+		t.Fatalf("merged gauges = %v", merged.Gauges)
+	}
+	if merged.Histograms[`h{node="n2"}`].Count != 1 {
+		t.Fatalf("merged histograms = %v", merged.Histograms)
+	}
+}
+
+func TestCaptureRuntimeGauges(t *testing.T) {
+	CaptureRuntime(nil) // nil-safe
+
+	reg := NewRegistry()
+	runtime.GC() // ensure at least one pause sample exists
+	CaptureRuntime(reg)
+	s := reg.Snapshot()
+	if s.Gauges["runtime_goroutines"] < 1 {
+		t.Fatalf("runtime_goroutines = %v, want >= 1", s.Gauges["runtime_goroutines"])
+	}
+	if s.Gauges["runtime_heap_alloc_bytes"] <= 0 {
+		t.Fatalf("runtime_heap_alloc_bytes = %v, want > 0", s.Gauges["runtime_heap_alloc_bytes"])
+	}
+	if s.Gauges["runtime_heap_objects"] <= 0 {
+		t.Fatalf("runtime_heap_objects = %v, want > 0", s.Gauges["runtime_heap_objects"])
+	}
+	if s.Gauges["runtime_gc_total"] < 1 {
+		t.Fatalf("runtime_gc_total = %v, want >= 1", s.Gauges["runtime_gc_total"])
+	}
+	if p99 := s.Gauges["runtime_gc_pause_p99_seconds"]; p99 < 0 || p99 > 10 {
+		t.Fatalf("runtime_gc_pause_p99_seconds = %v, want sane", p99)
+	}
+}
+
+func TestGCPauseP99(t *testing.T) {
+	var ms runtime.MemStats
+	if got := gcPauseP99(&ms); got != 0 {
+		t.Fatalf("no GC yet: p99 = %v, want 0", got)
+	}
+	// Three pauses: p99 of a 3-sample set is the max.
+	ms.NumGC = 3
+	ms.PauseNs[0], ms.PauseNs[1], ms.PauseNs[2] = 1000, 9000, 2000
+	if got := gcPauseP99(&ms); got != 9000e-9 {
+		t.Fatalf("p99 = %v, want 9µs", got)
+	}
+	// More GCs than the 256-entry ring: every slot is a valid sample.
+	ms.NumGC = 1000
+	for i := range ms.PauseNs {
+		ms.PauseNs[i] = 500
+	}
+	if got := gcPauseP99(&ms); got != 500e-9 {
+		t.Fatalf("wrapped ring p99 = %v, want 500ns", got)
+	}
+}

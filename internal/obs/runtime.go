@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"runtime"
+	"sort"
+)
+
+// Runtime gauges: the go runtime's own vital signs, captured into a
+// registry so every telemetry report carries the node's process health
+// (goroutine count, heap pressure, GC pause tail) next to its
+// application metrics. Capture is pull-based — call it right before
+// snapshotting — because ReadMemStats is too expensive to sample on
+// every metric write.
+
+// CaptureRuntime records the current runtime state into reg:
+//
+//	runtime_goroutines             gauge  runtime.NumGoroutine
+//	runtime_heap_alloc_bytes       gauge  MemStats.HeapAlloc
+//	runtime_heap_objects           gauge  MemStats.HeapObjects
+//	runtime_gc_total               gauge  MemStats.NumGC
+//	runtime_gc_pause_p99_seconds   gauge  p99 over the recent pause ring
+//
+// Safe on a nil registry (no-op).
+func CaptureRuntime(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg.Gauge("runtime_goroutines").Set(float64(runtime.NumGoroutine()))
+	reg.Gauge("runtime_heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	reg.Gauge("runtime_heap_objects").Set(float64(ms.HeapObjects))
+	reg.Gauge("runtime_gc_total").Set(float64(ms.NumGC))
+	reg.Gauge("runtime_gc_pause_p99_seconds").Set(gcPauseP99(&ms))
+}
+
+// gcPauseP99 computes the p99 GC stop-the-world pause over the runtime's
+// ring of recent pauses (up to the last 256 GCs), in seconds. Zero when
+// no GC has run yet.
+func gcPauseP99(ms *runtime.MemStats) float64 {
+	n := int(ms.NumGC)
+	if n == 0 {
+		return 0
+	}
+	if n > len(ms.PauseNs) {
+		n = len(ms.PauseNs)
+	}
+	pauses := make([]uint64, 0, n)
+	// PauseNs is a circular buffer; for NumGC <= 256 the first n entries
+	// are the valid ones, beyond that every slot holds a recent pause.
+	pauses = append(pauses, ms.PauseNs[:n]...)
+	sort.Slice(pauses, func(i, j int) bool { return pauses[i] < pauses[j] })
+	idx := (n*99 + 99) / 100 // ceil(0.99*n)
+	if idx > n {
+		idx = n
+	}
+	return float64(pauses[idx-1]) / 1e9
+}

@@ -1,5 +1,7 @@
 package partition
 
+import "pervasivegrid/internal/obs"
+
 // Observed-transport feedback: the platform's estimator is built from
 // *configured* radio parameters (HopDelay, BandwidthBps), but a live
 // deployment measures what delivery actually costs — the obs layer's
@@ -33,6 +35,37 @@ func ApplyObserved(p Platform, o ObservedTransport) Platform {
 		p.Net.BandwidthBps *= 1 - o.DropRate
 	}
 	return p
+}
+
+// Metric series ObservedFromSnapshot understands. Nodes that probe their
+// uplink (internal/telemetry.Prober) record the RTT histogram and the
+// sent/lost counters; platforms always record the local deliver
+// histogram, which serves as the fallback latency measurement.
+const (
+	SeriesTransportRTT       = "transport_rtt_seconds"
+	SeriesTransportProbeSent = "transport_probe_sent_total"
+	SeriesTransportProbeLost = "transport_probe_lost_total"
+	SeriesDeliverLatency     = "agent_deliver_latency_seconds"
+)
+
+// ObservedFromSnapshot extracts a measured transport view from one
+// node's metric snapshot — the bridge between the fleet telemetry plane
+// (internal/telemetry merges per-node obs.Snapshots) and the decision
+// maker. Latency prefers the uplink probe RTT p50 and falls back to the
+// local deliver-latency p50; the drop rate is the probe loss ratio.
+// Missing series leave the corresponding field zero, which ApplyObserved
+// treats as "keep the configured constant".
+func ObservedFromSnapshot(s obs.Snapshot) ObservedTransport {
+	var o ObservedTransport
+	if h, ok := s.Histograms[SeriesTransportRTT]; ok && h.Count > 0 {
+		o.AvgDeliverSec = h.P50
+	} else if h, ok := s.Histograms[SeriesDeliverLatency]; ok && h.Count > 0 {
+		o.AvgDeliverSec = h.P50
+	}
+	if sent := s.Counters[SeriesTransportProbeSent]; sent > 0 {
+		o.DropRate = s.Counters[SeriesTransportProbeLost] / sent
+	}
+	return o
 }
 
 // CorrectTransport rebuilds the decision maker's estimator from the

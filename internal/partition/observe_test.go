@@ -3,6 +3,7 @@ package partition
 import (
 	"testing"
 
+	"pervasivegrid/internal/obs"
 	"pervasivegrid/internal/query"
 )
 
@@ -53,5 +54,50 @@ func TestCorrectTransportFlipsBoundaryDecision(t *testing.T) {
 	}
 	if before.Model == after.Model {
 		t.Fatalf("boundary decision should flip under 6x hop cost: %s both times", before.Model)
+	}
+}
+
+func TestObservedFromSnapshotPrefersProbeRTT(t *testing.T) {
+	reg := obs.NewRegistry()
+	for i := 0; i < 20; i++ {
+		reg.Histogram(SeriesTransportRTT).Observe(0.010)
+		reg.Histogram(SeriesDeliverLatency).Observe(0.001)
+	}
+	reg.Counter(SeriesTransportProbeSent).Add(20)
+	reg.Counter(SeriesTransportProbeLost).Add(5)
+
+	o := ObservedFromSnapshot(reg.Snapshot())
+	if o.AvgDeliverSec < 0.005 || o.AvgDeliverSec > 0.02 {
+		t.Fatalf("latency should come from the probe RTT p50, got %v", o.AvgDeliverSec)
+	}
+	if o.DropRate != 0.25 {
+		t.Fatalf("DropRate = %v, want 0.25", o.DropRate)
+	}
+}
+
+func TestObservedFromSnapshotFallsBackToDeliverLatency(t *testing.T) {
+	reg := obs.NewRegistry()
+	for i := 0; i < 20; i++ {
+		reg.Histogram(SeriesDeliverLatency).Observe(0.004)
+	}
+	o := ObservedFromSnapshot(reg.Snapshot())
+	if o.AvgDeliverSec <= 0 || o.AvgDeliverSec > 0.01 {
+		t.Fatalf("latency should fall back to deliver p50, got %v", o.AvgDeliverSec)
+	}
+	if o.DropRate != 0 {
+		t.Fatalf("no probes sent: DropRate = %v, want 0", o.DropRate)
+	}
+}
+
+func TestObservedFromSnapshotEmptyMeansKeepConfigured(t *testing.T) {
+	o := ObservedFromSnapshot(obs.Snapshot{})
+	if o.AvgDeliverSec != 0 || o.DropRate != 0 {
+		t.Fatalf("empty snapshot must leave zeros (keep configured): %+v", o)
+	}
+	// And ApplyObserved on zeros must not touch the platform.
+	p := DefaultPlatform()
+	c := ApplyObserved(p, o)
+	if c.Net.HopDelay != p.Net.HopDelay || c.Net.BandwidthBps != p.Net.BandwidthBps {
+		t.Fatalf("zero observation changed transport: %+v vs %+v", c.Net, p.Net)
 	}
 }

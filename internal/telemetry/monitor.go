@@ -1,0 +1,385 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"pervasivegrid/internal/agent"
+	"pervasivegrid/internal/obs"
+	"pervasivegrid/internal/partition"
+)
+
+// Health is a node's liveness classification, derived from report
+// staleness on the monitor's clock: a node that keeps reporting is
+// healthy; one that has gone quiet decays through degraded and suspect
+// to down, and snaps back to healthy on its next report.
+type Health string
+
+// Health states, ordered by increasing staleness.
+const (
+	Healthy  Health = "healthy"
+	Degraded Health = "degraded"
+	Suspect  Health = "suspect"
+	Down     Health = "down"
+)
+
+// healthRank orders states for severity comparisons.
+func healthRank(h Health) int {
+	switch h {
+	case Healthy:
+		return 0
+	case Degraded:
+		return 1
+	case Suspect:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// MonitorOptions tunes the fleet monitor.
+type MonitorOptions struct {
+	// ID is the monitor's agent ID (default MonitorID).
+	ID agent.ID
+	// Interval is the report period the monitor expects from nodes
+	// (default 1s); the staleness thresholds default to multiples of it.
+	Interval time.Duration
+	// DegradedAfter / SuspectAfter / DownAfter are staleness thresholds
+	// (defaults 2×, 4×, and 8× Interval). A node whose last report is
+	// older than DownAfter is down.
+	DegradedAfter time.Duration
+	SuspectAfter  time.Duration
+	DownAfter     time.Duration
+	// TraceCapacity bounds the stitched cross-node span ring
+	// (default 8192).
+	TraceCapacity int
+	// Clock is the staleness time source (default: the platform's
+	// clock); tests drive health transitions with obs.FakeClock.
+	Clock obs.Clock
+}
+
+func (o MonitorOptions) withDefaults(p *agent.Platform) MonitorOptions {
+	if o.ID == "" {
+		o.ID = MonitorID
+	}
+	if o.Interval <= 0 {
+		o.Interval = time.Second
+	}
+	if o.DegradedAfter <= 0 {
+		o.DegradedAfter = 2 * o.Interval
+	}
+	if o.SuspectAfter <= 0 {
+		o.SuspectAfter = 4 * o.Interval
+	}
+	if o.DownAfter <= 0 {
+		o.DownAfter = 8 * o.Interval
+	}
+	if o.TraceCapacity <= 0 {
+		o.TraceCapacity = 8192
+	}
+	if o.Clock == nil {
+		if p.Clock != nil {
+			o.Clock = p.Clock
+		} else {
+			o.Clock = obs.Real
+		}
+	}
+	return o
+}
+
+// nodeState is everything the monitor knows about one node.
+type nodeState struct {
+	snap      obs.Snapshot // reconstructed full view
+	lastSeen  time.Time    // monitor clock at last report
+	sentAt    time.Time    // node clock when the last report was built
+	seq       uint64
+	reports   uint64
+	missed    uint64 // seq gaps (reports lost in transit)
+	resyncs   uint64 // full snapshots after the first
+	spans     uint64
+	delivered uint64
+	dropped   uint64
+	retries   uint64
+}
+
+// Monitor is the fleet MonitorAgent: it ingests telemetry reports,
+// maintains per-node snapshots and health states, stitches cross-node
+// traces, and exposes the merged fleet view as an obs.Source.
+type Monitor struct {
+	platform *agent.Platform
+	opts     MonitorOptions
+	tracer   *obs.Tracer
+
+	mu    sync.Mutex
+	nodes map[string]*nodeState
+}
+
+// RegisterMonitor registers the monitor agent on p. Nodes reach it by
+// sending Report envelopes to opts.ID (default MonitorID) — from the
+// same platform or across any number of gateways.
+func RegisterMonitor(p *agent.Platform, opts MonitorOptions) (*Monitor, error) {
+	m := &Monitor{
+		platform: p,
+		opts:     opts.withDefaults(p),
+		nodes:    map[string]*nodeState{},
+	}
+	m.tracer = obs.NewTracer(m.opts.TraceCapacity)
+	err := p.Register(m.opts.ID, agent.HandlerFunc(m.handle),
+		agent.Attributes{Agent: map[string]string{agent.AttrRole: "fleet-monitor"}}, nil)
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// handle ingests one envelope delivered to the monitor agent.
+func (m *Monitor) handle(env agent.Envelope, _ *agent.Context) {
+	if env.Ontology != OntologyReport {
+		return
+	}
+	var rep Report
+	if err := env.Decode(&rep); err != nil || rep.Node == "" {
+		m.platform.Metrics().Counter("telemetry_bad_reports_total").Inc()
+		return
+	}
+	m.Ingest(rep)
+}
+
+// Ingest merges one report into the fleet state. Exported so in-process
+// deployments (and tests) can bypass the envelope layer.
+func (m *Monitor) Ingest(rep Report) {
+	now := m.opts.Clock.Now()
+	m.mu.Lock()
+	ns := m.nodes[rep.Node]
+	if ns == nil {
+		ns = &nodeState{}
+		m.nodes[rep.Node] = ns
+	}
+	if rep.Full || ns.reports == 0 {
+		ns.snap = rep.Snap.Clone()
+		if ns.reports > 0 {
+			ns.resyncs++
+		}
+	} else {
+		ns.snap = ns.snap.Apply(rep.Snap)
+	}
+	// A duplicated envelope (fault injector, retry overlap) replays a
+	// seq we already saw; idempotent overlay makes that harmless. A gap
+	// means reports died in transit — telemetry observing its own loss.
+	if ns.seq > 0 && rep.Seq > ns.seq+1 {
+		ns.missed += rep.Seq - ns.seq - 1
+	}
+	if rep.Seq > ns.seq {
+		ns.seq = rep.Seq
+	}
+	ns.reports++
+	ns.spans += uint64(len(rep.Spans))
+	ns.lastSeen = now
+	ns.sentAt = rep.SentAt
+	ns.delivered, ns.dropped, ns.retries = rep.Delivered, rep.Dropped, rep.Retries
+	m.mu.Unlock()
+
+	for _, s := range rep.Spans {
+		m.tracer.Record(s)
+	}
+
+	reg := m.platform.Metrics()
+	reg.Counter("telemetry_reports_total", "node", rep.Node).Inc()
+	reg.Counter("telemetry_spans_total").Add(float64(len(rep.Spans)))
+	reg.Gauge("telemetry_nodes").Set(float64(m.NodeCount()))
+}
+
+// health classifies staleness against the thresholds.
+func (m *Monitor) health(staleness time.Duration) Health {
+	switch {
+	case staleness <= m.opts.DegradedAfter:
+		return Healthy
+	case staleness <= m.opts.SuspectAfter:
+		return Degraded
+	case staleness <= m.opts.DownAfter:
+		return Suspect
+	default:
+		return Down
+	}
+}
+
+// NodeCount reports how many nodes have ever reported.
+func (m *Monitor) NodeCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.nodes)
+}
+
+// Reports returns the total report count for one node (0 if unknown).
+func (m *Monitor) Reports(node string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ns := m.nodes[node]; ns != nil {
+		return ns.reports
+	}
+	return 0
+}
+
+// Health returns a node's current health (Down for unknown nodes).
+func (m *Monitor) Health(node string) Health {
+	now := m.opts.Clock.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ns := m.nodes[node]
+	if ns == nil {
+		return Down
+	}
+	return m.health(now.Sub(ns.lastSeen))
+}
+
+// NodeSnapshot returns the reconstructed full metric snapshot of one
+// node and whether the node is known.
+func (m *Monitor) NodeSnapshot(node string) (obs.Snapshot, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ns := m.nodes[node]
+	if ns == nil {
+		return obs.Snapshot{}, false
+	}
+	return ns.snap.Clone(), true
+}
+
+// ObservedTransport derives the measured transport view of one node from
+// its reported metrics — the feedback edge into the partition decision
+// maker. The latency comes from the node's probe RTT (or deliver
+// latency) histogram; the drop rate prefers probe losses and falls back
+// to the node's delivery accounting (dropped vs delivered envelopes).
+func (m *Monitor) ObservedTransport(node string) (partition.ObservedTransport, bool) {
+	m.mu.Lock()
+	ns := m.nodes[node]
+	if ns == nil {
+		m.mu.Unlock()
+		return partition.ObservedTransport{}, false
+	}
+	snap := ns.snap
+	delivered, dropped := ns.delivered, ns.dropped
+	m.mu.Unlock()
+	o := partition.ObservedFromSnapshot(snap)
+	if o.DropRate == 0 && delivered+dropped > 0 {
+		o.DropRate = float64(dropped) / float64(delivered+dropped)
+	}
+	return o, true
+}
+
+// Correct applies one node's observed transport to a decision maker,
+// returning the observation used (zero-valued fields leave the
+// corresponding constants untouched). The caller picks *which* node's
+// transport matters for the placement at hand — typically the node
+// hosting the candidate remote computation.
+func (m *Monitor) Correct(dm *partition.DecisionMaker, node string) (partition.ObservedTransport, bool) {
+	o, ok := m.ObservedTransport(node)
+	if !ok {
+		return o, false
+	}
+	dm.CorrectTransport(o)
+	return o, true
+}
+
+// NodeView is one node's row in the fleet view.
+type NodeView struct {
+	Node         string    `json:"node"`
+	Health       Health    `json:"health"`
+	LastSeen     time.Time `json:"lastSeen"`
+	StalenessSec float64   `json:"stalenessSec"`
+	Seq          uint64    `json:"seq"`
+	Reports      uint64    `json:"reports"`
+	Missed       uint64    `json:"missedReports"`
+	Resyncs      uint64    `json:"resyncs"`
+	Spans        uint64    `json:"spans"`
+	Delivered    uint64    `json:"delivered"`
+	Dropped      uint64    `json:"dropped"`
+	Retries      uint64    `json:"retries"`
+	Series       int       `json:"series"`
+	Observed     struct {
+		AvgDeliverSec float64 `json:"avgDeliverSec"`
+		DropRate      float64 `json:"dropRate"`
+	} `json:"observed"`
+	Snapshot obs.Snapshot `json:"snapshot"`
+}
+
+// FleetView is the monitor's aggregate answer: every node with its
+// health, plus fleet-level rollups.
+type FleetView struct {
+	GeneratedAt time.Time  `json:"generatedAt"`
+	Nodes       []NodeView `json:"nodes"`
+	// Worst is the most severe health present (Healthy for an empty
+	// fleet: nothing known to be wrong).
+	Worst Health `json:"worst"`
+	// Traces is how many distinct stitched trace IDs are retained.
+	Traces int `json:"traces"`
+}
+
+// Fleet builds the current fleet view, nodes sorted by name.
+func (m *Monitor) Fleet() FleetView {
+	now := m.opts.Clock.Now()
+	fv := FleetView{GeneratedAt: now, Worst: Healthy}
+	m.mu.Lock()
+	names := make([]string, 0, len(m.nodes))
+	for name := range m.nodes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ns := m.nodes[name]
+		stale := now.Sub(ns.lastSeen)
+		nv := NodeView{
+			Node:         name,
+			Health:       m.health(stale),
+			LastSeen:     ns.lastSeen,
+			StalenessSec: stale.Seconds(),
+			Seq:          ns.seq,
+			Reports:      ns.reports,
+			Missed:       ns.missed,
+			Resyncs:      ns.resyncs,
+			Spans:        ns.spans,
+			Delivered:    ns.delivered,
+			Dropped:      ns.dropped,
+			Retries:      ns.retries,
+			Series:       ns.snap.Len(),
+			Snapshot:     ns.snap.Clone(),
+		}
+		if healthRank(nv.Health) > healthRank(fv.Worst) {
+			fv.Worst = nv.Health
+		}
+		fv.Nodes = append(fv.Nodes, nv)
+	}
+	m.mu.Unlock()
+	for i := range fv.Nodes {
+		if o, ok := m.ObservedTransport(fv.Nodes[i].Node); ok {
+			fv.Nodes[i].Observed.AvgDeliverSec = o.AvgDeliverSec
+			fv.Nodes[i].Observed.DropRate = o.DropRate
+		}
+	}
+	fv.Traces = len(m.tracer.Traces())
+	return fv
+}
+
+// Snapshot implements obs.Source: the fleet-merged metric view, every
+// series labeled with its origin node. Mount the monitor straight into
+// obs.Handler to scrape the whole deployment from one endpoint.
+func (m *Monitor) Snapshot() obs.Snapshot {
+	m.mu.Lock()
+	per := make(map[string]obs.Snapshot, len(m.nodes))
+	for name, ns := range m.nodes {
+		per[name] = ns.snap
+	}
+	m.mu.Unlock()
+	return obs.MergeByNode(per)
+}
+
+// Tracer exposes the stitched cross-node span ring. Give it to the
+// monitor platform (Platform.Tracer) to interleave local hops with the
+// reported ones.
+func (m *Monitor) Tracer() *obs.Tracer { return m.tracer }
+
+// Timeline renders one stitched cross-node trace.
+func (m *Monitor) Timeline(traceID uint64) string { return m.tracer.Timeline(traceID) }
+
+// Close deregisters the monitor agent.
+func (m *Monitor) Close() { m.platform.Deregister(m.opts.ID) }

@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+
+	"pervasivegrid/internal/agent"
+	"pervasivegrid/internal/obs"
+	"pervasivegrid/internal/partition"
+)
+
+// Transport probing: a node cannot read its uplink cost off a local
+// histogram — injected latency and silent drops happen beyond its
+// deputy — so it measures the only way a distributed system can: by
+// round-tripping real envelopes and timing them. The prober records
+//
+//	transport_rtt_seconds        histogram  per-probe round-trip time
+//	transport_probe_sent_total   counter    probes attempted
+//	transport_probe_lost_total   counter    probes that timed out
+//
+// into the platform registry; those are exactly the series
+// partition.ObservedFromSnapshot reads on the monitor side, which makes
+// the probe → report → aggregate → ApplyObserved chain fully automatic.
+
+// ProbeOptions tunes a transport prober.
+type ProbeOptions struct {
+	// Target is the echo agent to round-trip against (typically
+	// EchoID on the monitor platform).
+	Target agent.ID
+	// Interval separates periodic probes (default 1s; only used by the
+	// background loop).
+	Interval time.Duration
+	// Timeout bounds one probe conversation (default 250ms). A probe
+	// that times out counts as lost.
+	Timeout time.Duration
+	// Retry shapes the probe conversation. Defaults to a single attempt
+	// so each probe measures one shot of the link, not the retry layer.
+	Retry agent.RetryPolicy
+	// Clock is the RTT time source (default: the platform's clock).
+	Clock obs.Clock
+}
+
+// EchoID is the well-known echo responder the monitor side registers.
+const EchoID agent.ID = "telemetry-echo"
+
+func (o ProbeOptions) withDefaults(p *agent.Platform) ProbeOptions {
+	if o.Target == "" {
+		o.Target = EchoID
+	}
+	if o.Interval <= 0 {
+		o.Interval = time.Second
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 250 * time.Millisecond
+	}
+	if o.Retry.MaxAttempts <= 0 {
+		o.Retry.MaxAttempts = 1
+	}
+	if o.Clock == nil {
+		if p.Clock != nil {
+			o.Clock = p.Clock
+		} else {
+			o.Clock = obs.Real
+		}
+	}
+	if o.Retry.Clock == nil {
+		o.Retry.Clock = o.Clock
+	}
+	return o
+}
+
+// RegisterEcho registers the telemetry echo responder on p under id
+// ("" = EchoID): every probe request is answered with an inform carrying
+// the same body.
+func RegisterEcho(p *agent.Platform, id agent.ID) error {
+	if id == "" {
+		id = EchoID
+	}
+	return p.Register(id, agent.HandlerFunc(func(env agent.Envelope, ctx *agent.Context) {
+		if out, err := env.Reply("inform", "pong"); err == nil {
+			out.From = ctx.Self
+			_ = ctx.Platform.Send(out)
+		}
+	}), agent.Attributes{Agent: map[string]string{agent.AttrRole: "telemetry-echo"}}, nil)
+}
+
+// Prober measures a node's uplink by echo round-trips.
+type Prober struct {
+	platform *agent.Platform
+	opts     ProbeOptions
+	done     chan struct{}
+	stopped  chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+	once   sync.Once
+}
+
+// NewProber builds a prober; call ProbeOnce for synchronous probes or
+// Start for a background probe loop.
+func NewProber(p *agent.Platform, opts ProbeOptions) *Prober {
+	return &Prober{
+		platform: p,
+		opts:     opts.withDefaults(p),
+		done:     make(chan struct{}),
+		stopped:  make(chan struct{}),
+	}
+}
+
+// ProbeOnce round-trips one probe and records it. It returns the RTT and
+// whether the probe completed.
+func (pr *Prober) ProbeOnce() (time.Duration, bool) {
+	reg := pr.platform.Metrics()
+	reg.Counter(partition.SeriesTransportProbeSent).Inc()
+	clk := pr.opts.Clock
+	start := clk.Now()
+	_, err := agent.CallRetry(pr.platform, pr.opts.Target, "request", OntologyProbe,
+		"ping", pr.opts.Timeout, pr.opts.Retry)
+	if err != nil {
+		reg.Counter(partition.SeriesTransportProbeLost).Inc()
+		return 0, false
+	}
+	rtt := clk.Now().Sub(start)
+	reg.Histogram(partition.SeriesTransportRTT).Observe(rtt.Seconds())
+	return rtt, true
+}
+
+// Start launches the periodic probe loop (idempotent).
+func (pr *Prober) Start() {
+	pr.once.Do(func() {
+		go func() {
+			defer close(pr.stopped)
+			for {
+				select {
+				case <-pr.done:
+					return
+				case <-pr.opts.Clock.After(pr.opts.Interval):
+				}
+				select {
+				case <-pr.done:
+					return
+				default:
+				}
+				pr.ProbeOnce()
+			}
+		}()
+	})
+}
+
+// Close stops the probe loop.
+func (pr *Prober) Close() {
+	pr.mu.Lock()
+	if pr.closed {
+		pr.mu.Unlock()
+		return
+	}
+	pr.closed = true
+	pr.mu.Unlock()
+	close(pr.done)
+	pr.once.Do(func() { close(pr.stopped) }) // loop never started
+	<-pr.stopped
+}

@@ -1,0 +1,57 @@
+// Package telemetry is the fleet observability plane: it hosts the
+// monitoring system *on the same substrate it observes* (Kirby et al.'s
+// active-architecture argument). Every node runs a lightweight reporter
+// deputy that periodically ships its metric snapshot (delta-encoded) and
+// recent trace spans to a MonitorAgent over ordinary envelopes — using
+// the resilience layer (SendRetry / reconnecting links), so telemetry
+// itself survives the faults the rest of the system is tested against.
+// The monitor merges per-node snapshots, derives health states from
+// report staleness, stitches cross-node trace timelines, and feeds the
+// measured per-node transport cost back into the partition decision
+// maker (partition.ObservedFromSnapshot → ApplyObserved).
+package telemetry
+
+import (
+	"time"
+
+	"pervasivegrid/internal/agent"
+	"pervasivegrid/internal/obs"
+)
+
+// Envelope vocabulary of the telemetry plane. Reports are ordinary
+// envelopes: JSON content, the telemetry ontology, an "inform"
+// performative — any platform can route them, and the fault injector can
+// drop them like any other traffic.
+const (
+	// MonitorID is the well-known agent ID of the fleet monitor.
+	MonitorID agent.ID = "fleet-monitor"
+	// OntologyReport marks a telemetry report envelope.
+	OntologyReport = "pgrid-telemetry-report"
+	// OntologyProbe marks a transport probe (echo) conversation.
+	OntologyProbe = "pgrid-telemetry-probe"
+)
+
+// Report is one node's periodic telemetry shipment.
+type Report struct {
+	// Node is the reporting platform's name.
+	Node string `json:"node"`
+	// Seq numbers this node's reports; the monitor detects gaps (lost
+	// reports) by discontinuities.
+	Seq uint64 `json:"seq"`
+	// Full marks a complete snapshot; otherwise Snap holds only the
+	// series changed since the previous report (obs.Snapshot.Delta).
+	Full bool `json:"full"`
+	// Snap is the delta-encoded (or full) metric snapshot.
+	Snap obs.Snapshot `json:"snap"`
+	// Spans are the trace spans recorded since the previous report.
+	Spans []obs.Span `json:"spans,omitempty"`
+	// Delivered/Dropped/Retries mirror the platform's DeliveryStats
+	// totals so the monitor can compute delivery ratios without
+	// depending on metric names.
+	Delivered uint64 `json:"delivered"`
+	Dropped   uint64 `json:"dropped"`
+	Retries   uint64 `json:"retries"`
+	// SentAt is the node's clock when the report was built (virtual
+	// under FakeClock); the monitor tracks staleness on its own clock.
+	SentAt time.Time `json:"sentAt"`
+}

@@ -1,0 +1,239 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+
+	"pervasivegrid/internal/agent"
+	"pervasivegrid/internal/obs"
+)
+
+// ReporterOptions tunes a node's reporter deputy.
+type ReporterOptions struct {
+	// Monitor is the destination agent (default MonitorID). It may live
+	// on the local platform or behind any route (gateway, reconnecting
+	// link) — the reporter only sees an ID.
+	Monitor agent.ID
+	// ID is the reporter's own agent ID (default "telemetry-reporter-"
+	// + platform name; reporters crossing one gateway must be unique
+	// fleet-wide so reverse routes don't collide).
+	ID agent.ID
+	// Interval is the reporting period (default 1s).
+	Interval time.Duration
+	// Sources are extra metric registries merged into the node snapshot
+	// alongside the platform's own registry (e.g. core.Runtime.Metrics).
+	Sources []obs.Source
+	// Retry shapes the SendRetry policy for shipping reports. The
+	// reporter pins the policy clock to the reporter clock.
+	Retry agent.RetryPolicy
+	// SendTimeout bounds one report's retried send (default Interval).
+	SendTimeout time.Duration
+	// MaxSpans caps the spans shipped per report (default 512; the most
+	// recent are kept).
+	MaxSpans int
+	// DisableRuntime skips capturing runtime gauges (goroutines, heap,
+	// GC pauses) into the platform registry before each snapshot.
+	DisableRuntime bool
+	// Clock overrides the time source (default: the platform's clock).
+	Clock obs.Clock
+}
+
+func (o ReporterOptions) withDefaults(p *agent.Platform) ReporterOptions {
+	if o.Monitor == "" {
+		o.Monitor = MonitorID
+	}
+	if o.ID == "" {
+		o.ID = agent.ID("telemetry-reporter-" + p.Name)
+	}
+	if o.Interval <= 0 {
+		o.Interval = time.Second
+	}
+	if o.SendTimeout <= 0 {
+		o.SendTimeout = o.Interval
+	}
+	if o.MaxSpans <= 0 {
+		o.MaxSpans = 512
+	}
+	if o.Clock == nil {
+		if p.Clock != nil {
+			o.Clock = p.Clock
+		} else {
+			o.Clock = obs.Real
+		}
+	}
+	if o.Retry.Clock == nil {
+		o.Retry.Clock = o.Clock
+	}
+	return o
+}
+
+// Reporter is the reporter deputy: a lightweight agent that periodically
+// snapshots its node's observability state and ships it to the fleet
+// monitor, delta-encoded so a quiet node costs almost nothing on the
+// wire. The first report (and any report after a send failure) is a full
+// snapshot, so the monitor can always rebuild the node view.
+type Reporter struct {
+	platform *agent.Platform
+	opts     ReporterOptions
+	done     chan struct{}
+	stopped  chan struct{}
+
+	mu        sync.Mutex
+	last      obs.Snapshot // last snapshot acked onto the wire
+	haveLast  bool
+	seq       uint64
+	spanTotal uint64 // tracer total at the previous report
+	closed    bool
+}
+
+// StartReporter registers the reporter agent on p and begins the report
+// loop: one immediate full report, then one report per interval. Close
+// stops the loop and deregisters the agent.
+func StartReporter(p *agent.Platform, opts ReporterOptions) (*Reporter, error) {
+	r := &Reporter{
+		platform: p,
+		opts:     opts.withDefaults(p),
+		done:     make(chan struct{}),
+		stopped:  make(chan struct{}),
+	}
+	// The reporter receives nothing today; registering it anyway gives
+	// the monitor (and gateways tracking From IDs) a real addressable
+	// agent, and reserves the ID for future monitor→node control traffic.
+	err := p.Register(r.opts.ID, agent.HandlerFunc(func(agent.Envelope, *agent.Context) {}),
+		agent.Attributes{Agent: map[string]string{agent.AttrRole: "telemetry-reporter"}}, nil)
+	if err != nil {
+		return nil, err
+	}
+	go r.loop()
+	return r, nil
+}
+
+// ID returns the reporter's agent ID.
+func (r *Reporter) ID() agent.ID { return r.opts.ID }
+
+// Seq returns how many reports have been sent.
+func (r *Reporter) Seq() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+func (r *Reporter) loop() {
+	defer close(r.stopped)
+	clk := r.opts.Clock
+	_ = r.ReportNow() // announce the node immediately
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-clk.After(r.opts.Interval):
+		}
+		select {
+		case <-r.done:
+			return
+		default:
+		}
+		_ = r.ReportNow()
+	}
+}
+
+// snapshot captures the node's merged metric view (platform registry +
+// extra sources), refreshing the runtime gauges first.
+func (r *Reporter) snapshot() obs.Snapshot {
+	if !r.opts.DisableRuntime {
+		obs.CaptureRuntime(r.platform.Metrics())
+	}
+	snaps := []obs.Snapshot{r.platform.MetricsSnapshot()}
+	for _, src := range r.opts.Sources {
+		if src != nil {
+			snaps = append(snaps, src.Snapshot())
+		}
+	}
+	return obs.Merge(snaps...)
+}
+
+// newSpans returns the spans recorded since the previous report, capped
+// at MaxSpans (most recent kept), and the tracer total to remember.
+func (r *Reporter) newSpans(prevTotal uint64) ([]obs.Span, uint64) {
+	tr := r.platform.Tracer
+	if tr == nil {
+		return nil, 0
+	}
+	total := tr.Total()
+	fresh := total - prevTotal
+	if fresh == 0 {
+		return nil, total
+	}
+	spans := tr.Spans() // oldest first; the ring may have evicted some
+	if uint64(len(spans)) > fresh {
+		spans = spans[uint64(len(spans))-fresh:]
+	}
+	if len(spans) > r.opts.MaxSpans {
+		spans = spans[len(spans)-r.opts.MaxSpans:]
+	}
+	out := make([]obs.Span, len(spans))
+	copy(out, spans)
+	return out, total
+}
+
+// ReportNow builds and ships one report immediately (also used by the
+// periodic loop). On send failure the reporter forgets its delta base so
+// the next report is full again — the monitor may have missed this one.
+func (r *Reporter) ReportNow() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return agent.ErrClosed
+	}
+	cur := r.snapshot()
+	full := !r.haveLast
+	ship := cur
+	if !full {
+		ship = cur.Delta(r.last)
+	}
+	spans, spanTotal := r.newSpans(r.spanTotal)
+	r.seq++
+	st := r.platform.DeliveryStats()
+	rep := Report{
+		Node:      r.platform.Name,
+		Seq:       r.seq,
+		Full:      full,
+		Snap:      ship,
+		Spans:     spans,
+		Delivered: st.Delivered,
+		Dropped:   st.Dropped,
+		Retries:   st.Retries,
+		SentAt:    r.opts.Clock.Now(),
+	}
+	// Optimistically advance the delta base; rolled back below on error.
+	r.last, r.haveLast = cur, true
+	r.spanTotal = spanTotal
+	monitor, id := r.opts.Monitor, r.opts.ID
+	timeout, policy := r.opts.SendTimeout, r.opts.Retry
+	r.mu.Unlock()
+
+	env, err := agent.NewEnvelope(id, monitor, "inform", OntologyReport, rep)
+	if err == nil {
+		err = agent.SendRetry(r.platform, env, timeout, policy)
+	}
+	if err != nil {
+		r.mu.Lock()
+		r.haveLast = false // resync with a full snapshot next time
+		r.mu.Unlock()
+	}
+	return err
+}
+
+// Close stops the report loop and deregisters the reporter agent.
+func (r *Reporter) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.done)
+	<-r.stopped
+	r.platform.Deregister(r.opts.ID)
+}
