@@ -4,7 +4,7 @@ GO ?= go
 # (85% at the time the observability layer landed).
 COVER_FLOOR ?= 84.0
 
-.PHONY: build test race vet cover check bench bench-baseline benchcmp experiments
+.PHONY: build test race vet fmt-check lint cover check bench bench-baseline benchcmp experiments
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,19 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# fmt-check fails (listing the files) if anything is not gofmt-clean.
+fmt-check:
+	@files=$$(gofmt -l .); \
+	if [ -n "$$files" ]; then \
+		echo "FAIL: not gofmt-clean:"; echo "$$files"; exit 1; \
+	fi
+
+# lint runs the project's own invariant analyzers (see
+# docs/static-analysis.md): rawclock, rawsend, lockeddeliver, goroleak,
+# envhops. Exit 1 = findings, exit 2 = the linter could not run.
+lint:
+	$(GO) run ./cmd/pgridlint ./...
 
 # internal/experiments runs ~9 minutes under the race detector (E9 PDE
 # scaling dominates), right at go test's default 10m package timeout —
@@ -33,7 +46,7 @@ cover:
 # detector, the coverage floor, and (when a fresh bench capture exists)
 # the benchmark-regression gate. The agent platform, transports, and
 # solvers must stay race-clean.
-check: vet race cover benchcmp
+check: vet fmt-check lint race cover benchcmp
 
 # experiments regenerates every E1–E14 table into results.txt (a build
 # output, not a tracked file).

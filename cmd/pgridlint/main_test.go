@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI captures one driver invocation.
+func runCLI(t *testing.T, dir string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, dir, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	code, stdout, stderr := runCLI(t, ".", "./testdata/clean")
+	if code != exitClean {
+		t.Fatalf("exit = %d, want %d (stdout=%q stderr=%q)", code, exitClean, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Fatalf("clean run printed findings: %q", stdout)
+	}
+}
+
+func TestFindingsExitOne(t *testing.T) {
+	code, stdout, stderr := runCLI(t, ".", "./testdata/dirty")
+	if code != exitFindings {
+		t.Fatalf("exit = %d, want %d (stderr=%q)", code, exitFindings, stderr)
+	}
+	if !strings.Contains(stdout, "rawclock") || !strings.Contains(stdout, "goroleak") {
+		t.Fatalf("findings missing expected rules:\n%s", stdout)
+	}
+	// The suppressed time.Sleep in Quiet must not appear.
+	if strings.Contains(stdout, "time.Sleep") {
+		t.Fatalf("suppressed finding leaked into output:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "finding(s)") {
+		t.Fatalf("summary line missing: %q", stderr)
+	}
+}
+
+func TestRulesFlagFilters(t *testing.T) {
+	code, stdout, _ := runCLI(t, ".", "-rules", "goroleak", "./testdata/dirty")
+	if code != exitFindings {
+		t.Fatalf("exit = %d, want %d", code, exitFindings)
+	}
+	if strings.Contains(stdout, "rawclock") {
+		t.Fatalf("-rules goroleak still ran rawclock:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "goroleak") {
+		t.Fatalf("-rules goroleak produced no goroleak finding:\n%s", stdout)
+	}
+}
+
+func TestUnknownRuleExitsTwo(t *testing.T) {
+	code, _, stderr := runCLI(t, ".", "-rules", "nosuchrule", "./testdata/dirty")
+	if code != exitError {
+		t.Fatalf("exit = %d, want %d", code, exitError)
+	}
+	if !strings.Contains(stderr, "unknown rule") {
+		t.Fatalf("stderr = %q", stderr)
+	}
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	code, _, _ := runCLI(t, ".", "-definitely-not-a-flag")
+	if code != exitError {
+		t.Fatalf("exit = %d, want %d", code, exitError)
+	}
+}
+
+func TestMissingPackageExitsTwo(t *testing.T) {
+	code, _, stderr := runCLI(t, ".", "./testdata/no-such-dir")
+	if code != exitError {
+		t.Fatalf("exit = %d, want %d (stderr=%q)", code, exitError, stderr)
+	}
+}
+
+func TestParseErrorExitsTwo(t *testing.T) {
+	// A module whose only package does not parse: load error, exit 2.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module brokenmod\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "broken.go"), []byte("package broken\n\nfunc Oops( {\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runCLI(t, dir, "./...")
+	if code != exitError {
+		t.Fatalf("exit = %d, want %d (stderr=%q)", code, exitError, stderr)
+	}
+	if !strings.Contains(stderr, "parse") {
+		t.Fatalf("stderr should mention the parse failure: %q", stderr)
+	}
+}
+
+func TestListFlag(t *testing.T) {
+	code, stdout, _ := runCLI(t, ".", "-list")
+	if code != exitClean {
+		t.Fatalf("exit = %d, want %d", code, exitClean)
+	}
+	for _, rule := range []string{"rawclock", "rawsend", "lockeddeliver", "goroleak", "envhops"} {
+		if !strings.Contains(stdout, rule) {
+			t.Fatalf("-list output missing %s:\n%s", rule, stdout)
+		}
+	}
+}

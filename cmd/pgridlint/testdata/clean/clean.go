@@ -1,0 +1,10 @@
+// Package clean is a pgridlint CLI fixture with no violations.
+package clean
+
+import "time"
+
+// Timeout is pure duration arithmetic — allowed everywhere.
+const Timeout = 3 * time.Second
+
+// Double is plain code no analyzer cares about.
+func Double(x int) int { return 2 * x }

@@ -28,6 +28,7 @@ import (
 	"os"
 	"time"
 
+	"pervasivegrid/internal/obs"
 	"pervasivegrid/internal/sensornet"
 	"pervasivegrid/internal/telemetry"
 )
@@ -127,7 +128,7 @@ func runFleetDemo(n, seconds, kill int, addr string) error {
 			nd.Work(10)
 			nd.Prober.ProbeOnce()
 		}
-		time.Sleep(time.Second)
+		obs.Real.Sleep(time.Second)
 		if sec == killAt && kill >= 1 && kill <= n {
 			fmt.Printf("fleet: t=%ds killing node-%d (no shutdown handshake — staleness must detect it)\n", sec, kill)
 			fleet.StopNode(kill - 1)

@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"pervasivegrid/internal/leak"
 )
 
 // collector is a handler that records envelopes.
@@ -337,6 +339,9 @@ func TestMailboxOverflow(t *testing.T) {
 }
 
 func TestTCPTransportRoundTrip(t *testing.T) {
+	// The suite-wide gate (TestMain) would catch a leak eventually; the
+	// per-test check attributes gateway/link goroutines to this test.
+	leak.Check(t)
 	server := NewPlatform("server")
 	defer server.Close()
 	gw, err := ListenAndServe(server, "127.0.0.1:0")

@@ -44,8 +44,7 @@ func Call(p *Platform, to ID, performative, ontology string, body any, timeout t
 		return Envelope{}, err
 	}
 
-	deadline := time.NewTimer(timeout)
-	defer deadline.Stop()
+	deadline := p.clock().After(timeout)
 	for {
 		select {
 		case r := <-replies:
@@ -54,7 +53,7 @@ func Call(p *Platform, to ID, performative, ontology string, body any, timeout t
 			}
 			// A stray envelope — an unrelated broadcast (InReplyTo 0)
 			// or a reply to an earlier conversation: keep waiting.
-		case <-deadline.C:
+		case <-deadline:
 			return Envelope{}, fmt.Errorf("%w: %s -> %s after %v", ErrCallTimeout, performative, to, timeout)
 		}
 	}

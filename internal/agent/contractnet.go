@@ -147,8 +147,7 @@ func ContractNet(p *Platform, contractors []ID, cfp CFP, deadline time.Duration)
 		return ContractNetResult{}, fmt.Errorf("agent: no contractor reachable")
 	}
 
-	timer := time.NewTimer(deadline)
-	defer timer.Stop()
+	expired := p.clock().After(deadline)
 	res := ContractNetResult{}
 	var best *bid
 	for done := false; !done; {
@@ -167,7 +166,7 @@ func ContractNet(p *Platform, contractors []ID, cfp CFP, deadline time.Duration)
 			if res.Proposals+res.Refusals >= sent {
 				done = true
 			}
-		case <-timer.C:
+		case <-expired:
 			done = true
 		}
 	}

@@ -1,0 +1,14 @@
+package agent
+
+import (
+	"testing"
+
+	"pervasivegrid/internal/leak"
+)
+
+// TestMain gates the whole agent suite on goroutine hygiene: every
+// platform, link, gateway, and deputy the tests start must be reaped by
+// the time the suite exits, or the binary fails with the leaked stacks.
+func TestMain(m *testing.M) {
+	leak.VerifyTestMain(m)
+}

@@ -196,7 +196,7 @@ func (l *ReconnectLink) dialLoop() {
 			select {
 			case <-l.done:
 				return
-			case <-time.After(delay):
+			case <-l.platform.clock().After(delay):
 			}
 			delay *= 2
 			if delay > l.opts.MaxDelay {

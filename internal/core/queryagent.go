@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"pervasivegrid/internal/agent"
+	"pervasivegrid/internal/obs"
 	"pervasivegrid/internal/partition"
 	"pervasivegrid/internal/query"
 )
@@ -69,8 +70,12 @@ func (rt *Runtime) RegisterQueryAgent(p *agent.Platform) error {
 		Agent:  map[string]string{agent.AttrRole: agent.RoleProvider},
 		Domain: map[string]string{"service": "sensor-query"},
 	}
+	clk := p.Clock
+	if clk == nil {
+		clk = obs.Real
+	}
 	return p.Register(QueryAgentID, agent.HandlerFunc(func(env agent.Envelope, ctx *agent.Context) {
-		start := time.Now()
+		start := clk.Now()
 		var req QueryRequest
 		var reply QueryReply
 		if err := env.Decode(&req); err != nil {
@@ -95,7 +100,7 @@ func (rt *Runtime) RegisterQueryAgent(p *agent.Platform) error {
 		// wall time — the handheld-visible latency contribution of this
 		// node (transport latency is on the platform histogram).
 		rt.Metrics.Histogram("core_conversation_seconds").
-			Observe(time.Since(start).Seconds())
+			Observe(clk.Now().Sub(start).Seconds())
 	}), attrs, rt.DeputyWrap)
 }
 

@@ -46,14 +46,14 @@ type entry struct {
 
 // NewRegistry builds an empty registry on the wall clock.
 func NewRegistry() *Registry {
-	return &Registry{Now: time.Now, entries: map[string]*entry{}}
+	return &Registry{Now: obs.Real.Now, entries: map[string]*entry{}}
 }
 
 func (r *Registry) now() time.Time {
 	if r.Now != nil {
 		return r.Now()
 	}
-	return time.Now()
+	return obs.Real.Now()
 }
 
 // Register advertises a profile for ttl; re-registering a name replaces the
@@ -130,10 +130,10 @@ func (r *Registry) Len() int { return len(r.Profiles()) }
 func (r *Registry) Lookup(m Matcher, req ontology.Request) []Match {
 	profiles := r.Profiles()
 	r.Metrics.Gauge("discovery_registry_size").Set(float64(len(profiles)))
-	start := time.Now()
+	start := r.now()
 	matches := m.Match(req, profiles)
 	r.Metrics.Histogram("discovery_match_latency_seconds").
-		Observe(time.Since(start).Seconds())
+		Observe(r.now().Sub(start).Seconds())
 	if len(matches) > 0 {
 		r.Metrics.Counter("discovery_lookup_hits_total").Inc()
 	} else {

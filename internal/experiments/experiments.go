@@ -10,7 +10,15 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"pervasivegrid/internal/obs"
 )
+
+// wallClock is the timing source for every experiment's latency
+// measurement. Experiments measure real elapsed time by design, but they
+// still go through the obs.Clock seam so a harness can substitute a
+// FakeClock and make table runs deterministic.
+var wallClock obs.Clock = obs.Real
 
 // Table is one experiment's result.
 type Table struct {

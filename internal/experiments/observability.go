@@ -20,9 +20,9 @@ import (
 // before and after the correction.
 func E13ObservedCost() (*Table, error) {
 	t := &Table{
-		ID:    "E13",
-		Title: "observed-cost correction of the partition cost model",
-		Claim: "\"comparing the estimates … with the actual values … the results would be incorporated\" — measured transport cost corrects the analytic estimates",
+		ID:      "E13",
+		Title:   "observed-cost correction of the partition cost model",
+		Claim:   "\"comparing the estimates … with the actual values … the results would be incorporated\" — measured transport cost corrects the analytic estimates",
 		Columns: []string{"query", "selected", "model(configured)", "model(observed)", "time-est(conf)", "time-est(obs)", "changed"},
 	}
 
@@ -57,9 +57,9 @@ func E13ObservedCost() (*Table, error) {
 	const calls = 40
 	completed := 0
 	for i := 0; i < calls; i++ {
-		start := time.Now()
+		start := wallClock.Now()
 		if _, err := agent.CallRetry(p, "echo", "request", "e13-echo", i, 2*time.Second, policy); err == nil {
-			hist.Observe(time.Since(start).Seconds())
+			hist.Observe(wallClock.Now().Sub(start).Seconds())
 			completed++
 		}
 	}

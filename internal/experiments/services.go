@@ -100,9 +100,9 @@ func E6Discovery() (*Table, error) {
 		sdpReq := ontology.Request{Concept: knownUUID}
 
 		score := func(m discovery.Matcher, req ontology.Request) (prec, rec float64, ms float64) {
-			start := time.Now()
+			start := wallClock.Now()
 			got := m.Match(req, pool)
-			ms = float64(time.Since(start).Microseconds()) / 1000
+			ms = float64(wallClock.Now().Sub(start).Microseconds()) / 1000
 			if len(got) == 0 {
 				return 0, 0, ms
 			}

@@ -20,9 +20,9 @@ import (
 // behind the healthy uplink versus the degraded one.
 func E14FleetTelemetry() (*Table, error) {
 	t := &Table{
-		ID:    "E14",
-		Title: "fleet-telemetry correction: healthy vs degraded uplink",
-		Claim: "\"the actual values of the metrics for the chosen solution\" are fed back fleet-wide — a monitor agent's aggregated measurements repartition work when a remote node degrades",
+		ID:      "E14",
+		Title:   "fleet-telemetry correction: healthy vs degraded uplink",
+		Claim:   "\"the actual values of the metrics for the chosen solution\" are fed back fleet-wide — a monitor agent's aggregated measurements repartition work when a remote node degrades",
 		Columns: []string{"query", "selected", "model(healthy node)", "model(degraded node)", "time-est(healthy)", "time-est(degraded)", "changed"},
 	}
 

@@ -40,6 +40,10 @@ type Config struct {
 	// across the injector) in addition to DropProb. Useful for tests
 	// that need an exact loss pattern.
 	DropEveryN int
+	// Clock supplies time for latency timers and partition healing;
+	// nil means obs.Real. Tests can install an obs.FakeClock to step
+	// injected latency deterministically.
+	Clock obs.Clock
 }
 
 // Stats counts injected faults.
@@ -64,6 +68,7 @@ type Injector struct {
 	mu          sync.Mutex
 	rng         *rand.Rand
 	cfg         Config
+	clk         obs.Clock
 	partitioned bool
 	count       uint64
 	stats       Stats
@@ -76,7 +81,11 @@ func New(cfg Config) *Injector {
 	if seed == 0 {
 		seed = 1
 	}
-	return &Injector{rng: rand.New(rand.NewSource(seed)), cfg: cfg}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = obs.Real
+	}
+	return &Injector{rng: rand.New(rand.NewSource(seed)), cfg: cfg, clk: clk}
 }
 
 // SetPartitioned opens (true) or heals (false) a full partition: while
@@ -91,7 +100,10 @@ func (in *Injector) SetPartitioned(p bool) {
 // network outage for chaos experiments.
 func (in *Injector) PartitionFor(d time.Duration) {
 	in.SetPartitioned(true)
-	time.AfterFunc(d, func() { in.SetPartitioned(false) })
+	go func() {
+		<-in.clk.After(d)
+		in.SetPartitioned(false)
+	}()
 }
 
 // Stats snapshots the fault counters.
@@ -176,6 +188,7 @@ func (in *Injector) notePassed(n uint64) {
 // duplicated envelope can no longer be overtaken by traffic injected
 // after it (the pre-fix reordering bug).
 type delayLine struct {
+	clk     obs.Clock // set by the wrapping injector; never nil
 	mu      sync.Mutex
 	queue   []delayedItem
 	running bool
@@ -195,7 +208,7 @@ func (dl *delayLine) dispatch(delay time.Duration, run func()) (inline bool) {
 		run()
 		return true
 	}
-	dl.queue = append(dl.queue, delayedItem{due: time.Now().Add(delay), run: run})
+	dl.queue = append(dl.queue, delayedItem{due: dl.clk.Now().Add(delay), run: run})
 	if !dl.running {
 		dl.running = true
 		go dl.drain()
@@ -215,8 +228,8 @@ func (dl *delayLine) drain() {
 		item := dl.queue[0]
 		dl.queue = dl.queue[1:]
 		dl.mu.Unlock()
-		if d := time.Until(item.due); d > 0 {
-			time.Sleep(d)
+		if d := item.due.Sub(dl.clk.Now()); d > 0 {
+			dl.clk.Sleep(d)
 		}
 		item.run()
 	}
@@ -258,7 +271,7 @@ func (d *faultDeputy) Deliver(env agent.Envelope) error {
 // WrapDeputy decorates a deputy with this injector's faults; pass it as
 // the wrap argument of Platform.Register.
 func (in *Injector) WrapDeputy(next agent.Deputy) agent.Deputy {
-	return &faultDeputy{in: in, next: next}
+	return &faultDeputy{in: in, next: next, line: delayLine{clk: in.clk}}
 }
 
 // WrapRoute decorates a RouteFunc: faulted envelopes are still reported
@@ -267,7 +280,7 @@ func (in *Injector) WrapDeputy(next agent.Deputy) agent.Deputy {
 // their send order even under injected latency; a synchronous delivery
 // still reports the underlying route's verdict.
 func (in *Injector) WrapRoute(next agent.RouteFunc) agent.RouteFunc {
-	dl := &delayLine{}
+	dl := &delayLine{clk: in.clk}
 	return func(env agent.Envelope) bool {
 		v := in.decide()
 		if v.drop {

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+)
+
+// stopNamePattern matches identifiers that conventionally carry a stop
+// signal: done/quit/stop channels, contexts, cancel funcs, wait groups.
+var stopNamePattern = regexp.MustCompile(`(?i)^(done|quit|stop|stopped|exit|closing|closed|cancel|ctx|wg)$`)
+
+// GoroLeak flags `go func() { ... }()` statements whose literal body
+// contains an unbounded loop (`for { ... }` with no condition) but
+// references no stop signal — no done/quit/stop channel, no context, no
+// WaitGroup. Such a goroutine has no shutdown path: it outlives its
+// owner, pins its captures, and turns every test of its package into a
+// goroutine leak (see internal/leak, the runtime half of this check).
+// Run-to-completion goroutines (no unbounded loop) and named-function
+// goroutines (whose stop path lives in the callee) are not flagged.
+func GoroLeak() *Analyzer {
+	return &Analyzer{
+		Name: "goroleak",
+		Doc:  "go func literal with an unbounded loop and no stop signal (ctx/done channel/WaitGroup)",
+		Run: func(pass *Pass) {
+			for _, file := range pass.Pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					g, ok := n.(*ast.GoStmt)
+					if !ok {
+						return true
+					}
+					lit, ok := unparen(g.Call.Fun).(*ast.FuncLit)
+					if !ok {
+						return true
+					}
+					if hasUnboundedLoop(lit.Body) && !referencesStopSignal(lit.Body) {
+						pass.Report(g,
+							"goroutine loops forever with no stop signal in scope",
+							"select on a done/quit channel (or ctx.Done()) inside the loop, or bound the loop")
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// hasUnboundedLoop reports whether body contains a `for {}` (no
+// condition) loop. Conditioned and three-clause loops terminate by
+// construction or are the author's explicit responsibility; range loops
+// end when their operand does (a closed channel, a finite collection).
+func hasUnboundedLoop(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if f, ok := n.(*ast.ForStmt); ok && f.Cond == nil && f.Init == nil && f.Post == nil {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// referencesStopSignal reports whether the body mentions any
+// conventionally named stop mechanism, either as a bare identifier
+// (done, ctx, wg) or as the field of a receiver (l.done, pr.stop).
+func referencesStopSignal(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Ident:
+			if stopNamePattern.MatchString(x.Name) {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if stopNamePattern.MatchString(x.Sel.Name) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

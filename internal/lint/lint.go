@@ -1,0 +1,250 @@
+// Package lint is pgridlint's analyzer framework: a zero-dependency
+// static-analysis harness built directly on go/parser, go/ast, and
+// go/types (no x/tools), matching the module's from-scratch ethos.
+//
+// Three PRs of resilience, observability, and telemetry work accreted
+// project invariants that nothing enforced mechanically: all time flows
+// through the obs.Clock seam, cross-node sends go through the retry
+// layer, deputies never deliver while holding a lock, spawned goroutines
+// need a stop path, and envelopes are built by the constructors that
+// keep hop accounting honest. Each invariant is one Analyzer here; the
+// cmd/pgridlint driver runs them over every package and make check
+// fails on any finding.
+//
+// Findings are suppressed inline with
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+//
+// placed on the offending line or alone on the line above it. The
+// reason is mandatory: a suppression without one is itself a finding
+// (rule "lint-directive"), so silent opt-outs cannot accumulate.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: where, which rule, what is wrong, and how
+// to fix it.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+	// Fix is the suggested remedy, printed after the message.
+	Fix string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+	if d.Fix != "" {
+		s += " (fix: " + d.Fix + ")"
+	}
+	return s
+}
+
+// Analyzer is one named invariant check over a type-checked package.
+type Analyzer struct {
+	// Name is the rule ID used in diagnostics and //lint:ignore.
+	Name string
+	// Doc is a one-line description for -list output.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(pass *Pass)
+}
+
+// Pass carries one (analyzer, package) run and collects its findings.
+type Pass struct {
+	Pkg      *Package
+	analyzer *Analyzer
+	report   func(Diagnostic)
+}
+
+// Report records a finding anchored at node's position.
+func (p *Pass) Report(node ast.Node, message, fix string) {
+	p.report(Diagnostic{
+		Pos:     p.Pkg.Fset.Position(node.Pos()),
+		Rule:    p.analyzer.Name,
+		Message: message,
+		Fix:     fix,
+	})
+}
+
+// ImportedPath resolves an identifier used as a package qualifier (the
+// "time" in time.Now) to the import path it names, or "" when the
+// identifier is not a package name. Resolution goes through go/types
+// when available and falls back to matching the file's import table,
+// so a package whose type information is incomplete still resolves its
+// qualifiers.
+func (p *Pass) ImportedPath(file *ast.File, id *ast.Ident) string {
+	if obj, ok := p.Pkg.Info.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn.Imported().Path()
+		}
+		return "" // a variable, type, etc. shadowing the package name
+	}
+	// Fallback: an unresolved identifier that matches an import's name.
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path
+		if i := strings.LastIndex(name, "/"); i >= 0 {
+			name = name[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == id.Name {
+			return path
+		}
+	}
+	return ""
+}
+
+// NamedType reduces a type to its named type's (package path, name),
+// unwrapping one level of pointer. It returns ok=false for unnamed,
+// builtin, or invalid types.
+func NamedType(t types.Type) (path, name string, ok bool) {
+	if t == nil {
+		return "", "", false
+	}
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return "", "", false
+	}
+	return obj.Pkg().Path(), obj.Name(), true
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	rules  map[string]bool
+	reason string
+	line   int  // line the directive suppresses (its own, or the next)
+	used   bool // reserved for future unused-suppression reporting
+}
+
+// directivePrefix introduces a suppression comment. Both "//lint:ignore"
+// and "// lint:ignore" are accepted.
+const directivePrefix = "lint:ignore"
+
+// parseDirectives extracts every //lint:ignore directive from a file,
+// reporting malformed ones (missing rule or reason) as diagnostics.
+func parseDirectives(fset *token.FileSet, file *ast.File, bad func(Diagnostic)) []ignoreDirective {
+	var out []ignoreDirective
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimPrefix(text, "/*")
+			text = strings.TrimSuffix(text, "*/")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			fields := strings.Fields(strings.TrimPrefix(text, directivePrefix))
+			if len(fields) < 2 {
+				bad(Diagnostic{
+					Pos:     pos,
+					Rule:    "lint-directive",
+					Message: "malformed lint:ignore: need a rule and a reason",
+					Fix:     "write //lint:ignore <rule> <reason>",
+				})
+				continue
+			}
+			rules := map[string]bool{}
+			for _, r := range strings.Split(fields[0], ",") {
+				if r != "" {
+					rules[r] = true
+				}
+			}
+			d := ignoreDirective{rules: rules, reason: strings.Join(fields[1:], " "), line: pos.Line}
+			// A directive alone on its line suppresses the next line; a
+			// trailing directive suppresses its own line. Distinguish by
+			// whether any node of the file starts on the directive line
+			// before the comment's column — cheap approximation: treat
+			// the directive as covering both its own line and the next.
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a diagnostic is covered by a directive on
+// its own line or the line directly above.
+func suppressed(dirs []ignoreDirective, d Diagnostic) bool {
+	for i := range dirs {
+		dir := &dirs[i]
+		if !dir.rules[d.Rule] && !dir.rules["*"] {
+			continue
+		}
+		if dir.line == d.Pos.Line || dir.line == d.Pos.Line-1 {
+			dir.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings sorted by position. //lint:ignore directives are honored;
+// malformed directives surface as "lint-directive" findings.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		// Directive table per file, built once per package.
+		dirs := map[string][]ignoreDirective{}
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			dirs[name] = parseDirectives(pkg.Fset, f, func(d Diagnostic) {
+				out = append(out, d)
+			})
+		}
+		for _, a := range analyzers {
+			pass := &Pass{Pkg: pkg, analyzer: a}
+			pass.report = func(d Diagnostic) {
+				if suppressed(dirs[d.Pos.Filename], d) {
+					return
+				}
+				out = append(out, d)
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// agentPkgPath is the import path the platform invariants anchor on.
+const agentPkgPath = "pervasivegrid/internal/agent"
+
+// Default returns the production analyzer set, configured for this
+// module's layout: obs owns raw time, telemetry and core must use the
+// retry layer for sends.
+func Default() []*Analyzer {
+	return []*Analyzer{
+		RawClock("pervasivegrid/internal/obs"),
+		RawSend("pervasivegrid/internal/telemetry", "pervasivegrid/internal/core"),
+		LockedDeliver(),
+		GoroLeak(),
+		EnvHops(),
+	}
+}

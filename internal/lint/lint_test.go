@@ -1,0 +1,226 @@
+package lint_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"pervasivegrid/internal/lint"
+)
+
+// loadFixture loads one testdata package through a fresh loader.
+func loadFixture(t *testing.T, name string) *lint.Package {
+	t.Helper()
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", name, err)
+	}
+	return pkg
+}
+
+// wantMarkers scans a fixture directory for trailing "// want rule..."
+// comments and returns the expected findings as "base.go:LINE:rule".
+func wantMarkers(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	want := map[string]bool{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("read fixtures: %v", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("read %s: %v", e.Name(), err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, after, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			for _, rule := range strings.Fields(after) {
+				want[fmt.Sprintf("%s:%d:%s", e.Name(), i+1, rule)] = true
+			}
+		}
+	}
+	return want
+}
+
+// gotKeys renders diagnostics in the marker key shape.
+func gotKeys(diags []lint.Diagnostic) map[string]bool {
+	got := map[string]bool{}
+	for _, d := range diags {
+		got[fmt.Sprintf("%s:%d:%s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Rule)] = true
+	}
+	return got
+}
+
+// checkAgainstMarkers runs one analyzer over one fixture and compares
+// the findings with the // want markers — missing and unexpected
+// findings both fail, so seeded violations must fire and suppressed or
+// clean shapes must stay silent.
+func checkAgainstMarkers(t *testing.T, a *lint.Analyzer, fixture string) {
+	t.Helper()
+	pkg := loadFixture(t, fixture)
+	diags := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	want := wantMarkers(t, filepath.Join("testdata", "src", fixture))
+	got := gotKeys(diags)
+	for k := range want {
+		if !got[k] {
+			t.Errorf("missing expected finding %s", k)
+		}
+	}
+	for k := range got {
+		if !want[k] {
+			t.Errorf("unexpected finding %s", k)
+		}
+	}
+	if t.Failed() {
+		for _, d := range diags {
+			t.Logf("got: %s", d)
+		}
+	}
+}
+
+func TestRawClockFixture(t *testing.T) {
+	checkAgainstMarkers(t, lint.RawClock("pervasivegrid/internal/obs"), "rawclock")
+}
+
+func TestRawClockExemptPackage(t *testing.T) {
+	pkg := loadFixture(t, "rawclock")
+	// Exempting the fixture's own path silences every finding.
+	diags := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{lint.RawClock(pkg.Path)})
+	if len(diags) != 0 {
+		t.Fatalf("exempt package still flagged: %v", diags)
+	}
+}
+
+func TestRawSendFixture(t *testing.T) {
+	pkg := loadFixture(t, "rawsend")
+	checkAgainstMarkers(t, lint.RawSend(pkg.Path), "rawsend")
+}
+
+func TestRawSendOffListPackage(t *testing.T) {
+	pkg := loadFixture(t, "rawsend")
+	diags := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{lint.RawSend("pervasivegrid/internal/telemetry")})
+	if len(diags) != 0 {
+		t.Fatalf("off-list package flagged: %v", diags)
+	}
+}
+
+func TestLockedDeliverFixture(t *testing.T) {
+	checkAgainstMarkers(t, lint.LockedDeliver(), "lockeddeliver")
+}
+
+func TestGoroLeakFixture(t *testing.T) {
+	checkAgainstMarkers(t, lint.GoroLeak(), "goroleak")
+}
+
+func TestEnvHopsFixture(t *testing.T) {
+	checkAgainstMarkers(t, lint.EnvHops(), "envhops")
+}
+
+// TestMalformedDirectives: a lint:ignore without rule or reason is
+// itself a finding, even with no analyzers running.
+func TestMalformedDirectives(t *testing.T) {
+	pkg := loadFixture(t, "directives")
+	diags := lint.Run([]*lint.Package{pkg}, nil)
+	if len(diags) != 2 {
+		t.Fatalf("want 2 lint-directive findings, got %d: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if d.Rule != "lint-directive" {
+			t.Errorf("want rule lint-directive, got %s", d.Rule)
+		}
+	}
+}
+
+// TestDiagnosticString pins the file:line:col rendering the Makefile
+// gate and editors rely on.
+func TestDiagnosticString(t *testing.T) {
+	pkg := loadFixture(t, "envhops")
+	diags := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{lint.EnvHops()})
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics")
+	}
+	s := diags[0].String()
+	if !strings.Contains(s, "envhops.go:") || !strings.Contains(s, ": envhops: ") || !strings.Contains(s, "(fix: ") {
+		t.Fatalf("unexpected rendering: %s", s)
+	}
+}
+
+// TestLoaderResolvesInModuleImports: the fixture imports the real
+// agent package; its named types must resolve so rawsend/envhops can
+// key on them.
+func TestLoaderResolvesInModuleImports(t *testing.T) {
+	pkg := loadFixture(t, "envhops")
+	if pkg.Types == nil {
+		t.Fatal("no types")
+	}
+	if want := "pervasivegrid/internal/lint/testdata/src/envhops"; pkg.Path != want {
+		t.Fatalf("path = %q, want %q", pkg.Path, want)
+	}
+}
+
+// TestLoadPatternsWalk: ./... from the module root discovers the real
+// packages and skips testdata.
+func TestLoadPatternsWalk(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns("", "./...")
+	if err != nil {
+		t.Fatalf("LoadPatterns: %v", err)
+	}
+	var paths []string
+	for _, p := range pkgs {
+		paths = append(paths, p.Path)
+	}
+	sort.Strings(paths)
+	has := func(want string) bool {
+		for _, p := range paths {
+			if p == want {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("pervasivegrid/internal/agent") || !has("pervasivegrid/internal/lint") {
+		t.Fatalf("walk missed core packages: %v", paths)
+	}
+	for _, p := range paths {
+		if strings.Contains(p, "testdata") {
+			t.Fatalf("walk descended into testdata: %s", p)
+		}
+	}
+}
+
+// TestRepoIsClean is the in-suite version of make lint: the production
+// analyzer set over the whole module must report nothing.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadPatterns("", "./...")
+	if err != nil {
+		t.Fatalf("LoadPatterns: %v", err)
+	}
+	diags := lint.Run(pkgs, lint.Default())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

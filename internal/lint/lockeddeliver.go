@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// LockedDeliver flags envelope delivery while a mutex is held — the
+// exact shape of the PR 1 DisconnectionDeputy bug, where SetConnected
+// flushed its buffer through next.Deliver under d.mu and deadlocked
+// against a downstream deputy that re-entered it. Delivery can block
+// (or call back into the locking component), so it must happen outside
+// the critical section.
+//
+// The analysis is a linear source-order scan per function: a call to
+// X.Lock()/X.RLock() opens a critical section keyed by X; a matching
+// non-deferred Unlock/RUnlock closes it (a *deferred* Unlock holds the
+// lock to function exit, so everything after the Lock counts); a call
+// to a delivery method (Deliver, or a lower-case deliver helper) while
+// any section is open is a finding. Straight-line scanning trades
+// path sensitivity for zero false negatives on the idioms this
+// codebase actually uses.
+func LockedDeliver() *Analyzer {
+	return &Analyzer{
+		Name: "lockeddeliver",
+		Doc:  "envelope delivery between mu.Lock() and mu.Unlock() in the same function",
+		Run:  runLockedDeliver,
+	}
+}
+
+// lockEvent is one Lock/Unlock/deliver occurrence in source order.
+type lockEvent struct {
+	pos      token.Pos
+	kind     string // "lock", "unlock", "deliver"
+	key      string // rendered mutex expression ("d.mu")
+	deferred bool
+	node     ast.Node
+}
+
+// deliveryNames are the calls that hand an envelope onward.
+var deliveryNames = map[string]bool{"Deliver": true, "deliver": true}
+
+func runLockedDeliver(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			events := collectLockEvents(fn.Body)
+			sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+			held := map[string]bool{}
+			for _, ev := range events {
+				switch ev.kind {
+				case "lock":
+					held[ev.key] = true
+				case "unlock":
+					if !ev.deferred {
+						delete(held, ev.key)
+					}
+				case "deliver":
+					if len(held) > 0 {
+						keys := make([]string, 0, len(held))
+						for k := range held {
+							keys = append(keys, k)
+						}
+						sort.Strings(keys)
+						pass.Report(ev.node,
+							"delivery while holding "+strings.Join(keys, ", ")+" can deadlock against a re-entrant deputy",
+							"move the Deliver call outside the critical section (collect under the lock, deliver after Unlock)")
+					}
+				}
+			}
+		}
+	}
+}
+
+// collectLockEvents gathers Lock/Unlock/delivery calls in fn body,
+// marking Unlocks that are the direct call of a defer statement.
+func collectLockEvents(body *ast.BlockStmt) []lockEvent {
+	var events []lockEvent
+	deferredCalls := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferredCalls[d.Call] = true
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			name := fun.Sel.Name
+			switch name {
+			case "Lock", "RLock":
+				events = append(events, lockEvent{pos: call.Pos(), kind: "lock", key: exprKey(fun.X), node: call})
+			case "Unlock", "RUnlock":
+				events = append(events, lockEvent{pos: call.Pos(), kind: "unlock", key: exprKey(fun.X), deferred: deferredCalls[call], node: call})
+			default:
+				if deliveryNames[name] {
+					events = append(events, lockEvent{pos: call.Pos(), kind: "deliver", node: call})
+				}
+			}
+		case *ast.Ident:
+			if deliveryNames[fun.Name] {
+				events = append(events, lockEvent{pos: call.Pos(), kind: "deliver", node: call})
+			}
+		}
+		return true
+	})
+	return events
+}
+
+// exprKey renders a selector chain ("d.mu", "l.platform.mu") for use as
+// a critical-section key; unrenderable expressions share one bucket.
+func exprKey(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprKey(x.X) + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprKey(x.X)
+	case *ast.StarExpr:
+		return exprKey(x.X)
+	default:
+		return "<expr>"
+	}
+}

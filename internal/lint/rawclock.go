@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// rawClockBanned are the time-package functions that read or wait on
+// the wall clock. Everything else in package time (Duration arithmetic,
+// Date construction, parsing) is pure and allowed.
+var rawClockBanned = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// RawClock flags direct wall-clock access (time.Now, time.Sleep,
+// time.After, time.NewTimer, ...) outside the exempt packages. All time
+// must flow through the obs.Clock seam so the FakeClock can drive
+// retry/backoff/staleness machinery deterministically in tests; one raw
+// time.Sleep in a hot path turns a microsecond FakeClock test back into
+// a wall-clock one. Test files are not loaded by the framework, so the
+// rule applies to production sources only.
+func RawClock(exempt ...string) *Analyzer {
+	ex := map[string]bool{}
+	for _, p := range exempt {
+		ex[p] = true
+	}
+	return &Analyzer{
+		Name: "rawclock",
+		Doc:  "wall-clock access outside the obs.Clock seam (time.Now/Sleep/After/... beyond the exempt packages)",
+		Run: func(pass *Pass) {
+			if ex[pass.Pkg.Path] {
+				return
+			}
+			for _, file := range pass.Pkg.Files {
+				f := file
+				ast.Inspect(f, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					id, ok := sel.X.(*ast.Ident)
+					if !ok || !rawClockBanned[sel.Sel.Name] {
+						return true
+					}
+					if pass.ImportedPath(f, id) != "time" {
+						return true
+					}
+					pass.Report(sel,
+						"time."+sel.Sel.Name+" bypasses the obs.Clock seam (FakeClock tests cannot control it)",
+						"thread an obs.Clock through this path, or use obs.Real explicitly")
+					return true
+				})
+			}
+		},
+	}
+}

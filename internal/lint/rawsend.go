@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// RawSend flags raw agent.Send / agent.Call conversations in packages
+// on the retry-required list. Those packages talk across node
+// boundaries (gateways, reconnecting links), where a raw send turns
+// transient loss — a full mailbox, a link mid-reconnect — into silent
+// failure; SendRetry/CallRetry ride it out with backoff and
+// cross-attempt reply correlation. Packages whose sends are strictly
+// local (or that exist to exercise the raw path) stay off the list.
+func RawSend(retryRequired ...string) *Analyzer {
+	req := map[string]bool{}
+	for _, p := range retryRequired {
+		req[p] = true
+	}
+	return &Analyzer{
+		Name: "rawsend",
+		Doc:  "raw Send/Call in a package on the retry-required list (use SendRetry/CallRetry)",
+		Run: func(pass *Pass) {
+			if !req[pass.Pkg.Path] {
+				return
+			}
+			for _, file := range pass.Pkg.Files {
+				f := file
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					name := sel.Sel.Name
+					if name != "Send" && name != "Call" {
+						return true
+					}
+					// Package-level agent.Call(...).
+					if id, ok := sel.X.(*ast.Ident); ok && pass.ImportedPath(f, id) == agentPkgPath {
+						if name == "Call" {
+							pass.Report(call,
+								"raw agent.Call loses the conversation on one dropped envelope",
+								"use agent.CallRetry with a RetryPolicy")
+						}
+						return true
+					}
+					// Method sends: (*agent.Platform).Send, (*agent.Context).Send.
+					tv, ok := pass.Pkg.Info.Types[sel.X]
+					if !ok {
+						return true
+					}
+					path, tname, ok := NamedType(tv.Type)
+					if !ok || path != agentPkgPath {
+						return true
+					}
+					if (tname == "Platform" || tname == "Context") && name == "Send" {
+						pass.Report(call,
+							"raw "+tname+".Send drops on transient failure (mailbox full, link mid-reconnect)",
+							"use agent.SendRetry, or //lint:ignore rawsend with the reason the loss is acceptable")
+					}
+					return true
+				})
+			}
+		},
+	}
+}

@@ -1,0 +1,17 @@
+// Package directives is a pgridlint fixture: malformed suppression
+// comments are themselves findings.
+package directives
+
+import "time"
+
+// MissingReason has a rule but no reason.
+func MissingReason() time.Time {
+	//lint:ignore rawclock
+	return time.Now()
+}
+
+// NoRule has nothing after the directive.
+func NoRule() {
+	//lint:ignore
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,26 @@
+// Package envhops is a pgridlint fixture: raw envelope literals versus
+// the constructors.
+package envhops
+
+import "pervasivegrid/internal/agent"
+
+// Bad hand-rolls an envelope, bypassing hop accounting and encoding.
+func Bad() agent.Envelope {
+	return agent.Envelope{To: "peer", Performative: "inform"} // want envhops
+}
+
+// BadPtr does the same through a pointer literal.
+func BadPtr() *agent.Envelope {
+	return &agent.Envelope{To: "peer"} // want envhops
+}
+
+// Good uses the constructor.
+func Good() (agent.Envelope, error) {
+	return agent.NewEnvelope("self", "peer", "inform", "fixture", 42)
+}
+
+// Suppressed is a codec-level literal that never rides a route.
+func Suppressed() agent.Envelope {
+	//lint:ignore envhops fixture: codec-internal literal, never routed
+	return agent.Envelope{ContentType: "application/json"}
+}

@@ -1,0 +1,53 @@
+// Package goroleak is a pgridlint fixture: leaky and stoppable
+// goroutine launches.
+package goroleak
+
+// Bad spins forever with no way to stop it.
+func Bad(ch chan int) {
+	go func() { // want goroleak
+		for {
+			<-ch
+		}
+	}()
+}
+
+// GoodSelect has a done channel in its loop.
+func GoodSelect(ch chan int, done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-ch:
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+// GoodBounded runs to completion.
+func GoodBounded(ch chan int) {
+	go func() {
+		for i := 0; i < 8; i++ {
+			ch <- i
+		}
+	}()
+}
+
+// GoodRange ends when the channel closes.
+func GoodRange(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// Suppressed is a process-lifetime goroutine by design.
+func Suppressed(ch chan int) {
+	//lint:ignore goroleak fixture: process-lifetime pump by design
+	go func() {
+		for {
+			<-ch
+		}
+	}()
+}

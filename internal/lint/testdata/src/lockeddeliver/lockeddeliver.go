@@ -1,0 +1,51 @@
+// Package lockeddeliver is a pgridlint fixture: deliveries inside and
+// outside critical sections.
+package lockeddeliver
+
+import "sync"
+
+// Sink is a stand-in for agent.Deputy.
+type Sink interface {
+	Deliver(v int) error
+}
+
+// Box guards a buffer with a mutex and forwards to next.
+type Box struct {
+	mu     sync.Mutex
+	buffer []int
+	next   Sink
+}
+
+// BadDeferred holds the lock (via defer) across the delivery.
+func (b *Box) BadDeferred(v int) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.next.Deliver(v) // want lockeddeliver
+}
+
+// BadBetween delivers between Lock and Unlock.
+func (b *Box) BadBetween(v int) {
+	b.mu.Lock()
+	_ = b.next.Deliver(v) // want lockeddeliver
+	b.mu.Unlock()
+}
+
+// GoodFlush collects under the lock and delivers after releasing it —
+// the shape the PR 1 DisconnectionDeputy fix established.
+func (b *Box) GoodFlush() {
+	b.mu.Lock()
+	buf := b.buffer
+	b.buffer = nil
+	b.mu.Unlock()
+	for _, v := range buf {
+		_ = b.next.Deliver(v)
+	}
+}
+
+// Suppressed documents a passthrough that is safe by construction.
+func (b *Box) Suppressed(v int) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	//lint:ignore lockeddeliver fixture: next is non-blocking by contract
+	return b.next.Deliver(v)
+}

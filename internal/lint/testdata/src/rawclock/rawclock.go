@@ -1,0 +1,45 @@
+// Package rawclock is a pgridlint fixture: seeded wall-clock
+// violations plus the allowed shapes.
+package rawclock
+
+import "time"
+
+// Bad reads the wall clock directly.
+func Bad() time.Time {
+	return time.Now() // want rawclock
+}
+
+// BadSleep blocks on the wall clock.
+func BadSleep() {
+	time.Sleep(time.Millisecond) // want rawclock
+}
+
+// BadTimer arms a wall-clock timer and waits on a wall-clock channel.
+func BadTimer() {
+	t := time.NewTimer(time.Second) // want rawclock
+	<-t.C
+	<-time.After(time.Millisecond) // want rawclock
+}
+
+// BadSince measures with the wall clock.
+func BadSince(start time.Time) time.Duration {
+	return time.Since(start) // want rawclock
+}
+
+// Suppressed demonstrates the trailing-directive form.
+func Suppressed() time.Time {
+	return time.Now() //lint:ignore rawclock fixture demonstrates suppression
+}
+
+// SuppressedAbove demonstrates the standalone-directive form.
+func SuppressedAbove() {
+	//lint:ignore rawclock fixture demonstrates line-above suppression
+	time.Sleep(time.Millisecond)
+}
+
+// Allowed uses only the pure parts of package time.
+func Allowed() time.Duration {
+	d := 3 * time.Hour
+	_ = time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+	return d
+}

@@ -59,6 +59,7 @@ func (n *FleetNode) Work(count int) {
 	for i := 0; i < count; i++ {
 		env, err := agent.NewEnvelope("workload", WorkerID, "inform", "fleet-demo", i)
 		if err == nil {
+			//lint:ignore rawsend synthetic local load; a full mailbox is the backpressure being measured
 			_ = n.Platform.Send(env)
 		}
 	}

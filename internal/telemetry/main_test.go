@@ -1,0 +1,14 @@
+package telemetry
+
+import (
+	"testing"
+
+	"pervasivegrid/internal/leak"
+)
+
+// TestMain gates the telemetry suite on goroutine hygiene: reporters,
+// probers, monitors, and fleet nodes all own background goroutines, and
+// their Stop/Close paths must actually reap them.
+func TestMain(m *testing.M) {
+	leak.VerifyTestMain(m)
+}

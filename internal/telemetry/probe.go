@@ -79,6 +79,9 @@ func RegisterEcho(p *agent.Platform, id agent.ID) error {
 	return p.Register(id, agent.HandlerFunc(func(env agent.Envelope, ctx *agent.Context) {
 		if out, err := env.Reply("inform", "pong"); err == nil {
 			out.From = ctx.Self
+			// A retried echo reply would hide the loss the probe exists to
+			// measure: a dropped pong must count as a dropped pong.
+			//lint:ignore rawsend probe replies must not retry — loss is the measured signal
 			_ = ctx.Platform.Send(out)
 		}
 	}), agent.Attributes{Agent: map[string]string{agent.AttrRole: "telemetry-echo"}}, nil)

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"pervasivegrid/internal/agent"
+	"pervasivegrid/internal/leak"
 	"pervasivegrid/internal/obs"
 	"pervasivegrid/internal/partition"
 )
@@ -48,6 +49,7 @@ func TestProbeOnceRecordsRTTAndLoss(t *testing.T) {
 }
 
 func TestProberLoopProbesOnClockTicks(t *testing.T) {
+	leak.Check(t) // the prober loop goroutine must die with pr.Close
 	clk := obs.NewFakeClock()
 	p := agent.NewPlatform("probe-node")
 	p.Clock = clk

@@ -104,10 +104,10 @@ func TestHealthDecaysWithStalenessAndRecovers(t *testing.T) {
 		advance time.Duration
 		want    Health
 	}{
-		{time.Second, Healthy},                    // 1s stale
+		{time.Second, Healthy},                         // 1s stale
 		{time.Second + 500*time.Millisecond, Degraded}, // 2.5s
-		{2 * time.Second, Suspect},                // 4.5s
-		{4 * time.Second, Down},                   // 8.5s
+		{2 * time.Second, Suspect},                     // 4.5s
+		{4 * time.Second, Down},                        // 8.5s
 	}
 	for _, st := range steps {
 		clk.Advance(st.advance)
