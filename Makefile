@@ -48,7 +48,7 @@ cover:
 # solvers must stay race-clean.
 check: vet fmt-check lint race cover benchcmp
 
-# experiments regenerates every E1–E14 table into results.txt (a build
+# experiments regenerates every E1–E15 table into results.txt (a build
 # output, not a tracked file).
 experiments:
 	$(GO) run ./cmd/pgridbench -o results.txt

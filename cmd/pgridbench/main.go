@@ -1,4 +1,4 @@
-// Command pgridbench regenerates the reproduction suite's tables (E1–E14
+// Command pgridbench regenerates the reproduction suite's tables (E1–E15
 // in DESIGN.md / EXPERIMENTS.md) and compares benchmark runs.
 //
 // Usage:

@@ -25,6 +25,7 @@ import (
 	"pervasivegrid/internal/faultinject"
 	"pervasivegrid/internal/obs"
 	"pervasivegrid/internal/sensornet"
+	"pervasivegrid/internal/supervise"
 	"pervasivegrid/internal/telemetry"
 )
 
@@ -46,6 +47,13 @@ func main() {
 	telemetryEvery := flag.Duration("telemetry-interval", time.Second, "telemetry report and uplink-probe period")
 	healthzOn := flag.Bool("healthz", false, "serve /healthz on -metrics-addr (liveness; fleet-aware when -monitor is set)")
 	pprofOn := flag.Bool("pprof", false, "serve /debug/pprof/* runtime profiles on -metrics-addr")
+	superviseOn := flag.Bool("supervise", true, "restart crashed agents with backoff; false = an agent panic kills the daemon")
+	mailboxPolicy := flag.String("mailbox-policy", "drop-newest", "overload policy for full agent mailboxes: drop-newest, drop-oldest, or block")
+	mailboxCap := flag.Int("mailbox-cap", 0, "per-agent mailbox capacity (0 = default 64)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive delivery failures that open a destination's circuit (0 = default 5)")
+	breakerOpenFor := flag.Duration("breaker-open-for", 0, "cool-down before an open circuit half-opens (0 = default 2s)")
+	breakerHalfOpen := flag.Int("breaker-half-open", 0, "successful probes that close a half-open circuit (0 = default 2)")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown budget for queued envelopes to drain")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -89,13 +97,42 @@ func main() {
 	platform := agent.NewPlatform(*name)
 	defer platform.Close()
 
+	// Self-healing runtime configuration — must precede agent
+	// registration so mailboxes and supervision pick it up.
+	policy, err := agent.ParseMailboxPolicy(*mailboxPolicy)
+	if err != nil {
+		log.Fatalf("pgridd: %v", err)
+	}
+	platform.Mailbox = agent.MailboxOptions{Capacity: *mailboxCap, Policy: policy}
+	platform.Breakers = supervise.NewBreakerSet(supervise.BreakerPolicy{
+		FailureThreshold:  *breakerThreshold,
+		OpenFor:           *breakerOpenFor,
+		HalfOpenSuccesses: *breakerHalfOpen,
+	})
+	if *superviseOn {
+		platform.OnAgentDown = func(id agent.ID, err error) {
+			log.Printf("pgridd: agent %q exhausted its restart budget: %v", id, err)
+		}
+	} else {
+		platform.Supervision = &supervise.Policy{Restart: false}
+		platform.OnAgentDown = func(id agent.ID, err error) {
+			log.Fatalf("pgridd: agent %q crashed (unsupervised): %v", id, err)
+		}
+	}
+
 	// Telemetry plane. With -monitor this daemon is the fleet aggregator:
 	// it hosts the monitor agent (remote nodes report in over the same
 	// envelope gateway queries use) and the probe echo responder, and its
 	// own local hops feed the stitched trace ring.
 	var mon *telemetry.Monitor
 	if *monitorOn {
-		m, err := telemetry.RegisterMonitor(platform, telemetry.MonitorOptions{Interval: *telemetryEvery})
+		// The monitor shares the platform's breaker set: a node the
+		// fleet view marks suspect/down gets its circuit forced open,
+		// and the open circuits appear in /fleet.json.
+		m, err := telemetry.RegisterMonitor(platform, telemetry.MonitorOptions{
+			Interval: *telemetryEvery,
+			Breakers: platform.Breakers,
+		})
 		if err != nil {
 			log.Fatalf("pgridd: monitor: %v", err)
 		}
@@ -125,10 +162,11 @@ func main() {
 	// aggregator over a reconnecting link, ships delta-encoded snapshots
 	// + spans every interval, and probes its uplink with echo
 	// round-trips so the aggregator learns real transport cost.
+	var rep *telemetry.Reporter
 	if *telemetryTo != "" {
 		link := agent.DialReconnect(platform, *telemetryTo, agent.ReconnectOptions{})
 		defer link.Close()
-		rep, err := telemetry.StartReporter(platform, telemetry.ReporterOptions{
+		rep, err = telemetry.StartReporter(platform, telemetry.ReporterOptions{
 			Interval: *telemetryEvery,
 			Sources:  []obs.Source{rt.Metrics},
 		})
@@ -143,7 +181,7 @@ func main() {
 	} else if mon != nil {
 		// The aggregator observes itself too, so the fleet view always
 		// includes the monitor host.
-		rep, err := telemetry.StartReporter(platform, telemetry.ReporterOptions{
+		rep, err = telemetry.StartReporter(platform, telemetry.ReporterOptions{
 			Interval: *telemetryEvery,
 			Sources:  []obs.Source{rt.Metrics},
 		})
@@ -209,9 +247,32 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+
+	// Graceful shutdown: stop accepting, let queued envelopes drain,
+	// flush the final telemetry report, and withdraw this node's service
+	// advertisements so peers re-bind instead of timing out against a
+	// ghost. The deferred Closes then tear the rest down.
+	fmt.Println("pgridd: signal received, draining")
+	gw.Close()
+	if !platform.Drain(*drainTimeout) {
+		fmt.Printf("pgridd: drain timed out after %v with %d envelopes still queued\n",
+			*drainTimeout, platform.QueuedEnvelopes())
+	}
+	if rep != nil {
+		if err := rep.ReportNow(); err != nil {
+			log.Printf("pgridd: final telemetry flush: %v", err)
+		}
+	}
+	for _, p := range rt.Broker.Reg.Profiles() {
+		rt.Broker.Reg.Deregister(p.Name)
+	}
+
 	st := platform.DeliveryStats()
-	fmt.Printf("pgridd: shutting down (delivered=%d dropped=%d retries=%d dead-letters=%d",
-		st.Delivered, st.Dropped, st.Retries, st.DeadLettered)
+	fmt.Printf("pgridd: shutting down (delivered=%d dropped=%d shed=%d retries=%d dead-letters=%d",
+		st.Delivered, st.Dropped, st.Shed, st.Retries, st.DeadLettered)
+	if sv := platform.SupervisionStats(); sv.Panics > 0 || sv.Restarts > 0 {
+		fmt.Printf(" agent-panics=%d restarts=%d give-ups=%d", sv.Panics, sv.Restarts, sv.GiveUps)
+	}
 	for reason, n := range st.Reasons {
 		fmt.Printf(" %s=%d", reason, n)
 	}

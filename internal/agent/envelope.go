@@ -11,6 +11,7 @@ package agent
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 	"sync/atomic"
 )
 
@@ -84,6 +85,23 @@ func (e Envelope) Reply(performative string, body any) (Envelope, error) {
 	r.InReplyTo = e.Seq
 	r.TraceID = e.TraceID
 	return r, nil
+}
+
+// HighPriorityPrefixes lists the ontology prefixes whose envelopes ride
+// the priority mailbox lane: telemetry and runtime-control conversations
+// must survive data-plane saturation, or the grid goes blind exactly
+// when it is overloaded. Classification is by ontology so the priority
+// bit needs no wire-format change.
+var HighPriorityPrefixes = []string{"pgrid-telemetry", "pgrid-control"}
+
+// HighPriority reports whether this envelope rides the priority lane.
+func (e Envelope) HighPriority() bool {
+	for _, prefix := range HighPriorityPrefixes {
+		if strings.HasPrefix(e.Ontology, prefix) {
+			return true
+		}
+	}
+	return false
 }
 
 // seqCounter hands out platform-unique sequence numbers.

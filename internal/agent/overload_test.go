@@ -1,0 +1,353 @@
+package agent
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"pervasivegrid/internal/obs"
+	"pervasivegrid/internal/supervise"
+)
+
+// gatedHandler blocks its first envelope on gate (signalling first when
+// it enters), then records the Seq of every envelope it handles.
+type gatedHandler struct {
+	first chan struct{}
+	gate  chan struct{}
+	once  sync.Once
+
+	mu  sync.Mutex
+	got []uint64
+}
+
+func newGatedHandler() *gatedHandler {
+	return &gatedHandler{first: make(chan struct{}), gate: make(chan struct{})}
+}
+
+func (h *gatedHandler) Handle(env Envelope, ctx *Context) {
+	h.once.Do(func() {
+		close(h.first)
+		<-h.gate
+	})
+	h.mu.Lock()
+	h.got = append(h.got, env.Seq)
+	h.mu.Unlock()
+}
+
+func (h *gatedHandler) seqs() []uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]uint64(nil), h.got...)
+}
+
+func (h *gatedHandler) waitFor(t *testing.T, n int) []uint64 {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if got := h.seqs(); len(got) >= n {
+			return got
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("handled %d envelopes, want %d", len(h.seqs()), n)
+	return nil
+}
+
+// pumpUntil drives a fake clock in small steps from the test goroutine,
+// yielding a sliver of real time between steps, until done yields. On a
+// single-P scheduler AutoAdvance can burn a whole retry schedule in one
+// time slice without the handler goroutines ever running; the explicit
+// yield makes success-path conversations deterministic.
+func pumpUntil[T any](t *testing.T, fc *obs.FakeClock, done <-chan T) T {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		select {
+		case v := <-done:
+			return v
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pumpUntil: timed out")
+		}
+		fc.Advance(5 * time.Millisecond)
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+func sendTo(t *testing.T, p *Platform, to ID, ontology string) error {
+	t.Helper()
+	env, err := NewEnvelope("tester", to, "inform", ontology, "payload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Send(env)
+}
+
+func TestDropNewestOverflow(t *testing.T) {
+	p := NewPlatform("overflow")
+	p.Mailbox = MailboxOptions{Capacity: 2, HighCapacity: 2, Policy: DropNewest}
+	defer p.Close()
+	h := newGatedHandler()
+	if err := p.Register("slow", h, Attributes{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sendTo(t, p, "slow", "x-data"); err != nil {
+		t.Fatal(err)
+	}
+	<-h.first // the handler is now wedged on its first envelope
+	for i := 0; i < 2; i++ {
+		if err := sendTo(t, p, "slow", "x-data"); err != nil {
+			t.Fatalf("fill send %d: %v", i, err)
+		}
+	}
+	err := sendTo(t, p, "slow", "x-data")
+	if !errors.Is(err, ErrMailboxFull) {
+		t.Fatalf("overflow send: err = %v, want ErrMailboxFull", err)
+	}
+	st := p.DeliveryStats()
+	if st.Shed != 1 {
+		t.Fatalf("Shed = %d, want 1", st.Shed)
+	}
+	if st.Reasons[DropMailboxFull] != 1 {
+		t.Fatalf("Reasons[mailbox_full] = %d, want 1", st.Reasons[DropMailboxFull])
+	}
+	if got := p.Metrics().Counter("agent_shed_total", "policy", "drop-newest").Value(); got != 1 {
+		t.Fatalf("agent_shed_total = %v, want 1", got)
+	}
+	close(h.gate)
+	h.waitFor(t, 3)
+}
+
+func TestDropOldestEvictsAndDeadLetters(t *testing.T) {
+	p := NewPlatform("evict")
+	p.Mailbox = MailboxOptions{Capacity: 4, HighCapacity: 2, Policy: DropOldest}
+	defer p.Close()
+	h := newGatedHandler()
+	if err := p.Register("slow", h, Attributes{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Seq 1 wedges the handler; 2–5 fill the lane; 6–8 evict 2–4.
+	for i := 0; i < 8; i++ {
+		if err := sendTo(t, p, "slow", "x-data"); err != nil {
+			t.Fatalf("send %d: %v", i+1, err)
+		}
+		if i == 0 {
+			<-h.first
+		}
+	}
+	close(h.gate)
+	got := h.waitFor(t, 5)
+	want := []uint64{1, 5, 6, 7, 8}
+	if len(got) != len(want) {
+		t.Fatalf("handled %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("handled %v, want %v (oldest not evicted)", got, want)
+		}
+	}
+	st := p.DeliveryStats()
+	if st.Shed != 3 {
+		t.Fatalf("Shed = %d, want 3", st.Shed)
+	}
+	if st.Reasons[DropShedOldest] != 3 {
+		t.Fatalf("Reasons[shed_oldest] = %d, want 3", st.Reasons[DropShedOldest])
+	}
+	// The evicted envelopes are retained for post-mortem.
+	letters := p.DeadLetters()
+	if len(letters) != 3 {
+		t.Fatalf("dead letters = %d, want 3", len(letters))
+	}
+	for _, dl := range letters {
+		if dl.Reason != DropShedOldest {
+			t.Fatalf("dead letter reason = %s, want shed_oldest", dl.Reason)
+		}
+	}
+}
+
+func TestBlockPolicyBackpressure(t *testing.T) {
+	p := NewPlatform("block")
+	p.Mailbox = MailboxOptions{Capacity: 1, HighCapacity: 1, Policy: Block}
+	defer p.Close()
+	h := newGatedHandler()
+	if err := p.Register("slow", h, Attributes{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sendTo(t, p, "slow", "x-data"); err != nil {
+		t.Fatal(err)
+	}
+	<-h.first
+	if err := sendTo(t, p, "slow", "x-data"); err != nil {
+		t.Fatal(err)
+	}
+	blocked := make(chan error, 1)
+	go func() { blocked <- sendTo(t, p, "slow", "x-data") }()
+	select {
+	case err := <-blocked:
+		t.Fatalf("send did not block on a full lane (err = %v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(h.gate)
+	if err := <-blocked; err != nil {
+		t.Fatalf("blocked send failed after space freed: %v", err)
+	}
+	h.waitFor(t, 3)
+	if st := p.DeliveryStats(); st.Shed != 0 {
+		t.Fatalf("Block policy shed %d envelopes, want 0", st.Shed)
+	}
+}
+
+func TestPriorityLaneSurvivesSaturation(t *testing.T) {
+	p := NewPlatform("priority")
+	p.Mailbox = MailboxOptions{Capacity: 2, HighCapacity: 4, Policy: DropNewest}
+	defer p.Close()
+	h := newGatedHandler()
+	if err := p.Register("worker", h, Attributes{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Seq 1 wedges the handler, 2–3 saturate the normal lane.
+	for i := 0; i < 3; i++ {
+		if err := sendTo(t, p, "worker", "x-data"); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			<-h.first
+		}
+	}
+	if err := sendTo(t, p, "worker", "x-data"); !errors.Is(err, ErrMailboxFull) {
+		t.Fatalf("data-plane overflow: err = %v, want ErrMailboxFull", err)
+	}
+	// Telemetry still gets through on the priority lane (Seq 5)...
+	if err := sendTo(t, p, "worker", "pgrid-telemetry-report"); err != nil {
+		t.Fatalf("telemetry envelope rejected under saturation: %v", err)
+	}
+	close(h.gate)
+	got := h.waitFor(t, 4)
+	// ...and preempts the queued data envelopes.
+	want := []uint64{1, 5, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("handled order %v, want %v (priority lane not preferred)", got, want)
+		}
+	}
+}
+
+func TestDeadLetterCapConfigurable(t *testing.T) {
+	p := NewPlatform("dl")
+	p.DeadLetterCap = 4
+	defer p.Close()
+	for i := 0; i < 6; i++ {
+		if err := sendTo(t, p, "ghost", "x-data"); !errors.Is(err, ErrUnknownAgent) {
+			t.Fatalf("send %d: err = %v, want ErrUnknownAgent", i, err)
+		}
+	}
+	letters := p.DeadLetters()
+	if len(letters) != 4 {
+		t.Fatalf("ring holds %d, want cap 4", len(letters))
+	}
+	// Oldest-first: sends 3..6 survive.
+	if letters[0].Env.Seq != 3 || letters[3].Env.Seq != 6 {
+		t.Fatalf("ring contents wrong: first seq %d, last seq %d", letters[0].Env.Seq, letters[3].Env.Seq)
+	}
+	if st := p.DeliveryStats(); st.DeadLettered != 6 {
+		t.Fatalf("DeadLettered = %d, want 6 (counter unbounded)", st.DeadLettered)
+	}
+	if got := p.Metrics().Gauge("agent_dead_letter_depth").Value(); got != 4 {
+		t.Fatalf("agent_dead_letter_depth = %v, want 4", got)
+	}
+	if got := p.Metrics().Counter("agent_dead_letter_evicted_total").Value(); got != 2 {
+		t.Fatalf("agent_dead_letter_evicted_total = %v, want 2", got)
+	}
+}
+
+func TestSendRetryConsultsBreaker(t *testing.T) {
+	fc := obs.NewFakeClock()
+	defer fc.AutoAdvance()()
+	p := NewPlatform("brk")
+	p.Clock = fc
+	p.Breakers = supervise.NewBreakerSet(supervise.BreakerPolicy{
+		FailureThreshold: 3, OpenFor: time.Hour, Clock: fc,
+	})
+	defer p.Close()
+	// Three no-route failures trip the destination's breaker.
+	for i := 0; i < 3; i++ {
+		if err := sendTo(t, p, "ghost", "x-data"); err == nil {
+			t.Fatal("send to ghost succeeded")
+		}
+	}
+	if got := p.Breakers.State("ghost"); got != supervise.BreakerOpen {
+		t.Fatalf("breaker state = %v, want open", got)
+	}
+	env, err := NewEnvelope("tester", "ghost", "inform", "x-data", "payload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped := p.Dropped()
+	err = SendRetry(p, env, time.Second, RetryPolicy{MaxAttempts: 3, Seed: 1, Clock: fc})
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("SendRetry err = %v, want ErrCircuitOpen", err)
+	}
+	// The open breaker shed the attempts before they hit the send path.
+	if got := p.Dropped(); got != dropped {
+		t.Fatalf("breaker-suppressed attempts still dropped envelopes: %d -> %d", dropped, got)
+	}
+	if got := p.Metrics().Counter("agent_breaker_rejected_total").Value(); got < 3 {
+		t.Fatalf("agent_breaker_rejected_total = %v, want >= 3", got)
+	}
+}
+
+func TestCallRetryCircuitOpenThenHeal(t *testing.T) {
+	// No AutoAdvance here: a successful conversation needs the echo
+	// handler's goroutine to run between retry attempts, so the test
+	// goroutine pumps the clock itself (see pumpUntil).
+	fc := obs.NewFakeClock()
+	p := NewPlatform("heal")
+	p.Clock = fc
+	p.Breakers = supervise.NewBreakerSet(supervise.BreakerPolicy{
+		FailureThreshold: 1, OpenFor: 10 * time.Millisecond, HalfOpenSuccesses: 1, Clock: fc,
+	})
+	defer p.Close()
+	if err := sendTo(t, p, "echo", "x-data"); err == nil {
+		t.Fatal("send to unregistered echo succeeded")
+	}
+	if got := p.Breakers.State("echo"); got != supervise.BreakerOpen {
+		t.Fatalf("breaker state = %v, want open", got)
+	}
+	// Register the destination: the cool-down elapses under retry
+	// backoff, the half-open probe succeeds, and the call completes.
+	err := p.Register("echo", HandlerFunc(func(env Envelope, ctx *Context) {
+		reply, err := env.Reply("inform", "pong")
+		if err != nil {
+			t.Errorf("reply: %v", err)
+			return
+		}
+		if err := ctx.Send(reply); err != nil {
+			t.Errorf("send reply: %v", err)
+		}
+	}), Attributes{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type callResult struct {
+		reply Envelope
+		err   error
+	}
+	done := make(chan callResult, 1)
+	go func() {
+		reply, err := CallRetry(p, "echo", "request", "x-data", "ping", 5*time.Second,
+			RetryPolicy{MaxAttempts: 6, BaseDelay: 20 * time.Millisecond, Seed: 1, Clock: fc})
+		done <- callResult{reply, err}
+	}()
+	res := pumpUntil(t, fc, done)
+	if res.err != nil {
+		t.Fatalf("CallRetry through healing breaker: %v", res.err)
+	}
+	if res.reply.Performative != "inform" {
+		t.Fatalf("reply performative = %q", res.reply.Performative)
+	}
+	if got := p.Breakers.State("echo"); got != supervise.BreakerClosed {
+		t.Fatalf("breaker state after heal = %v, want closed", got)
+	}
+}

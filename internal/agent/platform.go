@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"pervasivegrid/internal/obs"
+	"pervasivegrid/internal/supervise"
 )
 
 // Handler is an agent's behaviour: it receives each envelope delivered to
@@ -38,19 +39,28 @@ func (c *Context) Send(env Envelope) error {
 	return c.Platform.Send(env)
 }
 
-// registration is one hosted agent: its deputy chain, mailbox, and
-// attributes. The mailbox channel is never closed — concurrent deliveries
+// registration is one hosted agent: its deputy chain, mailbox lanes, and
+// attributes. The lane channels are never closed — concurrent deliveries
 // (including delayed ones from decorating deputies) may race a
 // deregistration, and a send on a closed channel would panic the sender.
 // Termination is signalled through quit instead; the agent goroutine
-// drains what is already queued and exits.
+// drains what is already queued and exits. The run loop itself executes
+// as a supervised child (see supervision.go): proc is its handle.
 type registration struct {
 	id      ID
 	deputy  Deputy
 	attrs   Attributes
-	mailbox chan Envelope
+	mailbox chan Envelope // normal lane
+	high    chan Envelope // priority lane (telemetry / control ontologies)
 	quit    chan struct{}
-	done    chan struct{}
+	proc    *supervise.Proc
+
+	// Checkpoint storage for handlers implementing Checkpointer: the
+	// last snapshot taken after a successful Handle, restored when
+	// supervision restarts the agent.
+	ckptMu  sync.Mutex
+	ckpt    any
+	hasCkpt bool
 }
 
 // RouteID names an installed gateway route so it can be removed when the
@@ -79,6 +89,12 @@ const (
 	// DropTTLExpired: the envelope exceeded the platform hop budget
 	// (a routing loop, or a retry storm bouncing between gateways).
 	DropTTLExpired DropReason = "ttl_expired"
+	// DropShedOldest: overload control evicted this envelope from a full
+	// mailbox lane to admit a newer one (MailboxPolicy DropOldest).
+	DropShedOldest DropReason = "shed_oldest"
+	// DropDeliverPanic: a deputy or route panicked while delivering; the
+	// panic was recovered and the envelope abandoned.
+	DropDeliverPanic DropReason = "deliver_panic"
 )
 
 // DeadLetter is one undeliverable envelope held for post-mortem.
@@ -108,6 +124,9 @@ type DeliveryStats struct {
 	// (equals Dropped; kept separate so the ring can be bounded while
 	// the counter is not).
 	DeadLettered uint64
+	// Shed counts envelopes refused or evicted by mailbox overload
+	// control (both rejected-newest and evicted-oldest).
+	Shed uint64
 	// Reasons breaks Dropped down by drop reason.
 	Reasons map[DropReason]uint64
 }
@@ -134,6 +153,31 @@ type Platform struct {
 	// obs.FakeClock to run backoff schedules without sleeping.
 	Clock obs.Clock
 
+	// Supervision selects the restart policy for agent run loops. Nil
+	// means supervise.DefaultPolicy() (restart on panic, with backoff
+	// and a budget); a policy with Restart false makes the first panic
+	// final. Set before registering agents.
+	Supervision *supervise.Policy
+
+	// OnAgentDown is the escalation hook: called (from the supervisor's
+	// goroutine) when supervision gives up on an agent. The registration
+	// stays installed — the hook decides whether to Deregister, replace,
+	// or exit. Set before registering agents.
+	OnAgentDown func(id ID, err error)
+
+	// Breakers, when set, guards destinations with per-route circuit
+	// breakers: Send outcomes feed them, and SendRetry/CallRetry consult
+	// them before each attempt so a destination that telemetry or
+	// repeated failures marked bad is shed instead of retried into.
+	Breakers *supervise.BreakerSet
+
+	// Mailbox bounds agent mailboxes and picks the overload policy
+	// (see MailboxOptions). Read at Register time.
+	Mailbox MailboxOptions
+
+	// DeadLetterCap overrides DefaultDeadLetterCap (128) when positive.
+	DeadLetterCap int
+
 	mu      sync.RWMutex
 	agents  map[ID]*registration
 	routes  []routeEntry
@@ -141,12 +185,17 @@ type Platform struct {
 	seq     seqCounter
 	closed  bool
 
+	// sup supervises agent run loops; built lazily at first Register.
+	sup *supervise.Supervisor
+
 	// delivered counts envelopes successfully handed to a deputy or
 	// accepted by a route; dropped counts undeliverable envelopes;
-	// retries counts re-attempted sends.
+	// retries counts re-attempted sends; shedded counts envelopes
+	// refused or evicted by mailbox overload control.
 	delivered atomic.Uint64
 	dropped   atomic.Uint64
 	retries   atomic.Uint64
+	shedded   atomic.Uint64
 
 	// Dead-letter accounting: a bounded ring of the most recent
 	// undeliverable envelopes plus an unbounded per-reason counter.
@@ -219,8 +268,11 @@ func (p *Platform) trace(kind string, env Envelope, note string) {
 
 // Register hosts an agent under id with the given behaviour and attributes.
 // The returned error is non-nil when the ID is taken or the platform is
-// closed. A default direct deputy is used unless wrap decorates it (wrap
-// may be nil).
+// closed. A default mailbox deputy is used unless wrap decorates it (wrap
+// may be nil). The agent's run loop executes as a supervised child: a
+// panicking handler is recovered and the loop restarted under the
+// platform's Supervision policy, restoring the handler's last checkpoint
+// when it implements Checkpointer.
 func (p *Platform) Register(id ID, h Handler, attrs Attributes, wrap func(Deputy) Deputy) error {
 	if id == "" || h == nil {
 		return fmt.Errorf("agent: register needs an id and a handler")
@@ -233,14 +285,15 @@ func (p *Platform) Register(id ID, h Handler, attrs Attributes, wrap func(Deputy
 	if _, ok := p.agents[id]; ok {
 		return fmt.Errorf("agent: id %q already registered", id)
 	}
+	mb := p.Mailbox.withDefaults()
 	reg := &registration{
 		id:      id,
 		attrs:   attrs.Clone(),
-		mailbox: make(chan Envelope, 64),
+		mailbox: make(chan Envelope, mb.Capacity),
+		high:    make(chan Envelope, mb.HighCapacity),
 		quit:    make(chan struct{}),
-		done:    make(chan struct{}),
 	}
-	var d Deputy = &directDeputy{mailbox: reg.mailbox}
+	var d Deputy = &mailboxDeputy{p: p, reg: reg}
 	if wrap != nil {
 		d = wrap(d)
 	}
@@ -248,26 +301,67 @@ func (p *Platform) Register(id ID, h Handler, attrs Attributes, wrap func(Deputy
 	p.agents[id] = reg
 
 	ctx := &Context{Self: id, Platform: p}
-	go func() {
-		defer close(reg.done)
-		for {
-			select {
-			case env := <-reg.mailbox:
-				h.Handle(env, ctx)
-			case <-reg.quit:
-				// Drain whatever was queued before the stop, then exit.
-				for {
-					select {
-					case env := <-reg.mailbox:
-						h.Handle(env, ctx)
-					default:
-						return
-					}
-				}
+	cp, _ := h.(Checkpointer)
+	handle := func(env Envelope) {
+		h.Handle(env, ctx)
+		if cp != nil {
+			snap := cp.Checkpoint()
+			reg.ckptMu.Lock()
+			reg.ckpt, reg.hasCkpt = snap, true
+			reg.ckptMu.Unlock()
+		}
+	}
+	reg.proc = p.supervisorLocked().Spawn("agent:"+string(id), func(stop <-chan struct{}) {
+		if cp != nil {
+			reg.ckptMu.Lock()
+			snap, ok := reg.ckpt, reg.hasCkpt
+			reg.ckptMu.Unlock()
+			if ok {
+				cp.Restore(snap)
 			}
 		}
-	}()
+		for {
+			// Priority lane first: telemetry and control envelopes are
+			// handled ahead of queued data-plane traffic.
+			select {
+			case env := <-reg.high:
+				handle(env)
+				continue
+			default:
+			}
+			select {
+			case env := <-reg.high:
+				handle(env)
+			case env := <-reg.mailbox:
+				handle(env)
+			case <-reg.quit:
+				drainLanes(reg, handle)
+				return
+			case <-stop:
+				drainLanes(reg, handle)
+				return
+			}
+		}
+	})
 	return nil
+}
+
+// drainLanes handles whatever was queued before a stop, priority lane
+// first, then exits.
+func drainLanes(reg *registration, handle func(Envelope)) {
+	for {
+		select {
+		case env := <-reg.high:
+			handle(env)
+		default:
+			select {
+			case env := <-reg.mailbox:
+				handle(env)
+			default:
+				return
+			}
+		}
+	}
 }
 
 // Deregister removes an agent and stops its goroutine (after it drains its
@@ -281,7 +375,7 @@ func (p *Platform) Deregister(id ID) {
 	p.mu.Unlock()
 	if ok {
 		close(reg.quit)
-		<-reg.done
+		reg.proc.Stop()
 	}
 }
 
@@ -403,48 +497,72 @@ func (p *Platform) Send(env Envelope) error {
 	}
 	if local {
 		start := p.clock().Now()
-		if err := reg.deputy.Deliver(env); err != nil {
-			p.deadLetter(env, DropMailboxFull)
+		if err := p.safeDeliver(reg.deputy, env); err != nil {
+			reason := DropMailboxFull
+			if errors.Is(err, ErrDeliverPanic) {
+				reason = DropDeliverPanic
+			}
+			p.deadLetter(env, reason)
+			p.breakerFailure(env.To)
 			return err
 		}
 		p.delivered.Add(1)
 		p.metrics.Histogram("agent_deliver_latency_seconds").
 			Observe(p.clock().Now().Sub(start).Seconds())
 		p.metrics.Gauge("agent_mailbox_depth", "agent", string(env.To)).
-			Set(float64(len(reg.mailbox)))
+			Set(float64(len(reg.mailbox) + len(reg.high)))
 		p.metrics.Counter("agent_delivered_total").Inc()
 		p.trace(obs.SpanDeliver, env, "")
+		p.breakerSuccess(env.To)
 		return nil
 	}
+	anyPanicked := false
 	for _, r := range routes {
-		if r.fn(env) {
+		accepted, panicked := safeRoute(r.fn, env)
+		anyPanicked = anyPanicked || panicked
+		if accepted {
 			p.delivered.Add(1)
 			p.metrics.Counter("agent_delivered_total").Inc()
 			p.metrics.Counter("agent_route_delivered_total",
 				"route", strconv.FormatUint(uint64(r.id), 10)).Inc()
 			p.trace(obs.SpanRoute, env, "route "+strconv.FormatUint(uint64(r.id), 10))
+			p.breakerSuccess(env.To)
 			return nil
 		}
+	}
+	p.breakerFailure(env.To)
+	if anyPanicked {
+		p.deadLetter(env, DropDeliverPanic)
+		return fmt.Errorf("%w: route to %q", ErrDeliverPanic, env.To)
 	}
 	p.deadLetter(env, DropNoRoute)
 	return fmt.Errorf("%w: %q", ErrUnknownAgent, env.To)
 }
 
-// deadLetter records a terminally undeliverable envelope.
+// deadLetter records a terminally undeliverable envelope. The ring is
+// bounded by DeadLetterCap (default DefaultDeadLetterCap); once full,
+// the oldest retained letter is evicted and counted.
 func (p *Platform) deadLetter(env Envelope, reason DropReason) {
 	p.dropped.Add(1)
 	p.metrics.Counter("agent_dead_letter_total", "reason", string(reason)).Inc()
 	p.trace(obs.SpanDrop, env, string(reason))
+	ringCap := p.DeadLetterCap
+	if ringCap <= 0 {
+		ringCap = DefaultDeadLetterCap
+	}
 	p.dlMu.Lock()
 	defer p.dlMu.Unlock()
 	p.dlTotal++
 	p.dlWhy[reason]++
-	if len(p.dlRing) < DefaultDeadLetterCap {
+	if len(p.dlRing) < ringCap {
 		p.dlRing = append(p.dlRing, DeadLetter{Env: env, Reason: reason})
+		p.metrics.Gauge("agent_dead_letter_depth").Set(float64(len(p.dlRing)))
 		return
 	}
 	p.dlRing[p.dlNext] = DeadLetter{Env: env, Reason: reason}
 	p.dlNext = (p.dlNext + 1) % len(p.dlRing)
+	p.metrics.Counter("agent_dead_letter_evicted_total").Inc()
+	p.metrics.Gauge("agent_dead_letter_depth").Set(float64(len(p.dlRing)))
 }
 
 // noteRetry bumps the retry counter (CallRetry / SendRetry attempts beyond
@@ -460,6 +578,7 @@ func (p *Platform) DeliveryStats() DeliveryStats {
 		Delivered: p.delivered.Load(),
 		Dropped:   p.dropped.Load(),
 		Retries:   p.retries.Load(),
+		Shed:      p.shedded.Load(),
 		Reasons:   map[DropReason]uint64{},
 	}
 	p.dlMu.Lock()
@@ -504,6 +623,6 @@ func (p *Platform) Close() {
 	p.mu.Unlock()
 	for _, reg := range regs {
 		close(reg.quit)
-		<-reg.done
+		reg.proc.Stop()
 	}
 }

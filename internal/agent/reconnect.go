@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pervasivegrid/internal/obs"
+	"pervasivegrid/internal/supervise"
 )
 
 // ReconnectLink is the disconnection-tolerant client-side link: where Link
@@ -97,7 +98,7 @@ func DialReconnect(p *Platform, addr string, opts ReconnectOptions) *ReconnectLi
 		route = l.opts.WrapRoute(route)
 	}
 	l.routeID = p.AddRoute(route)
-	go l.dialLoop()
+	supervise.Spawn("reconnect-dial", l.dialLoop)
 	return l
 }
 
@@ -210,7 +211,7 @@ func (l *ReconnectLink) dialLoop() {
 			conn.Close()
 			continue // closed, or the replay write failed: redial
 		}
-		go l.readLoop(wc)
+		supervise.Spawn("reconnect-read", func() { l.readLoop(wc) })
 		select {
 		case <-l.done:
 			return

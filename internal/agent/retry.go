@@ -148,12 +148,20 @@ func SendRetry(p *Platform, env Envelope, timeout time.Duration, policy RetryPol
 			p.noteRetry()
 			p.trace(obs.SpanRetry, env, fmt.Sprintf("attempt %d", attempt))
 		}
-		err = p.Send(env)
-		if err == nil {
-			return nil
-		}
-		if errors.Is(err, ErrClosed) || errors.Is(err, ErrTTLExpired) {
-			return err
+		if !p.breakerAllow(env.To) {
+			// The destination's circuit is open: shed the attempt
+			// instead of feeding a known-bad target. Backing off still
+			// applies — the breaker may half-open before the deadline.
+			p.noteBreakerReject()
+			err = fmt.Errorf("%w: %q", ErrCircuitOpen, env.To)
+		} else {
+			err = p.Send(env)
+			if err == nil {
+				return nil
+			}
+			if errors.Is(err, ErrClosed) || errors.Is(err, ErrTTLExpired) {
+				return err
+			}
 		}
 		wait := backoff.next()
 		if attempt == rp.MaxAttempts || clk.Now().Add(wait).After(deadline) {
@@ -223,7 +231,13 @@ func CallRetry(p *Platform, to ID, performative, ontology string, body any, time
 			p.noteRetry()
 			p.trace(obs.SpanRetry, env, fmt.Sprintf("attempt %d", attempt))
 		}
-		if err := p.Send(env); err != nil {
+		if !p.breakerAllow(to) {
+			// Open circuit: skip the send. The attempt timer still runs
+			// — a reply to an earlier attempt may yet land, and the
+			// breaker needs its cool-down to elapse before half-opening.
+			p.noteBreakerReject()
+			lastErr = fmt.Errorf("%w: %q", ErrCircuitOpen, to)
+		} else if err := p.Send(env); err != nil {
 			if errors.Is(err, ErrClosed) {
 				return Envelope{}, err
 			}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"pervasivegrid/internal/obs"
+	"pervasivegrid/internal/supervise"
 )
 
 // Transport: envelopes travel between platforms as newline-delimited JSON
@@ -57,7 +58,7 @@ func ListenAndServe(p *Platform, addr string) (*Gateway, error) {
 	}
 	g := &Gateway{platform: p, ln: ln, conns: map[*wireConn]map[ID]bool{}, done: make(chan struct{})}
 	g.routeID = p.AddRoute(g.route)
-	go g.acceptLoop()
+	supervise.Spawn("gateway-accept", g.acceptLoop)
 	return g, nil
 }
 
@@ -92,7 +93,7 @@ func (g *Gateway) acceptLoop() {
 		g.mu.Lock()
 		g.conns[wc] = map[ID]bool{}
 		g.mu.Unlock()
-		go g.readLoop(wc)
+		supervise.Spawn("gateway-read", func() { g.readLoop(wc) })
 	}
 }
 
@@ -152,7 +153,7 @@ func Dial(p *Platform, addr string, filter func(ID) bool) (*Link, error) {
 	}
 	l := &Link{platform: p, wc: newWireConn(conn), filter: filter, closed: make(chan struct{})}
 	l.routeID = p.AddRoute(l.route)
-	go l.readLoop()
+	supervise.Spawn("link-read", l.readLoop)
 	return l, nil
 }
 

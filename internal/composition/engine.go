@@ -7,6 +7,7 @@ import (
 
 	"pervasivegrid/internal/discovery"
 	"pervasivegrid/internal/ontology"
+	"pervasivegrid/internal/supervise"
 )
 
 // Mode selects the coordination architecture the paper contrasts:
@@ -82,6 +83,12 @@ type Engine struct {
 	// BrokerDown marks brokers (by name) as failed for coordination
 	// experiments.
 	BrokerDown map[string]bool
+	// Breakers, when set, gates candidates by per-service circuit state:
+	// a candidate whose breaker is open is skipped without burning an
+	// invocation attempt, and every invocation outcome feeds back into
+	// the breaker — so a service that keeps failing compositions stops
+	// being tried at all until its cool-down elapses.
+	Breakers *supervise.BreakerSet
 
 	// cache holds proactive bindings keyed by step concept.
 	cache map[string]*ontology.Profile
@@ -93,8 +100,11 @@ type StepReport struct {
 	Service  string // bound service name ("" when unbound)
 	Attempts int
 	Rebinds  int
-	OK       bool
-	Optional bool
+	// BreakerSkips counts candidates passed over because their circuit
+	// breaker was open; skips do not consume invocation attempts.
+	BreakerSkips int
+	OK           bool
+	Optional     bool
 	// CacheHit marks a proactive binding that was used directly.
 	CacheHit bool
 	// Group echoes the step's parallel group.
@@ -272,9 +282,20 @@ func (e *Engine) Execute(plan []Step) Execution {
 			}
 			p := candidates[0]
 			candidates = candidates[1:]
+			if e.Breakers != nil && !e.Breakers.Allow(p.Name) {
+				// Open circuit: this service is known-bad right now.
+				// Skip to the next candidate without burning an
+				// attempt — the breaker already paid for the failures
+				// that opened it.
+				report.BreakerSkips++
+				continue
+			}
 			report.Attempts++
 			report.Latency += e.InvokeCost
 			if err := e.Invoke(p, step); err == nil {
+				if e.Breakers != nil {
+					e.Breakers.Success(p.Name)
+				}
 				report.OK = true
 				report.Service = p.Name
 				if e.Strategy == Proactive {
@@ -288,6 +309,9 @@ func (e *Engine) Execute(plan []Step) Execution {
 			// Fault tolerance: the service is dead — withdraw its
 			// advertisement everywhere and re-bind to the next
 			// candidate.
+			if e.Breakers != nil {
+				e.Breakers.Failure(p.Name)
+			}
 			report.Rebinds++
 			delete(e.cache, step.Task.Concept)
 			for _, b := range e.Brokers {
@@ -344,6 +368,15 @@ func (x Execution) Rebinds() int {
 	n := 0
 	for _, s := range x.Steps {
 		n += s.Rebinds
+	}
+	return n
+}
+
+// BreakerSkips sums open-circuit candidate skips across steps.
+func (x Execution) BreakerSkips() int {
+	n := 0
+	for _, s := range x.Steps {
+		n += s.BreakerSkips
 	}
 	return n
 }

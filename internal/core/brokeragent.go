@@ -65,7 +65,7 @@ func (rt *Runtime) RegisterBrokerAgent(p *agent.Platform) error {
 	attrs := agent.Attributes{
 		Agent: map[string]string{agent.AttrRole: agent.RoleBroker},
 	}
-	return p.Register(BrokerAgentID, agent.HandlerFunc(func(env agent.Envelope, ctx *agent.Context) {
+	return p.Register(BrokerAgentID, rt.wrapHandler(agent.HandlerFunc(func(env agent.Envelope, ctx *agent.Context) {
 		var reply any
 		performative := "inform"
 		switch env.Performative {
@@ -119,7 +119,7 @@ func (rt *Runtime) RegisterBrokerAgent(p *agent.Platform) error {
 		}
 		out.From = ctx.Self
 		_ = agent.SendRetry(ctx.Platform, out, 2*time.Second, replyPolicy)
-	}), attrs, rt.DeputyWrap)
+	})), attrs, rt.DeputyWrap)
 }
 
 // Discover asks a platform's broker agent for service matches through the

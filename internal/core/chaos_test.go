@@ -6,6 +6,7 @@ import (
 
 	"pervasivegrid/internal/agent"
 	"pervasivegrid/internal/faultinject"
+	"pervasivegrid/internal/obs"
 )
 
 // Chaos test for the acceptance scenario: a handheld's query conversation
@@ -150,4 +151,85 @@ func TestChaosQuerySurvivesDropAndDisconnect(t *testing.T) {
 	}
 	t.Logf("client stats: %+v; injector: %+v; link: %+v",
 		cst, inj.Stats(), link.Stats())
+}
+
+// TestChaosQueryAgentPanicsAndRestarts is the crash-side companion of the
+// drop/disconnect chaos above: the base station's query agent itself
+// panics on every 3rd envelope it handles. Supervision must recover each
+// crash and restart the agent, the handheld's retry layer must re-send
+// the conversations the panics ate, and every query must still complete
+// — the process never notices beyond latency.
+func TestChaosQueryAgentPanicsAndRestarts(t *testing.T) {
+	rt := fireRuntime(t)
+	inj := faultinject.New(faultinject.Config{Seed: 3, PanicEveryN: 3})
+	rt.HandlerWrap = inj.WrapHandler
+
+	// The base station's supervision backoff runs on a fake clock: each
+	// restart sleep fires deterministically instead of stretching the
+	// test by the real backoff schedule. The conversation itself rides
+	// the real clock on the client side.
+	fc := obs.NewFakeClock()
+	defer fc.AutoAdvance()()
+	server := agent.NewPlatform("base-station")
+	server.Clock = fc
+	defer server.Close()
+	if err := rt.RegisterQueryAgent(server); err != nil {
+		t.Fatal(err)
+	}
+	gw, err := agent.ListenAndServe(server, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	client := agent.NewPlatform("handheld")
+	defer client.Close()
+	link := agent.DialReconnect(client, gw.Addr(), agent.ReconnectOptions{
+		MaxBuffer: 4,
+		BaseDelay: 5 * time.Millisecond,
+	})
+	defer link.Close()
+	chaosWaitFor(t, "initial connect", link.Connected)
+
+	policy := agent.RetryPolicy{
+		MaxAttempts:    10,
+		BaseDelay:      10 * time.Millisecond,
+		MaxDelay:       100 * time.Millisecond,
+		Jitter:         0.2,
+		AttemptTimeout: 250 * time.Millisecond,
+		Seed:           42,
+	}
+	const src = "SELECT temp FROM sensors WHERE sensor = 44"
+
+	// Six conversations against an agent that dies on envelopes 3, 6, 9,
+	// ... — with retried attempts landing on the restarted incarnation,
+	// at least two crashes are guaranteed inside this run.
+	for i := 0; i < 6; i++ {
+		r, err := AskQuery(client, src, 10*time.Second, policy)
+		if err != nil {
+			t.Fatalf("query %d across agent crashes: %v", i+1, err)
+		}
+		if !r.OK {
+			t.Fatalf("query %d failed: %s", i+1, r.Error)
+		}
+	}
+
+	if got := inj.Stats().Panicked; got < 2 {
+		t.Fatalf("injector panics = %d, want >= 2", got)
+	}
+	if got := server.AgentRestarts(QueryAgentID); got < 2 {
+		t.Fatalf("AgentRestarts(query-agent) = %d, want >= 2", got)
+	}
+	if !server.AgentAlive(QueryAgentID) {
+		t.Fatal("query agent not alive after the crash loop")
+	}
+	st := server.SupervisionStats()
+	if st.Panics < 2 || st.Restarts < 2 || st.GiveUps != 0 {
+		t.Fatalf("supervision stats = %+v, want >= 2 panics/restarts and no give-ups", st)
+	}
+	// The handheld's accounting shows the re-sent conversations.
+	if cst := client.DeliveryStats(); cst.Retries == 0 {
+		t.Fatal("client shows no retries although the agent ate requests")
+	}
+	t.Logf("injector: %+v; supervision: %+v", inj.Stats(), st)
 }

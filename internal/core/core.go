@@ -87,6 +87,12 @@ type Runtime struct {
 	// tests use it to make the real messaging path lossy.
 	DeputyWrap func(agent.Deputy) agent.Deputy
 
+	// HandlerWrap, when set, decorates the handler of every agent this
+	// runtime registers — the crash-side twin of DeputyWrap. Chaos tests
+	// point it at faultinject.Injector.WrapHandler so the agent itself
+	// panics mid-conversation and supervision has something to heal.
+	HandlerWrap func(agent.Handler) agent.Handler
+
 	// Metrics receives runtime-level series (core_queries_total,
 	// core_conversation_seconds, cache hit/miss counters, energy and
 	// message totals). Always non-nil for runtimes built via New.
@@ -117,6 +123,15 @@ type Snapshot struct {
 	// EnergyJ and Messages total the radio spend across executions.
 	EnergyJ  float64
 	Messages int
+}
+
+// wrapHandler applies the runtime's HandlerWrap decoration (identity
+// when unset); every agent the runtime registers goes through it.
+func (rt *Runtime) wrapHandler(h agent.Handler) agent.Handler {
+	if rt.HandlerWrap == nil {
+		return h
+	}
+	return rt.HandlerWrap(h)
 }
 
 // Stats returns a copy of the execution counters.

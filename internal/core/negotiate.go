@@ -43,7 +43,7 @@ func (rt *Runtime) RegisterSolverAgents(p *agent.Platform) error {
 			Agent:  map[string]string{agent.AttrRole: agent.RoleProvider},
 			Domain: map[string]string{"resource": r.Name},
 		}
-		if err := p.Register(SolverAgentID(r.Name), agent.Bidder(bid, nil), attrs, rt.DeputyWrap); err != nil {
+		if err := p.Register(SolverAgentID(r.Name), rt.wrapHandler(agent.Bidder(bid, nil)), attrs, rt.DeputyWrap); err != nil {
 			return err
 		}
 	}

@@ -74,7 +74,7 @@ func (rt *Runtime) RegisterQueryAgent(p *agent.Platform) error {
 	if clk == nil {
 		clk = obs.Real
 	}
-	return p.Register(QueryAgentID, agent.HandlerFunc(func(env agent.Envelope, ctx *agent.Context) {
+	return p.Register(QueryAgentID, rt.wrapHandler(agent.HandlerFunc(func(env agent.Envelope, ctx *agent.Context) {
 		start := clk.Now()
 		var req QueryRequest
 		var reply QueryReply
@@ -101,7 +101,7 @@ func (rt *Runtime) RegisterQueryAgent(p *agent.Platform) error {
 		// node (transport latency is on the platform histogram).
 		rt.Metrics.Histogram("core_conversation_seconds").
 			Observe(clk.Now().Sub(start).Seconds())
-	}), attrs, rt.DeputyWrap)
+	})), attrs, rt.DeputyWrap)
 }
 
 // replyPolicy is the short retry used for agent replies: enough to ride

@@ -54,8 +54,8 @@ func TestTableFprint(t *testing.T) {
 
 func TestAllRunnersPresent(t *testing.T) {
 	rs := All()
-	if len(rs) != 13 {
-		t.Fatalf("runners = %d, want 13", len(rs))
+	if len(rs) != 14 {
+		t.Fatalf("runners = %d, want 14", len(rs))
 	}
 	seen := map[string]bool{}
 	for _, r := range rs {
@@ -303,6 +303,47 @@ func TestE14FleetTelemetryDecisionFlip(t *testing.T) {
 	}
 	if !strings.Contains(tb.Notes, "monitor-aggregated uplink cost") {
 		t.Fatalf("notes missing aggregation summary: %s", tb.Notes)
+	}
+}
+
+func TestE15SupervisedSurvivesBaselineDies(t *testing.T) {
+	tb, err := E15SelfHealing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(mode, col string) float64 {
+		return num(t, cell(t, tb, func(r []string) bool { return r[0] == mode }, col))
+	}
+	str := func(mode, col string) string {
+		return cell(t, tb, func(r []string) bool { return r[0] == mode }, col)
+	}
+	if s := get("supervised", "success"); s < 90 {
+		var buf bytes.Buffer
+		tb.Fprint(&buf)
+		t.Fatalf("supervised success = %v%%, want >= 90%%:\n%s", s, buf.String())
+	}
+	if e := get("supervised", "exits"); e != 0 {
+		t.Fatalf("supervised exits = %v, want 0", e)
+	}
+	if r := get("supervised", "restarts"); r == 0 {
+		t.Fatal("supervised run saw no restarts — the crash loop never fired")
+	}
+	if a := str("supervised", "alive"); a != "yes" {
+		t.Fatalf("supervised agent alive = %q, want yes", a)
+	}
+	if s := get("unsupervised", "success"); s >= 90 {
+		t.Fatalf("unsupervised success = %v%%, expected collapse below 90%%", s)
+	}
+	if e := get("unsupervised", "exits"); e < 1 {
+		t.Fatalf("unsupervised exits = %v, want >= 1", e)
+	}
+	if a := str("unsupervised", "alive"); a != "no" {
+		t.Fatalf("unsupervised agent alive = %q, want no", a)
+	}
+	// Both runs must have flipped a breaker: the burst overflows the
+	// mailbox (supervised) and the dead agent's route fails (baseline).
+	if f := get("unsupervised", "breaker flips"); f < 1 {
+		t.Fatalf("unsupervised breaker flips = %v, want >= 1", f)
 	}
 }
 

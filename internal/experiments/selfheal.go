@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pervasivegrid/internal/agent"
+	"pervasivegrid/internal/faultinject"
+	"pervasivegrid/internal/supervise"
+)
+
+// E15 exercises the self-healing runtime end to end: a service agent
+// whose handler crash-loops (every 20th envelope panics) is hammered
+// with a burst of senders at twice its mailbox capacity. The supervised
+// platform restarts the agent with backoff, breakers open under the
+// overflow and re-close after the cool-down, and the retry layer rides
+// out both — so nearly every envelope is eventually handled and the
+// process never "exits". The unsupervised baseline gets exactly one
+// strike: the first panic kills the agent for good (OnAgentDown is the
+// stand-in for the process crash a raw goroutine panic would cause) and
+// delivery collapses to the envelopes handled before the crash.
+
+// selfHealConfig pins every knob of one E15 run so both rows measure
+// the same workload.
+const (
+	selfHealMailboxCap = 16 // per-lane mailbox capacity
+	selfHealSenders    = 32 // concurrent senders = 2x mailbox capacity
+	selfHealPerSender  = 2  // envelopes per sender
+	selfHealPanicEvery = 20 // every Nth handled envelope panics
+)
+
+// selfHealResult is one mode's measured outcome.
+type selfHealResult struct {
+	offered  int
+	handled  int
+	panics   uint64
+	restarts uint64
+	giveUps  uint64
+	exits    int
+	flips    uint64
+	shed     uint64
+	alive    bool
+}
+
+func (r selfHealResult) success() float64 {
+	if r.offered == 0 {
+		return 0
+	}
+	return float64(r.handled) / float64(r.offered)
+}
+
+// runSelfHeal drives the crash-loop + overload workload against one
+// platform and reports what survived.
+func runSelfHeal(supervised bool) (selfHealResult, error) {
+	const svcID agent.ID = "flaky-svc"
+	name := "selfheal-supervised"
+	if !supervised {
+		name = "selfheal-baseline"
+	}
+	p := agent.NewPlatform(name)
+	defer p.Close()
+
+	p.Mailbox = agent.MailboxOptions{Capacity: selfHealMailboxCap, Policy: agent.DropNewest}
+	p.Breakers = supervise.NewBreakerSet(supervise.BreakerPolicy{
+		FailureThreshold:  5,
+		OpenFor:           25 * time.Millisecond,
+		HalfOpenSuccesses: 1,
+	})
+	if supervised {
+		// Short restart backoff keeps the crash-loop stalls well inside
+		// the senders' retry budget; the budget itself is generous
+		// because three restarts inside the burst are expected.
+		p.Supervision = &supervise.Policy{
+			Restart:     true,
+			MaxRestarts: 16,
+			Window:      10 * time.Second,
+			BaseDelay:   5 * time.Millisecond,
+			MaxDelay:    40 * time.Millisecond,
+		}
+	} else {
+		p.Supervision = &supervise.Policy{Restart: false}
+	}
+	var exits atomic.Int64
+	p.OnAgentDown = func(id agent.ID, err error) { exits.Add(1) }
+
+	// The service: a little real work per envelope (so the burst piles up
+	// against the mailbox) behind a deterministic crash injector.
+	inj := faultinject.New(faultinject.Config{Seed: 7, PanicEveryN: selfHealPanicEvery})
+	var handled atomic.Int64
+	h := agent.HandlerFunc(func(env agent.Envelope, ctx *agent.Context) {
+		wallClock.Sleep(100 * time.Microsecond)
+		handled.Add(1)
+	})
+	if err := p.Register(svcID, inj.WrapHandler(h), agent.Attributes{}, nil); err != nil {
+		return selfHealResult{}, err
+	}
+
+	// Offered load: 2x mailbox capacity in concurrent senders, each
+	// pushing through the retry layer — an open breaker or a full
+	// mailbox degrades into backoff, not loss.
+	offered := selfHealSenders * selfHealPerSender
+	var wg sync.WaitGroup
+	for i := 0; i < selfHealSenders; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			policy := agent.RetryPolicy{
+				MaxAttempts: 20,
+				BaseDelay:   2 * time.Millisecond,
+				MaxDelay:    25 * time.Millisecond,
+				Jitter:      0.2,
+				Seed:        int64(i) + 1,
+			}
+			for j := 0; j < selfHealPerSender; j++ {
+				env, err := agent.NewEnvelope(agent.ID(fmt.Sprintf("loadgen-%d", i)),
+					svcID, "inform", "x-selfheal", j)
+				if err != nil {
+					return
+				}
+				_ = agent.SendRetry(p, env, 10*time.Second, policy)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Let the backlog drain; a dead baseline agent never will, so stop
+	// waiting the moment supervision has given the agent up.
+	deadline := wallClock.Now().Add(3 * time.Second)
+	for p.QueuedEnvelopes() > 0 && p.AgentAlive(svcID) && wallClock.Now().Before(deadline) {
+		wallClock.Sleep(2 * time.Millisecond)
+	}
+	wallClock.Sleep(20 * time.Millisecond) // settle the in-flight handle
+
+	st := p.SupervisionStats()
+	return selfHealResult{
+		offered:  offered,
+		handled:  int(handled.Load()),
+		panics:   st.Panics,
+		restarts: st.Restarts,
+		giveUps:  st.GiveUps,
+		exits:    int(exits.Load()),
+		flips:    p.Breakers.Transitions(),
+		shed:     p.DeliveryStats().Shed,
+		alive:    p.AgentAlive(svcID),
+	}, nil
+}
+
+// E15SelfHealing compares the supervised runtime against the
+// one-strike baseline under the same crash-looping service and
+// overload burst.
+func E15SelfHealing() (*Table, error) {
+	t := &Table{
+		ID:      "E15",
+		Title:   "self-healing: supervised runtime vs one-strike baseline",
+		Claim:   "devices and agents in a pervasive grid \"may be disconnected or destroyed\" — supervision restarts a crash-looping agent, breakers shed the overload, and delivery stays above 90% while the unsupervised baseline loses the agent to its first panic",
+		Columns: []string{"mode", "offered", "handled", "success", "panics", "restarts", "exits", "breaker flips", "shed", "alive"},
+	}
+
+	sup, err := runSelfHeal(true)
+	if err != nil {
+		return nil, err
+	}
+	base, err := runSelfHeal(false)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range []struct {
+		mode string
+		r    selfHealResult
+	}{{"supervised", sup}, {"unsupervised", base}} {
+		alive := "yes"
+		if !row.r.alive {
+			alive = "no"
+		}
+		t.AddRow(row.mode, itoa(row.r.offered), itoa(row.r.handled), pct(row.r.success()),
+			itoa(int(row.r.panics)), itoa(int(row.r.restarts)), itoa(row.r.exits),
+			itoa(int(row.r.flips)), itoa(int(row.r.shed)), alive)
+	}
+	t.Notes = fmt.Sprintf(
+		"mailbox cap %d (drop-newest), %d concurrent senders x %d envelopes (2x capacity), handler panics every %d envelopes; breaker threshold 5, cool-down 25ms; supervised give-ups=%d — breaker flips count closed->open->half-open->closed transitions observed by the shared BreakerSet",
+		selfHealMailboxCap, selfHealSenders, selfHealPerSender, selfHealPanicEvery, sup.giveUps)
+	return t, nil
+}

@@ -14,12 +14,14 @@
 package faultinject
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
 
 	"pervasivegrid/internal/agent"
 	"pervasivegrid/internal/obs"
+	"pervasivegrid/internal/supervise"
 )
 
 // Config parameterises an Injector.
@@ -40,6 +42,15 @@ type Config struct {
 	// across the injector) in addition to DropProb. Useful for tests
 	// that need an exact loss pattern.
 	DropEveryN int
+	// PanicProb is the probability a wrapped handler panics instead of
+	// handling its envelope — a crashing agent rather than a lossy link.
+	// Only handlers wrapped with WrapHandler are affected.
+	PanicProb float64
+	// PanicEveryN deterministically panics on every Nth envelope a
+	// wrapped handler sees (counted per injector), in addition to
+	// PanicProb. Chaos tests use it to crash an agent at an exact point
+	// in a conversation.
+	PanicEveryN int
 	// Clock supplies time for latency timers and partition healing;
 	// nil means obs.Real. Tests can install an obs.FakeClock to step
 	// injected latency deterministically.
@@ -59,6 +70,8 @@ type Stats struct {
 	Duplicated uint64
 	// Delayed counts deliveries that went through the latency timer.
 	Delayed uint64
+	// Panicked counts handler invocations the injector crashed.
+	Panicked uint64
 }
 
 // Injector decides each envelope's fate from a seeded RNG. One injector
@@ -70,7 +83,9 @@ type Injector struct {
 	cfg         Config
 	clk         obs.Clock
 	partitioned bool
+	crashUntil  time.Time
 	count       uint64
+	handleCount uint64
 	stats       Stats
 	metrics     *obs.Registry
 }
@@ -104,6 +119,16 @@ func (in *Injector) PartitionFor(d time.Duration) {
 		<-in.clk.After(d)
 		in.SetPartitioned(false)
 	}()
+}
+
+// CrashFor makes every wrapped handler panic on every envelope for the
+// next d on the injector's clock — a crash-looping service. Supervision
+// restarts the agent each time; the restart budget and breaker decide
+// whether the loop is survivable.
+func (in *Injector) CrashFor(d time.Duration) {
+	in.mu.Lock()
+	in.crashUntil = in.clk.Now().Add(d)
+	in.mu.Unlock()
 }
 
 // Stats snapshots the fault counters.
@@ -211,7 +236,7 @@ func (dl *delayLine) dispatch(delay time.Duration, run func()) (inline bool) {
 	dl.queue = append(dl.queue, delayedItem{due: dl.clk.Now().Add(delay), run: run})
 	if !dl.running {
 		dl.running = true
-		go dl.drain()
+		supervise.Spawn("faultinject-delayline", dl.drain)
 	}
 	dl.mu.Unlock()
 	return false
@@ -272,6 +297,66 @@ func (d *faultDeputy) Deliver(env agent.Envelope) error {
 // the wrap argument of Platform.Register.
 func (in *Injector) WrapDeputy(next agent.Deputy) agent.Deputy {
 	return &faultDeputy{in: in, next: next, line: delayLine{clk: in.clk}}
+}
+
+// decidePanic rolls the per-handler crash dice for one envelope.
+func (in *Injector) decidePanic() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.handleCount++
+	boom := false
+	if !in.crashUntil.IsZero() && in.clk.Now().Before(in.crashUntil) {
+		boom = true
+	}
+	if in.cfg.PanicEveryN > 0 && in.handleCount%uint64(in.cfg.PanicEveryN) == 0 {
+		boom = true
+	}
+	if in.cfg.PanicProb > 0 && in.rng.Float64() < in.cfg.PanicProb {
+		boom = true
+	}
+	if boom {
+		in.stats.Panicked++
+		in.countLocked("faultinject_panics_total")
+	}
+	return boom
+}
+
+// faultHandler wraps a Handler with injected crashes.
+type faultHandler struct {
+	in   *Injector
+	next agent.Handler
+}
+
+func (h *faultHandler) Handle(env agent.Envelope, ctx *agent.Context) {
+	if h.in.decidePanic() {
+		panic(fmt.Sprintf("faultinject: crashed handling seq %d (%s)", env.Seq, env.Ontology))
+	}
+	h.next.Handle(env, ctx)
+}
+
+// Checkpoint forwards to the wrapped handler when it checkpoints, so
+// injected crashes exercise the real restore path.
+func (h *faultHandler) Checkpoint() any {
+	if cp, ok := h.next.(agent.Checkpointer); ok {
+		return cp.Checkpoint()
+	}
+	return nil
+}
+
+// Restore forwards to the wrapped handler when it checkpoints.
+func (h *faultHandler) Restore(snapshot any) {
+	if cp, ok := h.next.(agent.Checkpointer); ok {
+		cp.Restore(snapshot)
+	}
+}
+
+// WrapHandler decorates a handler with this injector's crash faults
+// (PanicProb, PanicEveryN, CrashFor). The panic escapes into the agent's
+// run loop, where supervision — if enabled — recovers and restarts the
+// agent. The wrapper forwards Checkpoint/Restore, so a checkpointing
+// handler stays checkpointable when wrapped.
+func (in *Injector) WrapHandler(next agent.Handler) agent.Handler {
+	return &faultHandler{in: in, next: next}
 }
 
 // WrapRoute decorates a RouteFunc: faulted envelopes are still reported

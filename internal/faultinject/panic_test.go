@@ -1,0 +1,98 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+
+	"pervasivegrid/internal/agent"
+	"pervasivegrid/internal/obs"
+)
+
+// ckptHandler counts envelopes and checkpoints the count.
+type ckptHandler struct{ handled int }
+
+func (h *ckptHandler) Handle(env agent.Envelope, ctx *agent.Context) { h.handled++ }
+func (h *ckptHandler) Checkpoint() any                               { return h.handled }
+func (h *ckptHandler) Restore(snapshot any)                          { h.handled = snapshot.(int) }
+
+func handleN(t *testing.T, h agent.Handler, n int) (panics int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		func() {
+			defer func() {
+				if recover() != nil {
+					panics++
+				}
+			}()
+			h.Handle(env(i), nil)
+		}()
+	}
+	return panics
+}
+
+func TestWrapHandlerPanicEveryN(t *testing.T) {
+	in := New(Config{PanicEveryN: 3})
+	inner := &ckptHandler{}
+	h := in.WrapHandler(inner)
+	panics := handleN(t, h, 9)
+	if panics != 3 {
+		t.Fatalf("panics = %d, want 3 (every 3rd of 9)", panics)
+	}
+	if inner.handled != 6 {
+		t.Fatalf("handled = %d, want 6", inner.handled)
+	}
+	if st := in.Stats(); st.Panicked != 3 {
+		t.Fatalf("Stats.Panicked = %d, want 3", st.Panicked)
+	}
+}
+
+func TestWrapHandlerPanicProbSeeded(t *testing.T) {
+	run := func(seed int64) int {
+		in := New(Config{Seed: seed, PanicProb: 0.5})
+		return handleN(t, in.WrapHandler(&ckptHandler{}), 100)
+	}
+	a, b := run(7), run(7)
+	if a != b {
+		t.Fatalf("same seed diverged: %d vs %d panics", a, b)
+	}
+	if a == 0 || a == 100 {
+		t.Fatalf("PanicProb 0.5 produced degenerate count %d", a)
+	}
+}
+
+func TestCrashForWindow(t *testing.T) {
+	fc := obs.NewFakeClock()
+	in := New(Config{Clock: fc})
+	h := in.WrapHandler(&ckptHandler{})
+	if got := handleN(t, h, 2); got != 0 {
+		t.Fatalf("panicked before CrashFor: %d", got)
+	}
+	in.CrashFor(time.Second)
+	if got := handleN(t, h, 3); got != 3 {
+		t.Fatalf("panics inside crash window = %d, want 3", got)
+	}
+	fc.Advance(2 * time.Second)
+	if got := handleN(t, h, 2); got != 0 {
+		t.Fatalf("panicked after window elapsed: %d", got)
+	}
+	if st := in.Stats(); st.Panicked != 3 {
+		t.Fatalf("Stats.Panicked = %d, want 3", st.Panicked)
+	}
+}
+
+func TestWrapHandlerForwardsCheckpoint(t *testing.T) {
+	in := New(Config{})
+	inner := &ckptHandler{handled: 5}
+	h := in.WrapHandler(inner)
+	cp, ok := h.(agent.Checkpointer)
+	if !ok {
+		t.Fatal("wrapped handler lost Checkpointer")
+	}
+	if got := cp.Checkpoint(); got.(int) != 5 {
+		t.Fatalf("Checkpoint = %v, want 5", got)
+	}
+	cp.Restore(9)
+	if inner.handled != 9 {
+		t.Fatalf("Restore did not reach inner handler: %d", inner.handled)
+	}
+}

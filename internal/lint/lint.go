@@ -246,5 +246,6 @@ func Default() []*Analyzer {
 		LockedDeliver(),
 		GoroLeak(),
 		EnvHops(),
+		RawSpawn("pervasivegrid/internal/supervise", "pervasivegrid/internal/obs"),
 	}
 }

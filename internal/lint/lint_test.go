@@ -129,6 +129,18 @@ func TestEnvHopsFixture(t *testing.T) {
 	checkAgainstMarkers(t, lint.EnvHops(), "envhops")
 }
 
+func TestRawSpawnFixture(t *testing.T) {
+	checkAgainstMarkers(t, lint.RawSpawn(), "rawspawn")
+}
+
+func TestRawSpawnExemptPackage(t *testing.T) {
+	pkg := loadFixture(t, "rawspawn")
+	diags := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{lint.RawSpawn(pkg.Path)})
+	if len(diags) != 0 {
+		t.Fatalf("exempt package still flagged: %v", diags)
+	}
+}
+
 // TestMalformedDirectives: a lint:ignore without rule or reason is
 // itself a finding, even with no analyzers running.
 func TestMalformedDirectives(t *testing.T) {

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RawSpawn flags `go` statements that launch a long-running body — a
+// function literal, or a same-package function or method, containing an
+// unbounded `for {}` loop — without the supervision fence. A raw
+// goroutine that panics dies silently: no recovery, no restart, no
+// metric, and its owner only notices when the subsystem goes quiet.
+// Long-running loops must be spawned through supervise.Spawn (one-shot
+// panic fence) or Supervisor.Spawn (restart policy), which is why the
+// supervise package itself — and obs, which supervise depends on — are
+// exempt: someone has to own the raw `go`.
+//
+// Run-to-completion goroutines (no unbounded loop) are fine raw: they
+// end, and a panic in them surfaces through whatever result path they
+// already have. Cross-package calls are not resolved — the callee's
+// package is responsible for its own spawn discipline.
+func RawSpawn(exempt ...string) *Analyzer {
+	ex := map[string]bool{}
+	for _, p := range exempt {
+		ex[p] = true
+	}
+	return &Analyzer{
+		Name: "rawspawn",
+		Doc:  "long-running goroutine (unbounded loop) launched with raw go instead of supervise.Spawn",
+		Run: func(pass *Pass) {
+			if ex[pass.Pkg.Path] {
+				return
+			}
+			byObj, byName := loopingFuncs(pass.Pkg)
+			for _, file := range pass.Pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					g, ok := n.(*ast.GoStmt)
+					if !ok {
+						return true
+					}
+					if spawnedBodyLoops(pass.Pkg, g, byObj, byName) {
+						pass.Report(g,
+							"long-running goroutine spawned raw: a panic here dies silently",
+							"launch it with supervise.Spawn(name, fn) (or a Supervisor) so panics are fenced and counted")
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// loopingFuncs indexes the package's function declarations whose bodies
+// contain an unbounded loop: by types.Func object when resolution is
+// available, and by bare name as a fallback for files whose type info is
+// incomplete.
+func loopingFuncs(pkg *Package) (map[*types.Func]bool, map[string]bool) {
+	byObj := map[*types.Func]bool{}
+	byName := map[string]bool{}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasUnboundedLoop(fd.Body) {
+				continue
+			}
+			byName[fd.Name.Name] = true
+			if pkg.Info != nil {
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					byObj[fn] = true
+				}
+			}
+		}
+	}
+	return byObj, byName
+}
+
+// spawnedBodyLoops reports whether the go statement's callee has an
+// unbounded loop: directly for a literal, via the declaration index for
+// a named same-package function or method.
+func spawnedBodyLoops(pkg *Package, g *ast.GoStmt, byObj map[*types.Func]bool, byName map[string]bool) bool {
+	switch fun := unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return hasUnboundedLoop(fun.Body)
+	case *ast.Ident:
+		return calleeLoops(pkg, fun, byObj, byName)
+	case *ast.SelectorExpr:
+		// Methods (d.drain) and package-qualified calls (other.Fn). A
+		// qualifier naming another package resolves to a *types.Func of
+		// that package, absent from byObj — and the name fallback only
+		// applies when the qualifier is not an import.
+		if id, ok := fun.X.(*ast.Ident); ok {
+			for _, f := range pkg.Files {
+				if containsNode(f, g) {
+					if (&Pass{Pkg: pkg}).ImportedPath(f, id) != "" {
+						return false
+					}
+					break
+				}
+			}
+		}
+		return calleeLoops(pkg, fun.Sel, byObj, byName)
+	}
+	return false
+}
+
+// calleeLoops resolves an identifier used as a go-call target against
+// the looping-declaration index.
+func calleeLoops(pkg *Package, id *ast.Ident, byObj map[*types.Func]bool, byName map[string]bool) bool {
+	if pkg.Info != nil {
+		if fn, ok := pkg.Info.Uses[id].(*types.Func); ok {
+			return byObj[fn]
+		}
+	}
+	return byName[id.Name]
+}
+
+// containsNode reports whether file's extent covers n.
+func containsNode(file *ast.File, n ast.Node) bool {
+	return file.Pos() <= n.Pos() && n.Pos() <= file.End()
+}

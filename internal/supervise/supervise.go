@@ -1,0 +1,436 @@
+// Package supervise is the self-healing layer of the runtime: Erlang-style
+// supervision for the platform's goroutines. The paper's pervasive grid
+// assumes devices and agents fail constantly — "the firefighter's PDA ...
+// may be disconnected or destroyed" — so a panicking agent must cost the
+// grid one conversation turn, not the whole process.
+//
+// Two levels of protection are offered:
+//
+//   - Spawn runs a one-shot goroutine behind a panic fence. A transport
+//     pump that dies takes its own Proc down, never the process.
+//   - Supervisor restarts children one-for-one with exponential backoff
+//     and a max-restart budget inside a sliding window; exhausting the
+//     budget escalates to OnGiveUp instead of crash-looping forever.
+//
+// The package also hosts the per-route circuit breakers (breaker.go) that
+// turn delivery failures and telemetry health states into shed decisions.
+package supervise
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"pervasivegrid/internal/obs"
+)
+
+// Policy shapes how a Supervisor treats a crashing child.
+type Policy struct {
+	// Restart re-runs a child after a panic. False means one strike:
+	// the first panic escalates straight to OnGiveUp (the unsupervised
+	// baseline behaviour, minus the process exit).
+	Restart bool
+	// MaxRestarts bounds restarts inside Window before the supervisor
+	// gives up on the child (default 8).
+	MaxRestarts int
+	// Window is the sliding restart-intensity window (default 10s). A
+	// child that stays up long enough for its crashes to age out of the
+	// window earns its budget back.
+	Window time.Duration
+	// BaseDelay is the backoff before the first restart (default 10ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the grown backoff (default 1s).
+	MaxDelay time.Duration
+	// Multiplier grows the backoff per consecutive restart (default 2).
+	Multiplier float64
+	// Clock is the time source for backoff and the restart window. Nil
+	// means the wall clock; tests inject obs.FakeClock.
+	Clock obs.Clock
+}
+
+// DefaultPolicy returns the stock one-for-one restart policy.
+func DefaultPolicy() Policy {
+	return Policy{
+		Restart:     true,
+		MaxRestarts: 8,
+		Window:      10 * time.Second,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    time.Second,
+		Multiplier:  2,
+	}
+}
+
+// withDefaults fills zero fields (Restart is taken as configured: a
+// zero-value Policy is deliberately a no-restart policy).
+func (p Policy) withDefaults() Policy {
+	def := DefaultPolicy()
+	if p.MaxRestarts <= 0 {
+		p.MaxRestarts = def.MaxRestarts
+	}
+	if p.Window <= 0 {
+		p.Window = def.Window
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = def.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = def.MaxDelay
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = def.Multiplier
+	}
+	return p
+}
+
+func (p Policy) clock() obs.Clock {
+	if p.Clock != nil {
+		return p.Clock
+	}
+	return obs.Real
+}
+
+// PanicError is the recovered value of a crashed child, with the stack
+// captured at the recovery point.
+type PanicError struct {
+	Child string
+	Value any
+	Stack []byte
+}
+
+// Error implements error. The stack is kept out of the message (it is
+// available via Stack) so wrapped errors stay log-line sized.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("supervise: child %q panicked: %v", e.Child, e.Value)
+}
+
+// Proc is a handle on a supervised goroutine (one-shot or restarting).
+type Proc struct {
+	name string
+	stop chan struct{}
+	done chan struct{}
+
+	stopOnce sync.Once
+
+	mu       sync.Mutex
+	restarts int
+	lastErr  error
+	alive    bool
+	gaveUp   bool
+}
+
+// Name returns the child name the Proc was spawned under.
+func (pr *Proc) Name() string { return pr.name }
+
+// Stop signals the child to stop and waits for it to exit. For one-shot
+// Spawn procs whose function does not watch a stop signal, Stop simply
+// waits for the function to return.
+func (pr *Proc) Stop() {
+	pr.stopOnce.Do(func() { close(pr.stop) })
+	<-pr.done
+}
+
+// Stopping exposes the stop signal so delivery paths (e.g. a blocking
+// mailbox policy) can abort when the owning agent is going away.
+func (pr *Proc) Stopping() <-chan struct{} { return pr.stop }
+
+// Done is closed once the child has exited for good (normal return,
+// stop, or give-up).
+func (pr *Proc) Done() <-chan struct{} { return pr.done }
+
+// Restarts reports how many times the child has been restarted.
+func (pr *Proc) Restarts() int {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	return pr.restarts
+}
+
+// Alive reports whether the child is currently running (or between
+// restarts).
+func (pr *Proc) Alive() bool {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	return pr.alive
+}
+
+// GaveUp reports whether the supervisor exhausted the restart budget and
+// escalated.
+func (pr *Proc) GaveUp() bool {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	return pr.gaveUp
+}
+
+// Err returns the most recent recovered panic (a *PanicError), or nil if
+// the child has never crashed.
+func (pr *Proc) Err() error {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	return pr.lastErr
+}
+
+func newProc(name string) *Proc {
+	return &Proc{
+		name:  name,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+		alive: true,
+	}
+}
+
+func (pr *Proc) setAlive(v bool) {
+	pr.mu.Lock()
+	pr.alive = v
+	pr.mu.Unlock()
+}
+
+func (pr *Proc) noteCrash(err error) {
+	pr.mu.Lock()
+	pr.lastErr = err
+	pr.mu.Unlock()
+}
+
+func (pr *Proc) noteRestart() {
+	pr.mu.Lock()
+	pr.restarts++
+	pr.mu.Unlock()
+}
+
+func (pr *Proc) noteGiveUp() {
+	pr.mu.Lock()
+	pr.gaveUp = true
+	pr.alive = false
+	pr.mu.Unlock()
+}
+
+// Spawn runs fn on its own goroutine behind a panic fence and returns a
+// handle. The goroutine is one-shot: a panic is recovered and recorded on
+// the Proc, not propagated and not restarted — the fence is for pumps
+// (transport read loops, reporters) that have their own reconnect logic
+// and must never take the process down. Use a Supervisor when the child
+// should be restarted.
+func Spawn(name string, fn func()) *Proc {
+	proc := newProc(name)
+	go func() {
+		defer close(proc.done)
+		defer proc.setAlive(false)
+		if err := runSafe(name, fn); err != nil {
+			proc.noteCrash(err)
+		}
+	}()
+	return proc
+}
+
+// runSafe invokes fn, converting a panic into a *PanicError.
+func runSafe(name string, fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Child: name, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	fn()
+	return nil
+}
+
+// Exit describes a child the supervisor has given up on.
+type Exit struct {
+	// Name is the child name.
+	Name string
+	// Err is the final recovered panic.
+	Err error
+	// Restarts is how many restarts were burned before escalation.
+	Restarts int
+}
+
+// Supervisor restarts crashing children one-for-one. Children are run
+// functions taking a stop signal; a normal return is a clean exit (no
+// restart), a panic is a crash handled per the Policy.
+type Supervisor struct {
+	name   string
+	policy Policy
+
+	mu       sync.Mutex
+	procs    map[string]*Proc
+	restarts uint64
+	panics   uint64
+	giveups  uint64
+	metrics  *obs.Registry
+
+	onRestart func(name string, err error, restarts int)
+	onGiveUp  func(exit Exit)
+}
+
+// NewSupervisor builds a supervisor with the given policy (zero fields
+// filled with defaults; see Policy).
+func NewSupervisor(name string, policy Policy) *Supervisor {
+	return &Supervisor{
+		name:   name,
+		policy: policy.withDefaults(),
+		procs:  map[string]*Proc{},
+	}
+}
+
+// OnRestart installs a hook called after each restart decision, before
+// the backoff sleep. Install hooks before spawning children.
+func (s *Supervisor) OnRestart(fn func(name string, err error, restarts int)) {
+	s.mu.Lock()
+	s.onRestart = fn
+	s.mu.Unlock()
+}
+
+// OnGiveUp installs the escalation hook: called once when a child
+// exhausts its restart budget (or crashes under a no-restart policy).
+// This is where a daemon decides whether a dead child is fatal.
+func (s *Supervisor) OnGiveUp(fn func(exit Exit)) {
+	s.mu.Lock()
+	s.onGiveUp = fn
+	s.mu.Unlock()
+}
+
+// AttachMetrics mirrors supervision events into reg:
+// supervise_panics_total / supervise_restarts_total (labelled by child)
+// and supervise_giveups_total.
+func (s *Supervisor) AttachMetrics(reg *obs.Registry) {
+	s.mu.Lock()
+	s.metrics = reg
+	s.mu.Unlock()
+}
+
+// Stats is a point-in-time snapshot of supervision activity.
+type Stats struct {
+	// Panics counts recovered child panics.
+	Panics uint64
+	// Restarts counts restart decisions taken.
+	Restarts uint64
+	// GiveUps counts children escalated after budget exhaustion.
+	GiveUps uint64
+}
+
+// Stats snapshots the supervisor's counters.
+func (s *Supervisor) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{Panics: s.panics, Restarts: s.restarts, GiveUps: s.giveups}
+}
+
+// Proc returns the handle for a named child, or nil.
+func (s *Supervisor) Proc(name string) *Proc {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.procs[name]
+}
+
+// Spawn starts a supervised child. run receives the stop signal and
+// should return when it fires; a panic triggers the restart policy. The
+// latest Spawn under a name replaces the supervisor's handle for it (the
+// previous child, if any, keeps running until stopped).
+func (s *Supervisor) Spawn(name string, run func(stop <-chan struct{})) *Proc {
+	proc := newProc(name)
+	s.mu.Lock()
+	s.procs[name] = proc
+	s.mu.Unlock()
+	go s.loop(proc, run)
+	return proc
+}
+
+// loop is the per-child supervision loop: run, recover, decide, back
+// off, restart — until a clean exit, a stop, or budget exhaustion. The
+// handle is dropped from the supervisor on exit so short-lived children
+// (ephemeral callers) do not grow the map without bound; callers keep
+// the *Proc returned by Spawn.
+func (s *Supervisor) loop(proc *Proc, run func(stop <-chan struct{})) {
+	defer func() {
+		s.mu.Lock()
+		if s.procs[proc.name] == proc {
+			delete(s.procs, proc.name)
+		}
+		s.mu.Unlock()
+	}()
+	defer close(proc.done)
+	clk := s.policy.clock()
+	delay := s.policy.BaseDelay
+	var crashes []time.Time
+	for {
+		err := runSafe(proc.name, func() { run(proc.stop) })
+		if err == nil {
+			// Clean exit: the child returned on its own terms.
+			proc.setAlive(false)
+			return
+		}
+		proc.noteCrash(err)
+		s.notePanic(proc.name)
+		select {
+		case <-proc.stop:
+			proc.setAlive(false)
+			return
+		default:
+		}
+		now := clk.Now()
+		crashes = append(crashes, now)
+		kept := crashes[:0]
+		for _, at := range crashes {
+			if now.Sub(at) <= s.policy.Window {
+				kept = append(kept, at)
+			}
+		}
+		crashes = kept
+		if len(crashes) == 1 {
+			// Previous crashes aged out of the window: the child earned
+			// its backoff back too.
+			delay = s.policy.BaseDelay
+		}
+		if !s.policy.Restart || len(crashes) > s.policy.MaxRestarts {
+			proc.noteGiveUp()
+			s.escalate(Exit{Name: proc.name, Err: err, Restarts: proc.Restarts()})
+			return
+		}
+		proc.noteRestart()
+		s.noteRestart(proc.name, err, proc.Restarts())
+		select {
+		case <-proc.stop:
+			proc.setAlive(false)
+			return
+		case <-clk.After(delay):
+		}
+		grown := time.Duration(float64(delay) * s.policy.Multiplier)
+		if grown > s.policy.MaxDelay {
+			grown = s.policy.MaxDelay
+		}
+		delay = grown
+	}
+}
+
+func (s *Supervisor) notePanic(child string) {
+	s.mu.Lock()
+	s.panics++
+	if s.metrics != nil {
+		s.metrics.Counter("supervise_panics_total", "child", child).Inc()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Supervisor) noteRestart(child string, err error, restarts int) {
+	s.mu.Lock()
+	s.restarts++
+	if s.metrics != nil {
+		s.metrics.Counter("supervise_restarts_total", "child", child).Inc()
+	}
+	hook := s.onRestart
+	s.mu.Unlock()
+	if hook != nil {
+		hook(child, err, restarts)
+	}
+}
+
+func (s *Supervisor) escalate(exit Exit) {
+	s.mu.Lock()
+	s.giveups++
+	if s.metrics != nil {
+		s.metrics.Counter("supervise_giveups_total", "child", exit.Name).Inc()
+	}
+	hook := s.onGiveUp
+	s.mu.Unlock()
+	if hook != nil {
+		hook(exit)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"pervasivegrid/internal/agent"
 	"pervasivegrid/internal/obs"
 	"pervasivegrid/internal/partition"
+	"pervasivegrid/internal/supervise"
 )
 
 // Health is a node's liveness classification, derived from report
@@ -57,6 +58,13 @@ type MonitorOptions struct {
 	// Clock is the staleness time source (default: the platform's
 	// clock); tests drive health transitions with obs.FakeClock.
 	Clock obs.Clock
+	// Breakers, when set, closes the health→delivery feedback loop:
+	// SyncBreakers force-opens the breaker of every suspect or down
+	// node (senders stop feeding a node the monitor believes dead) and
+	// credits healthy nodes so half-open circuits can close. Share the
+	// set with the sending platform (Platform.Breakers) or composition
+	// engine to make the monitor's verdicts bite.
+	Breakers *supervise.BreakerSet
 }
 
 func (o MonitorOptions) withDefaults(p *agent.Platform) MonitorOptions {
@@ -188,6 +196,40 @@ func (m *Monitor) Ingest(rep Report) {
 	reg.Counter("telemetry_reports_total", "node", rep.Node).Inc()
 	reg.Counter("telemetry_spans_total").Add(float64(len(rep.Spans)))
 	reg.Gauge("telemetry_nodes").Set(float64(m.NodeCount()))
+	m.SyncBreakers()
+}
+
+// SyncBreakers pushes the monitor's current health verdicts into the
+// attached breaker set: suspect and down nodes are force-opened (their
+// circuits stop admitting traffic even though individual sends may still
+// be succeeding into a void), healthy nodes are credited so a half-open
+// circuit can close. No-op without MonitorOptions.Breakers. Called
+// automatically from Ingest and Fleet; exported for callers that want to
+// sync on their own cadence.
+func (m *Monitor) SyncBreakers() {
+	bs := m.opts.Breakers
+	if bs == nil {
+		return
+	}
+	now := m.opts.Clock.Now()
+	type verdict struct {
+		node string
+		h    Health
+	}
+	m.mu.Lock()
+	verdicts := make([]verdict, 0, len(m.nodes))
+	for name, ns := range m.nodes {
+		verdicts = append(verdicts, verdict{name, m.health(now.Sub(ns.lastSeen))})
+	}
+	m.mu.Unlock()
+	for _, v := range verdicts {
+		switch v.h {
+		case Suspect, Down:
+			bs.ForceOpen(v.node)
+		case Healthy:
+			bs.Success(v.node)
+		}
+	}
 }
 
 // health classifies staleness against the thresholds.
@@ -313,6 +355,10 @@ type FleetView struct {
 	Worst Health `json:"worst"`
 	// Traces is how many distinct stitched trace IDs are retained.
 	Traces int `json:"traces"`
+	// Breakers is the per-node circuit state when the monitor drives a
+	// breaker set (absent otherwise) — open circuits in /fleet.json are
+	// the operator's first clue a node is being shed.
+	Breakers []supervise.BreakerView `json:"breakers,omitempty"`
 }
 
 // Fleet builds the current fleet view, nodes sorted by name.
@@ -357,6 +403,10 @@ func (m *Monitor) Fleet() FleetView {
 		}
 	}
 	fv.Traces = len(m.tracer.Traces())
+	if m.opts.Breakers != nil {
+		m.SyncBreakers()
+		fv.Breakers = m.opts.Breakers.Snapshot()
+	}
 	return fv
 }
 

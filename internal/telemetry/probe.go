@@ -7,6 +7,7 @@ import (
 	"pervasivegrid/internal/agent"
 	"pervasivegrid/internal/obs"
 	"pervasivegrid/internal/partition"
+	"pervasivegrid/internal/supervise"
 )
 
 // Transport probing: a node cannot read its uplink cost off a local
@@ -131,7 +132,7 @@ func (pr *Prober) ProbeOnce() (time.Duration, bool) {
 // Start launches the periodic probe loop (idempotent).
 func (pr *Prober) Start() {
 	pr.once.Do(func() {
-		go func() {
+		supervise.Spawn("telemetry-probe", func() {
 			defer close(pr.stopped)
 			for {
 				select {
@@ -146,7 +147,7 @@ func (pr *Prober) Start() {
 				}
 				pr.ProbeOnce()
 			}
-		}()
+		})
 	})
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"pervasivegrid/internal/agent"
 	"pervasivegrid/internal/obs"
+	"pervasivegrid/internal/supervise"
 )
 
 // ReporterOptions tunes a node's reporter deputy.
@@ -104,7 +105,7 @@ func StartReporter(p *agent.Platform, opts ReporterOptions) (*Reporter, error) {
 	if err != nil {
 		return nil, err
 	}
-	go r.loop()
+	supervise.Spawn("telemetry-reporter", r.loop)
 	return r, nil
 }
 
