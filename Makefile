@@ -56,12 +56,12 @@ experiments:
 
 # bench runs the hot-path micro-benchmarks (delivery, discovery match,
 # envelope codec, ...) once each, then re-runs the regression-gated
-# Deliver/Route set best-of-3 at a fixed iteration count (single
+# Deliver/Route/WAL set best-of-3 at a fixed iteration count (single
 # iterations of microsecond benchmarks are too noisy to gate on).
 # Records everything as test2json events in BENCH_new.json for benchcmp.
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x -json ./... > BENCH_new.json
-	$(GO) test -run '^$$' -bench='Deliver|Route' -benchtime=5000x -count=3 -json . >> BENCH_new.json
+	$(GO) test -run '^$$' -bench='Deliver|Route|WAL' -benchtime=5000x -count=3 -json . >> BENCH_new.json
 	@grep -o '"Output":"Benchmark[^"]*ns/op[^"]*"' BENCH_new.json | sed 's/"Output":"//; s/\\n"$$//; s/\\t/\t/g' || true
 	@echo "wrote BENCH_new.json"
 
@@ -70,10 +70,10 @@ bench:
 # the hot paths.
 bench-baseline:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x -json ./... > BENCH_obs.json
-	$(GO) test -run '^$$' -bench='Deliver|Route' -benchtime=5000x -count=3 -json . >> BENCH_obs.json
+	$(GO) test -run '^$$' -bench='Deliver|Route|WAL' -benchtime=5000x -count=3 -json . >> BENCH_obs.json
 	@echo "wrote BENCH_obs.json (tracked baseline)"
 
-# benchcmp fails on a >20% ns/op regression of the Deliver/Route
+# benchcmp fails on a >20% ns/op regression of the Deliver/Route/WAL
 # benchmarks relative to the tracked baseline. Skips quietly when no
 # fresh capture exists (run `make bench` first to arm it).
 benchcmp:

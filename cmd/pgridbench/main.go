@@ -31,7 +31,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
 	out := flag.String("o", "", "also write results to this file")
 	compare := flag.Bool("compare", false, "compare two bench captures: pgridbench -compare old.json new.json")
-	benchMatch := flag.String("bench-match", "Deliver|Route", "regexp selecting which benchmarks -compare gates on")
+	benchMatch := flag.String("bench-match", "Deliver|Route|WAL", "regexp selecting which benchmarks -compare gates on")
 	benchThreshold := flag.Float64("bench-threshold", 0.20, "-compare fails when a gated benchmark's ns/op grows by more than this fraction")
 	flag.Parse()
 

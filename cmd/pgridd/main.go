@@ -22,6 +22,7 @@ import (
 
 	"pervasivegrid/internal/agent"
 	"pervasivegrid/internal/core"
+	"pervasivegrid/internal/durable"
 	"pervasivegrid/internal/faultinject"
 	"pervasivegrid/internal/obs"
 	"pervasivegrid/internal/sensornet"
@@ -54,6 +55,10 @@ func main() {
 	breakerOpenFor := flag.Duration("breaker-open-for", 0, "cool-down before an open circuit half-opens (0 = default 2s)")
 	breakerHalfOpen := flag.Int("breaker-half-open", 0, "successful probes that close a half-open circuit (0 = default 2)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown budget for queued envelopes to drain")
+	dataDir := flag.String("data-dir", "", "durable state directory: agent checkpoints, dead letters, and service registrations survive restarts via a WAL (empty = in-memory only)")
+	fsyncPolicy := flag.String("fsync", "always", "WAL fsync policy: always (fsync per append), interval (batched), or rotate (per segment)")
+	fsyncEvery := flag.Duration("fsync-interval", 50*time.Millisecond, "sync period when -fsync=interval")
+	walSegment := flag.Int64("wal-segment", 0, "WAL segment rotation threshold in bytes (0 = default 4MB)")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -118,6 +123,32 @@ func main() {
 		platform.OnAgentDown = func(id agent.ID, err error) {
 			log.Fatalf("pgridd: agent %q crashed (unsupervised): %v", id, err)
 		}
+	}
+
+	// Durable state. With -data-dir the node recovers agent checkpoints,
+	// the dead-letter ring, and live service registrations from snapshot
+	// + WAL tail before any agent registers, so a kill -9 restart resumes
+	// conversations instead of starting cold. A torn final record is
+	// truncated, never a reason to refuse to boot.
+	var store *durable.Store
+	if *dataDir != "" {
+		sp, err := durable.ParseSyncPolicy(*fsyncPolicy)
+		if err != nil {
+			log.Fatalf("pgridd: %v", err)
+		}
+		store, err = durable.Open(*dataDir, durable.Options{
+			Sync:         sp,
+			SyncEvery:    *fsyncEvery,
+			SegmentBytes: *walSegment,
+		})
+		if err != nil {
+			log.Fatalf("pgridd: durable open: %v", err)
+		}
+		defer store.Close()
+		store.AttachMetrics(rt.Metrics)
+		store.AttachPlatform(platform)
+		store.AttachRegistry(rt.Broker.Reg)
+		fmt.Printf("pgridd: %s\n", store.Summary())
 	}
 
 	// Telemetry plane. With -monitor this daemon is the fleet aggregator:
@@ -265,6 +296,14 @@ func main() {
 	}
 	for _, p := range rt.Broker.Reg.Profiles() {
 		rt.Broker.Reg.Deregister(p.Name)
+	}
+	if store != nil {
+		// Fold the WAL into a snapshot so the next boot replays a short
+		// tail instead of the whole session's journal.
+		if err := store.Compact(); err != nil {
+			log.Printf("pgridd: durable compact: %v", err)
+		}
+		fmt.Printf("pgridd: %s\n", store.Summary())
 	}
 
 	st := platform.DeliveryStats()

@@ -102,7 +102,7 @@ func TestListFlag(t *testing.T) {
 	if code != exitClean {
 		t.Fatalf("exit = %d, want %d", code, exitClean)
 	}
-	for _, rule := range []string{"rawclock", "rawsend", "lockeddeliver", "goroleak", "envhops", "rawspawn"} {
+	for _, rule := range []string{"rawclock", "rawsend", "lockeddeliver", "goroleak", "envhops", "rawspawn", "rawfsync"} {
 		if !strings.Contains(stdout, rule) {
 			t.Fatalf("-list output missing %s:\n%s", rule, stdout)
 		}

@@ -165,6 +165,25 @@ type Platform struct {
 	// or exit. Set before registering agents.
 	OnAgentDown func(id ID, err error)
 
+	// OnCheckpoint, when set, observes every checkpoint a supervised
+	// Checkpointer handler takes (called from the agent's own goroutine,
+	// after the snapshot is stored). The durable store journals these to
+	// its WAL so checkpoints survive process death, not just restarts.
+	// Set before registering agents.
+	OnCheckpoint func(id ID, snapshot any)
+
+	// OnDeadLetter, when set, observes every envelope pushed into the
+	// dead-letter ring (called outside the ring lock, after the push).
+	// Set before registering agents.
+	OnDeadLetter func(dl DeadLetter)
+
+	// OnAgentRestart, when set, is called after supervision decides to
+	// restart a crashed agent (from the supervisor's goroutine, before
+	// the backoff sleep). The durable store uses it to force-fsync the
+	// journal: a crashing agent is exactly the one whose last checkpoint
+	// must not be lost. Set before registering agents.
+	OnAgentRestart func(id ID, err error)
+
 	// Breakers, when set, guards destinations with per-route circuit
 	// breakers: Send outcomes feed them, and SendRetry/CallRetry consult
 	// them before each attempt so a destination that telemetry or
@@ -180,6 +199,7 @@ type Platform struct {
 
 	mu      sync.RWMutex
 	agents  map[ID]*registration
+	seeds   map[ID]any // recovered checkpoints awaiting registration
 	routes  []routeEntry
 	nextRID RouteID
 	seq     seqCounter
@@ -228,6 +248,7 @@ func NewPlatform(name string) *Platform {
 	return &Platform{
 		Name:    name,
 		agents:  map[ID]*registration{},
+		seeds:   map[ID]any{},
 		dlWhy:   map[DropReason]uint64{},
 		metrics: obs.NewRegistry(),
 	}
@@ -302,6 +323,14 @@ func (p *Platform) Register(id ID, h Handler, attrs Attributes, wrap func(Deputy
 
 	ctx := &Context{Self: id, Platform: p}
 	cp, _ := h.(Checkpointer)
+	if cp != nil {
+		// A checkpoint recovered from durable storage (SeedCheckpoint
+		// before Register) becomes the agent's starting state.
+		if snap, ok := p.seeds[id]; ok {
+			reg.ckpt, reg.hasCkpt = snap, true
+			delete(p.seeds, id)
+		}
+	}
 	handle := func(env Envelope) {
 		h.Handle(env, ctx)
 		if cp != nil {
@@ -309,6 +338,9 @@ func (p *Platform) Register(id ID, h Handler, attrs Attributes, wrap func(Deputy
 			reg.ckptMu.Lock()
 			reg.ckpt, reg.hasCkpt = snap, true
 			reg.ckptMu.Unlock()
+			if fn := p.OnCheckpoint; fn != nil {
+				fn(id, snap)
+			}
 		}
 	}
 	reg.proc = p.supervisorLocked().Spawn("agent:"+string(id), func(stop <-chan struct{}) {
@@ -546,23 +578,48 @@ func (p *Platform) deadLetter(env Envelope, reason DropReason) {
 	p.dropped.Add(1)
 	p.metrics.Counter("agent_dead_letter_total", "reason", string(reason)).Inc()
 	p.trace(obs.SpanDrop, env, string(reason))
+	dl := DeadLetter{Env: env, Reason: reason}
+	p.dlMu.Lock()
+	p.dlTotal++
+	p.dlWhy[reason]++
+	p.pushDeadLetterLocked(dl)
+	p.dlMu.Unlock()
+	if fn := p.OnDeadLetter; fn != nil {
+		fn(dl)
+	}
+}
+
+// pushDeadLetterLocked appends to the ring, evicting the oldest letter
+// once the ring is at capacity. Caller holds p.dlMu.
+func (p *Platform) pushDeadLetterLocked(dl DeadLetter) {
 	ringCap := p.DeadLetterCap
 	if ringCap <= 0 {
 		ringCap = DefaultDeadLetterCap
 	}
-	p.dlMu.Lock()
-	defer p.dlMu.Unlock()
-	p.dlTotal++
-	p.dlWhy[reason]++
 	if len(p.dlRing) < ringCap {
-		p.dlRing = append(p.dlRing, DeadLetter{Env: env, Reason: reason})
+		p.dlRing = append(p.dlRing, dl)
 		p.metrics.Gauge("agent_dead_letter_depth").Set(float64(len(p.dlRing)))
 		return
 	}
-	p.dlRing[p.dlNext] = DeadLetter{Env: env, Reason: reason}
+	p.dlRing[p.dlNext] = dl
 	p.dlNext = (p.dlNext + 1) % len(p.dlRing)
 	p.metrics.Counter("agent_dead_letter_evicted_total").Inc()
 	p.metrics.Gauge("agent_dead_letter_depth").Set(float64(len(p.dlRing)))
+}
+
+// RestoreDeadLetters refills the ring with letters recovered from
+// durable storage (oldest first), counting them into the per-reason
+// totals but not firing OnDeadLetter — the recovered letters are
+// already journaled. Call before traffic starts.
+func (p *Platform) RestoreDeadLetters(letters []DeadLetter) {
+	p.dlMu.Lock()
+	defer p.dlMu.Unlock()
+	for _, dl := range letters {
+		p.dropped.Add(1)
+		p.dlTotal++
+		p.dlWhy[dl.Reason]++
+		p.pushDeadLetterLocked(dl)
+	}
 }
 
 // noteRetry bumps the retry counter (CallRetry / SendRetry attempts beyond

@@ -39,6 +39,41 @@ type Checkpointer interface {
 	Restore(snapshot any)
 }
 
+// RecoveredSnapshot is the form a checkpoint takes when it has crossed
+// a process boundary: the durable store journals snapshots as JSON, so
+// on recovery it seeds agents with the raw bytes rather than the live
+// value Checkpoint returned. A Checkpointer that wants to survive
+// kill -9 (not just in-process restarts) must accept both shapes in
+// Restore:
+//
+//	func (a *counter) Restore(snap any) {
+//		switch s := snap.(type) {
+//		case RecoveredSnapshot:
+//			_ = json.Unmarshal(s, &a.state) // from disk
+//		case state:
+//			a.state = s // live, same process
+//		}
+//	}
+type RecoveredSnapshot []byte
+
+// SeedCheckpoint installs a recovered checkpoint for an agent. Called
+// before Register, the snapshot waits and becomes the agent's initial
+// Restore argument when its run loop starts; called on a live agent, it
+// replaces the stored checkpoint used at the next supervised restart.
+func (p *Platform) SeedCheckpoint(id ID, snapshot any) {
+	p.mu.Lock()
+	reg, ok := p.agents[id]
+	if !ok {
+		p.seeds[id] = snapshot
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	reg.ckptMu.Lock()
+	reg.ckpt, reg.hasCkpt = snapshot, true
+	reg.ckptMu.Unlock()
+}
+
 // supervisorLocked lazily builds the platform's agent supervisor;
 // callers hold p.mu. The policy is read from p.Supervision once, at
 // first registration.
@@ -53,6 +88,12 @@ func (p *Platform) supervisorLocked() *supervise.Supervisor {
 		}
 		p.sup = supervise.NewSupervisor(p.Name, pol)
 		p.sup.AttachMetrics(p.metrics)
+		p.sup.OnRestart(func(name string, err error, restarts int) {
+			id := ID(strings.TrimPrefix(name, "agent:"))
+			if fn := p.OnAgentRestart; fn != nil {
+				fn(id, err)
+			}
+		})
 		p.sup.OnGiveUp(func(e supervise.Exit) {
 			id := ID(strings.TrimPrefix(e.Name, "agent:"))
 			if fn := p.OnAgentDown; fn != nil {

@@ -33,6 +33,18 @@ type Registry struct {
 	// gauge. Nil disables instrumentation (obs.Registry is nil-safe).
 	Metrics *obs.Registry
 
+	// OnRegister, when set, observes every successful Register and Renew
+	// (called outside the registry lock, after the entry is stored). The
+	// durable store journals these so the node re-advertises its
+	// services after a crash. Set before traffic starts.
+	OnRegister func(p *ontology.Profile, l Lease)
+
+	// OnDeregister, when set, observes explicit Deregister calls (not
+	// lease expiry — an expired lease re-expires on its own after
+	// recovery, so journaling it would be redundant). Set before traffic
+	// starts.
+	OnDeregister func(name string)
+
 	mu      sync.RWMutex
 	nextID  uint64
 	entries map[string]*entry // by profile name
@@ -70,9 +82,12 @@ func (r *Registry) Register(p *ontology.Profile, ttl time.Duration) (Lease, erro
 	l := Lease{ID: r.nextID, Name: p.Name, Expires: r.now().Add(ttl)}
 	r.entries[p.Name] = &entry{profile: p, lease: l}
 	r.mu.Unlock()
-	// Watchers run outside the lock so their callbacks may use the
-	// registry freely.
+	// Watchers and the journal hook run outside the lock so their
+	// callbacks may use the registry freely.
 	r.notifyWatchers(p)
+	if fn := r.OnRegister; fn != nil {
+		fn(p, l)
+	}
 	return l, nil
 }
 
@@ -83,21 +98,33 @@ func (r *Registry) Renew(l Lease, ttl time.Duration) (Lease, error) {
 		return Lease{}, fmt.Errorf("discovery: renew with non-positive ttl")
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	e, ok := r.entries[l.Name]
 	if !ok || e.lease.ID != l.ID {
+		r.mu.Unlock()
 		return Lease{}, fmt.Errorf("discovery: lease %d for %q not active", l.ID, l.Name)
 	}
 	e.lease.Expires = r.now().Add(ttl)
-	return e.lease, nil
+	renewed := e.lease
+	profile := e.profile
+	r.mu.Unlock()
+	if fn := r.OnRegister; fn != nil {
+		fn(profile, renewed)
+	}
+	return renewed, nil
 }
 
 // Deregister removes an advertisement by name; removing an absent name is a
 // no-op.
 func (r *Registry) Deregister(name string) {
 	r.mu.Lock()
+	_, had := r.entries[name]
 	delete(r.entries, name)
 	r.mu.Unlock()
+	if had {
+		if fn := r.OnDeregister; fn != nil {
+			fn(name)
+		}
+	}
 }
 
 // sweep drops expired entries. Callers hold r.mu.

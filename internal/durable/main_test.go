@@ -1,0 +1,12 @@
+package durable_test
+
+import (
+	"testing"
+
+	"pervasivegrid/internal/leak"
+)
+
+// The durable suite spawns WAL sync loops, supervised agents, and (in
+// the chaos test) whole child processes; the leak gate proves every
+// Close/Stop actually reaps its goroutines.
+func TestMain(m *testing.M) { leak.VerifyTestMain(m) }

@@ -1,0 +1,303 @@
+package durable_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"pervasivegrid/internal/durable"
+	"pervasivegrid/internal/faultinject"
+	"pervasivegrid/internal/leak"
+	"pervasivegrid/internal/obs"
+)
+
+// collectWAL opens the WAL in dir and returns the replayed records.
+func collectWAL(t *testing.T, dir string, firstSeg uint64, opts durable.Options) ([][]byte, *durable.WAL) {
+	t.Helper()
+	var got [][]byte
+	w, err := durable.OpenWAL(dir, firstSeg, opts, func(seg uint64, rec []byte) {
+		got = append(got, append([]byte(nil), rec...))
+	})
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	return got, w
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	defer leak.Check(t)()
+	dir := t.TempDir()
+	w, err := durable.OpenWAL(dir, 0, durable.Options{}, nil)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	var want [][]byte
+	for i := 0; i < 50; i++ {
+		rec := []byte(fmt.Sprintf("record-%03d-%s", i, string(make([]byte, i))))
+		want = append(want, rec)
+		if err := w.Append(rec); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	got, w2 := collectWAL(t, dir, 0, durable.Options{})
+	defer w2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if string(got[i]) != string(want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if st := w2.Stats(); st.Replayed != uint64(len(want)) {
+		t.Fatalf("Stats.Replayed = %d, want %d", st.Replayed, len(want))
+	}
+}
+
+// TestWALTornTailEveryOffset is the core recovery property: a log whose
+// final bytes are cut at ANY offset recovers the longest record prefix
+// whose frames survived intact, and keeps accepting appends.
+func TestWALTornTailEveryOffset(t *testing.T) {
+	defer leak.Check(t)()
+	base := t.TempDir()
+	dir := filepath.Join(base, "wal")
+	w, err := durable.OpenWAL(dir, 0, durable.Options{}, nil)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	var recs [][]byte
+	var ends []int64 // file size after each append (frame boundaries)
+	for i := 0; i < 12; i++ {
+		rec := make([]byte, 1+rng.Intn(40))
+		rng.Read(rec)
+		recs = append(recs, rec)
+		if err := w.Append(rec); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		ends = append(ends, w.Stats().ActiveBytes)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segPath := filepath.Join(dir, "wal-00000001.log")
+	whole, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+
+	// goodPrefix(cut) = how many whole frames survive a cut at byte cut.
+	goodPrefix := func(cut int64) int {
+		n := 0
+		for _, end := range ends {
+			if end <= cut {
+				n++
+			}
+		}
+		return n
+	}
+
+	for cut := int64(0); cut <= int64(len(whole)); cut++ {
+		cutDir := filepath.Join(base, fmt.Sprintf("cut-%04d", cut))
+		if err := os.MkdirAll(cutDir, 0o755); err != nil {
+			t.Fatalf("mkdir: %v", err)
+		}
+		if err := os.WriteFile(filepath.Join(cutDir, "wal-00000001.log"), whole[:cut], 0o644); err != nil {
+			t.Fatalf("write cut: %v", err)
+		}
+		got, w2 := collectWAL(t, cutDir, 0, durable.Options{})
+		want := goodPrefix(cut)
+		if len(got) != want {
+			w2.Close()
+			t.Fatalf("cut at %d: recovered %d records, want %d", cut, len(got), want)
+		}
+		for i := 0; i < want; i++ {
+			if string(got[i]) != string(recs[i]) {
+				w2.Close()
+				t.Fatalf("cut at %d: record %d corrupted", cut, i)
+			}
+		}
+		// The torn tail must be gone and the log must accept appends.
+		if cut > ends[len(ends)-1] || (want > 0 && cut != ends[want-1]) {
+			if w2.Stats().Truncated != 1 {
+				w2.Close()
+				t.Fatalf("cut at %d: expected a truncation, stats=%+v", cut, w2.Stats())
+			}
+		}
+		if err := w2.Append([]byte("after-recovery")); err != nil {
+			t.Fatalf("cut at %d: append after recovery: %v", cut, err)
+		}
+		if err := w2.Close(); err != nil {
+			t.Fatalf("cut at %d: close: %v", cut, err)
+		}
+		os.RemoveAll(cutDir)
+	}
+}
+
+func TestWALRotationAndRemoveBefore(t *testing.T) {
+	defer leak.Check(t)()
+	dir := t.TempDir()
+	// Tiny segments force rotation every couple of appends.
+	opts := durable.Options{SegmentBytes: 64, Sync: durable.SyncOnRotate}
+	w, err := durable.OpenWAL(dir, 0, opts, nil)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	var want [][]byte
+	for i := 0; i < 20; i++ {
+		rec := []byte(fmt.Sprintf("rotating-record-%02d", i))
+		want = append(want, rec)
+		if err := w.Append(rec); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	st := w.Stats()
+	if st.Rotations == 0 || st.ActiveSegment < 2 {
+		t.Fatalf("expected rotations, stats=%+v", st)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	got, w2 := collectWAL(t, dir, 0, opts)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records across segments, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if string(got[i]) != string(want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// Rotate and drop everything below the new segment; replay from the
+	// watermark must see only post-rotation records.
+	seg, err := w2.Rotate()
+	if err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	if err := w2.Append([]byte("post-compaction")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := w2.RemoveBefore(seg); err != nil {
+		t.Fatalf("RemoveBefore: %v", err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got3, w3 := collectWAL(t, dir, seg, durable.Options{})
+	defer w3.Close()
+	if len(got3) != 1 || string(got3[0]) != "post-compaction" {
+		t.Fatalf("post-compaction replay = %q, want [post-compaction]", got3)
+	}
+}
+
+func TestWALSyncInterval(t *testing.T) {
+	defer leak.Check(t)()
+	clk := obs.NewFakeClock()
+	dir := t.TempDir()
+	w, err := durable.OpenWAL(dir, 0, durable.Options{
+		Sync:      durable.SyncInterval,
+		SyncEvery: 50 * time.Millisecond,
+		Clock:     clk,
+	}, nil)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	if err := w.Append([]byte("interval-record")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if st := w.Stats(); st.Syncs != 0 {
+		t.Fatalf("premature sync: %+v", st)
+	}
+	// Wait for the sync loop to arm its timer, then fire it.
+	deadline := time.Now().Add(2 * time.Second)
+	for clk.Waiters() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sync loop never armed its timer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	clk.Advance(50 * time.Millisecond)
+	for w.Stats().Syncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("interval sync never fired: %+v", w.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestWALInjectedDiskFaults drives appends through the disk-fault seam:
+// torn writes and write errors must dirty/truncate the segment such
+// that every acknowledged record before the fault still recovers.
+func TestWALInjectedDiskFaults(t *testing.T) {
+	defer leak.Check(t)()
+	dir := t.TempDir()
+	inj := faultinject.NewDisk(faultinject.DiskConfig{Seed: 7, ShortWriteEveryN: 5})
+	opts := durable.Options{
+		Sync: durable.SyncOnRotate,
+		WrapFile: func(f durable.File) durable.File {
+			return inj.WrapFile(f).(durable.File)
+		},
+	}
+	w, err := durable.OpenWAL(dir, 0, opts, nil)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	var acked [][]byte
+	for i := 0; i < 40; i++ {
+		rec := []byte(fmt.Sprintf("faulty-append-%02d", i))
+		if err := w.Append(rec); err == nil {
+			acked = append(acked, rec)
+		}
+	}
+	st := w.Stats()
+	if st.WriteErrors == 0 {
+		t.Fatalf("injector never fired: wal=%+v disk=%+v", st, inj.Stats())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	got, w2 := collectWAL(t, dir, 0, durable.Options{})
+	defer w2.Close()
+	if len(got) != len(acked) {
+		t.Fatalf("recovered %d records, want the %d acknowledged ones (disk=%+v)",
+			len(got), len(acked), inj.Stats())
+	}
+	for i := range acked {
+		if string(got[i]) != string(acked[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], acked[i])
+		}
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	cases := map[string]durable.SyncPolicy{
+		"":         durable.SyncAlways,
+		"always":   durable.SyncAlways,
+		"interval": durable.SyncInterval,
+		"rotate":   durable.SyncOnRotate,
+		" Rotate ": durable.SyncOnRotate,
+	}
+	for in, want := range cases {
+		got, err := durable.ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := durable.ParseSyncPolicy("fsync-madly"); err == nil {
+		t.Fatal("ParseSyncPolicy accepted garbage")
+	}
+	if durable.SyncInterval.String() != "interval" {
+		t.Fatalf("String() = %q", durable.SyncInterval.String())
+	}
+}

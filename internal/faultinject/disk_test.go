@@ -1,0 +1,116 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// memFile is an in-memory DiskFile recording what "reached the disk".
+type memFile struct {
+	buf     bytes.Buffer
+	syncs   int
+	closed  bool
+	truncTo []int64
+}
+
+func (m *memFile) Write(p []byte) (int, error) { return m.buf.Write(p) }
+func (m *memFile) Sync() error                 { m.syncs++; return nil }
+func (m *memFile) Truncate(size int64) error {
+	m.truncTo = append(m.truncTo, size)
+	m.buf.Truncate(int(size))
+	return nil
+}
+func (m *memFile) Close() error { m.closed = true; return nil }
+
+func TestDiskInjectorDeterministicShortWrites(t *testing.T) {
+	inj := NewDisk(DiskConfig{Seed: 3, ShortWriteEveryN: 3})
+	m := &memFile{}
+	f := inj.WrapFile(m)
+	payload := []byte("0123456789")
+	var failures []int
+	for i := 1; i <= 9; i++ {
+		n, err := f.Write(payload)
+		if err != nil {
+			failures = append(failures, i)
+			if !errors.Is(err, io.ErrShortWrite) {
+				t.Fatalf("write %d: torn write not marked short: %v", i, err)
+			}
+			if n >= len(payload) {
+				t.Fatalf("write %d: torn write persisted %d of %d bytes", i, n, len(payload))
+			}
+		} else if n != len(payload) {
+			t.Fatalf("write %d: clean write persisted %d bytes", i, n)
+		}
+	}
+	if want := []int{3, 6, 9}; len(failures) != 3 || failures[0] != want[0] || failures[1] != want[1] || failures[2] != want[2] {
+		t.Fatalf("torn writes at %v, want %v", failures, want)
+	}
+	st := inj.Stats()
+	if st.Writes != 9 || st.ShortWrites != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Same seed, same verdicts: the fault schedule is reproducible.
+	inj2 := NewDisk(DiskConfig{Seed: 3, ShortWriteEveryN: 3})
+	m2 := &memFile{}
+	f2 := inj2.WrapFile(m2)
+	for i := 1; i <= 9; i++ {
+		f2.Write(payload)
+	}
+	if m2.buf.String() != m.buf.String() {
+		t.Fatal("same seed produced different on-disk bytes")
+	}
+}
+
+func TestDiskInjectorSyncErrors(t *testing.T) {
+	inj := NewDisk(DiskConfig{Seed: 1, SyncErrEveryN: 2})
+	m := &memFile{}
+	f := inj.WrapFile(m)
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 1: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjectedSync) {
+		t.Fatalf("sync 2: %v, want injected failure", err)
+	}
+	if m.syncs != 1 {
+		t.Fatalf("underlying syncs = %d, want 1 (injected failure short-circuits)", m.syncs)
+	}
+	st := inj.Stats()
+	if st.Syncs != 2 || st.SyncErrors != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDiskInjectorWriteErrorPersistsNothing(t *testing.T) {
+	inj := NewDisk(DiskConfig{Seed: 5, WriteErrProb: 1.0})
+	m := &memFile{}
+	f := inj.WrapFile(m)
+	n, err := f.Write([]byte("doomed"))
+	if !errors.Is(err, ErrInjectedWrite) || n != 0 {
+		t.Fatalf("write = %d, %v; want 0, injected error", n, err)
+	}
+	if m.buf.Len() != 0 {
+		t.Fatalf("clean write error leaked %d bytes to disk", m.buf.Len())
+	}
+}
+
+func TestDiskInjectorDisabledPassesThrough(t *testing.T) {
+	inj := NewDisk(DiskConfig{Seed: 5, WriteErrProb: 1.0, SyncErrProb: 1.0})
+	inj.SetDisabled(true)
+	m := &memFile{}
+	f := inj.WrapFile(m)
+	if _, err := f.Write([]byte("safe")); err != nil {
+		t.Fatalf("disabled injector failed a write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("disabled injector failed a sync: %v", err)
+	}
+	if err := f.Truncate(2); err != nil || len(m.truncTo) != 1 {
+		t.Fatalf("truncate passthrough: %v %v", err, m.truncTo)
+	}
+	if err := f.Close(); err != nil || !m.closed {
+		t.Fatal("close passthrough")
+	}
+}

@@ -247,5 +247,6 @@ func Default() []*Analyzer {
 		GoroLeak(),
 		EnvHops(),
 		RawSpawn("pervasivegrid/internal/supervise", "pervasivegrid/internal/obs"),
+		RawFsync("pervasivegrid/internal/durable"),
 	}
 }

@@ -141,6 +141,18 @@ func TestRawSpawnExemptPackage(t *testing.T) {
 	}
 }
 
+func TestRawFsyncFixture(t *testing.T) {
+	checkAgainstMarkers(t, lint.RawFsync(), "rawfsync")
+}
+
+func TestRawFsyncExemptPackage(t *testing.T) {
+	pkg := loadFixture(t, "rawfsync")
+	diags := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{lint.RawFsync(pkg.Path)})
+	if len(diags) != 0 {
+		t.Fatalf("exempt package still flagged: %v", diags)
+	}
+}
+
 // TestMalformedDirectives: a lint:ignore without rule or reason is
 // itself a finding, even with no analyzers running.
 func TestMalformedDirectives(t *testing.T) {

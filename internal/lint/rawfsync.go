@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// osFileOpeners are the os functions whose result is a writable file
+// handle worth guarding. os.Open is omitted: a read-only handle cannot
+// corrupt a journal.
+var osFileOpeners = map[string]bool{
+	"Create":     true,
+	"OpenFile":   true,
+	"CreateTemp": true,
+	"NewFile":    true,
+}
+
+// rawFsyncMethods are the mutating calls the rule guards. Close is
+// deliberately absent — closing someone else's file is rude but not a
+// durability hazard.
+var rawFsyncMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteAt":     true,
+	"Sync":        true,
+	"Truncate":    true,
+}
+
+// RawFsync flags direct Write/Sync/Truncate calls on os-opened file
+// handles outside the durable package. PR 6 put every byte of node
+// state behind internal/durable's CRC-framed, torn-tail-tolerant WAL;
+// a stray os.File.Write to a data directory bypasses the framing, the
+// fsync policy, and the recovery scan — state that looks persisted but
+// cannot be replayed. Packages that legitimately own raw file I/O (the
+// durable package itself) are exempt.
+//
+// Resolution note: the lint loader stubs the stdlib, so *os.File's
+// method set is invisible to go/types. The rule instead tracks
+// assignment flow — identifiers bound from os.Create / os.OpenFile /
+// os.CreateTemp / os.NewFile calls — and flags the guarded methods
+// invoked on those identifiers. One-shot helpers like os.WriteFile are
+// not flagged: they never hold a handle the caller could mis-fsync.
+func RawFsync(exempt ...string) *Analyzer {
+	ex := map[string]bool{}
+	for _, p := range exempt {
+		ex[p] = true
+	}
+	return &Analyzer{
+		Name: "rawfsync",
+		Doc:  "direct os.File Write/Sync/Truncate outside the durable WAL layer",
+		Run: func(pass *Pass) {
+			if ex[pass.Pkg.Path] {
+				return
+			}
+			for _, file := range pass.Pkg.Files {
+				byObj, byName := osFileVars(pass, file)
+				if len(byObj) == 0 && len(byName) == 0 {
+					continue
+				}
+				ast.Inspect(file, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+					if !ok || !rawFsyncMethods[sel.Sel.Name] {
+						return true
+					}
+					id, ok := unparen(sel.X).(*ast.Ident)
+					if !ok {
+						return true
+					}
+					if !isOSFileIdent(pass, id, byObj, byName) {
+						return true
+					}
+					pass.Report(call,
+						"raw os.File."+sel.Sel.Name+" bypasses the durable WAL layer (no framing, no fsync policy, no torn-tail recovery)",
+						"journal through internal/durable (WAL.Append / Store), or exempt the package if it legitimately owns raw file I/O")
+					return true
+				})
+			}
+		},
+	}
+}
+
+// osFileVars indexes the identifiers in file that are bound from an
+// os file-opening call, by resolved object when type info is available
+// and by bare name as a fallback.
+func osFileVars(pass *Pass, file *ast.File) (map[types.Object]bool, map[string]bool) {
+	byObj := map[types.Object]bool{}
+	byName := map[string]bool{}
+	bind := func(lhs ast.Expr) {
+		id, ok := unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+			byObj[obj] = true
+			return
+		}
+		if obj := pass.Pkg.Info.Uses[id]; obj != nil {
+			byObj[obj] = true
+			return
+		}
+		byName[id.Name] = true
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			// f, err := os.Create(...) — the file handle is the first
+			// LHS of a single opener call, or pairwise for parallel
+			// assignment.
+			if len(st.Rhs) == 1 {
+				if isOSOpenCall(pass, file, st.Rhs[0]) && len(st.Lhs) > 0 {
+					bind(st.Lhs[0])
+				}
+				return true
+			}
+			for i, rhs := range st.Rhs {
+				if i < len(st.Lhs) && isOSOpenCall(pass, file, rhs) {
+					bind(st.Lhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(st.Values) == 1 {
+				if isOSOpenCall(pass, file, st.Values[0]) && len(st.Names) > 0 {
+					bind(st.Names[0])
+				}
+				return true
+			}
+			for i, v := range st.Values {
+				if i < len(st.Names) && isOSOpenCall(pass, file, v) {
+					bind(st.Names[i])
+				}
+			}
+		}
+		return true
+	})
+	return byObj, byName
+}
+
+// isOSOpenCall reports whether expr is a call to one of the guarded
+// os file-opening functions.
+func isOSOpenCall(pass *Pass, file *ast.File, expr ast.Expr) bool {
+	call, ok := unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !osFileOpeners[sel.Sel.Name] {
+		return false
+	}
+	qual, ok := unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return pass.ImportedPath(file, qual) == "os"
+}
+
+// isOSFileIdent resolves a receiver identifier against the os-file
+// binding index.
+func isOSFileIdent(pass *Pass, id *ast.Ident, byObj map[types.Object]bool, byName map[string]bool) bool {
+	if obj := pass.Pkg.Info.Uses[id]; obj != nil {
+		return byObj[obj]
+	}
+	if obj := pass.Pkg.Info.Defs[id]; obj != nil {
+		return byObj[obj]
+	}
+	return byName[id.Name]
+}

@@ -1,0 +1,77 @@
+package supervise
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pervasivegrid/internal/obs"
+)
+
+func TestPeriodicTicksAndStops(t *testing.T) {
+	clk := obs.NewFakeClock()
+	var ticks atomic.Int64
+	proc := Periodic("ticker", clk, 50*time.Millisecond, func() {
+		ticks.Add(1)
+	})
+
+	waitWaiter := func() {
+		deadline := time.Now().Add(2 * time.Second)
+		for clk.Waiters() == 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("periodic loop never armed its timer")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	for i := int64(1); i <= 3; i++ {
+		waitWaiter()
+		clk.Advance(50 * time.Millisecond)
+		deadline := time.Now().Add(2 * time.Second)
+		for ticks.Load() < i {
+			if time.Now().After(deadline) {
+				t.Fatalf("tick %d never fired (have %d)", i, ticks.Load())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	proc.Stop()
+	if proc.Alive() {
+		t.Fatal("stopped periodic proc still alive")
+	}
+	if got := ticks.Load(); got != 3 {
+		t.Fatalf("ticks = %d, want exactly 3", got)
+	}
+}
+
+func TestPeriodicSurvivesPanickingTick(t *testing.T) {
+	clk := obs.NewFakeClock()
+	var ticks atomic.Int64
+	proc := Periodic("flaky-ticker", clk, 10*time.Millisecond, func() {
+		if ticks.Add(1) == 1 {
+			panic("bad tick")
+		}
+	})
+	fire := func(want int64) {
+		deadline := time.Now().Add(2 * time.Second)
+		for clk.Waiters() == 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("loop never re-armed")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		clk.Advance(10 * time.Millisecond)
+		for ticks.Load() < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("tick %d never fired", want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	fire(1) // panics
+	fire(2) // loop survived the panic and kept ticking
+	if proc.Err() == nil {
+		t.Fatal("panicking tick left no recorded error")
+	}
+	proc.Stop()
+}

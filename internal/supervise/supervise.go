@@ -422,6 +422,33 @@ func (s *Supervisor) noteRestart(child string, err error, restarts int) {
 	}
 }
 
+// Periodic runs fn every interval on a supervised goroutine until the
+// returned Proc is stopped. Each tick is panic-fenced like Spawn: a
+// panicking fn is recorded on the Proc and the loop keeps ticking —
+// built for maintenance pumps (WAL interval fsync, cache sweeps) where
+// one bad tick must not end the schedule. clk nil means the wall clock.
+func Periodic(name string, clk obs.Clock, interval time.Duration, fn func()) *Proc {
+	if clk == nil {
+		clk = obs.Real
+	}
+	proc := newProc(name)
+	go func() {
+		defer close(proc.done)
+		defer proc.setAlive(false)
+		for {
+			select {
+			case <-proc.stop:
+				return
+			case <-clk.After(interval):
+			}
+			if err := runSafe(name, fn); err != nil {
+				proc.noteCrash(err)
+			}
+		}
+	}()
+	return proc
+}
+
 func (s *Supervisor) escalate(exit Exit) {
 	s.mu.Lock()
 	s.giveups++
