@@ -4,7 +4,7 @@ GO ?= go
 # (85% at the time the observability layer landed).
 COVER_FLOOR ?= 84.0
 
-.PHONY: build test race vet fmt-check lint cover check bench bench-baseline benchcmp experiments
+.PHONY: build test race vet fmt-check lint cover check bench bench-baseline benchcmp experiments load-smoke
 
 build:
 	$(GO) build ./...
@@ -43,12 +43,20 @@ cover:
 		printf "coverage %.1f%% (floor %.1f%%)\n", t, f }'
 
 # The verification gate: static analysis, the full suite under the race
-# detector, the coverage floor, and (when a fresh bench capture exists)
-# the benchmark-regression gate. The agent platform, transports, and
-# solvers must stay race-clean.
-check: vet fmt-check lint race cover benchcmp
+# detector, the coverage floor, the end-to-end scenario smoke, and (when
+# a fresh bench capture exists) the benchmark-regression gate. The agent
+# platform, transports, and solvers must stay race-clean.
+check: vet fmt-check lint race cover load-smoke benchcmp
 
-# experiments regenerates every E1–E15 table into results.txt (a build
+# load-smoke runs both disaster scenarios end to end (real TCP, open-loop
+# load) at rates any CI box sustains, and fails unless the priority lane
+# stayed spotless: zero dead letters, ≥99% control-plane delivery, and —
+# at smoke rates — zero sheds in the storm. See docs/load-testing.md.
+load-smoke:
+	$(GO) run ./cmd/pgridload -scenario storm -smoke
+	$(GO) run ./cmd/pgridload -scenario flood -smoke
+
+# experiments regenerates every E1–E17 table into results.txt (a build
 # output, not a tracked file).
 experiments:
 	$(GO) run ./cmd/pgridbench -o results.txt

@@ -1,4 +1,4 @@
-// Command pgridbench regenerates the reproduction suite's tables (E1–E15
+// Command pgridbench regenerates the reproduction suite's tables (E1–E17
 // in DESIGN.md / EXPERIMENTS.md) and compares benchmark runs.
 //
 // Usage:
@@ -10,6 +10,12 @@
 //	                           # diff two `go test -bench -json` captures;
 //	                           # exits 1 on >20% ns/op regression of the
 //	                           # Deliver/Route benchmarks (make benchcmp)
+//	pgridbench -compare old-load.json new-load.json
+//	                           # when both files are pgridload reports
+//	                           # (schema pgridload/v1), gate on tail
+//	                           # latency instead: exits 1 when p99/p999
+//	                           # grow >25% or the throughput ceiling
+//	                           # drops >20%
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"strings"
 
 	"pervasivegrid/internal/experiments"
+	"pervasivegrid/internal/load"
 )
 
 func main() {
@@ -33,12 +40,23 @@ func main() {
 	compare := flag.Bool("compare", false, "compare two bench captures: pgridbench -compare old.json new.json")
 	benchMatch := flag.String("bench-match", "Deliver|Route|WAL", "regexp selecting which benchmarks -compare gates on")
 	benchThreshold := flag.Float64("bench-threshold", 0.20, "-compare fails when a gated benchmark's ns/op grows by more than this fraction")
+	p99Threshold := flag.Float64("p99-threshold", 0.25, "-compare on pgridload reports fails when p99/p999 grows by more than this fraction")
+	ceilingThreshold := flag.Float64("ceiling-threshold", 0.20, "-compare on pgridload reports fails when throughput/ceiling drops by more than this fraction")
 	flag.Parse()
 
 	if *compare {
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "pgridbench: -compare needs exactly two arguments: old.json new.json")
 			os.Exit(2)
+		}
+		// Two pgridload reports gate on tail latency; anything else is
+		// treated as a test2json bench capture and gates on ns/op.
+		if load.IsReport(flag.Arg(0)) && load.IsReport(flag.Arg(1)) {
+			if err := compareLoad(flag.Arg(0), flag.Arg(1), *p99Threshold, *ceilingThreshold); err != nil {
+				fmt.Fprintf(os.Stderr, "pgridbench: %v\n", err)
+				os.Exit(1)
+			}
+			return
 		}
 		if err := compareBench(flag.Arg(0), flag.Arg(1), *benchMatch, *benchThreshold); err != nil {
 			fmt.Fprintf(os.Stderr, "pgridbench: %v\n", err)
@@ -137,6 +155,24 @@ func readBench(path string) (map[string]float64, error) {
 		return nil, fmt.Errorf("%s: no benchmark results found", path)
 	}
 	return res, nil
+}
+
+// compareLoad diffs two pgridload reports and gates on tail latency and
+// the sustained-throughput ceiling.
+func compareLoad(oldPath, newPath string, p99Threshold, ceilingThreshold float64) error {
+	oldRep, err := load.ReadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := load.ReadReport(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("load report compare: %s (%s) -> %s (%s)\n",
+		oldPath, oldRep.Scenario, newPath, newRep.Scenario)
+	table, err := load.CompareReports(oldRep, newRep, p99Threshold, ceilingThreshold)
+	fmt.Print(table)
+	return err
 }
 
 // compareBench diffs two captures and fails on regressions of the gated

@@ -1,0 +1,213 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"pervasivegrid/internal/agent"
+	"pervasivegrid/internal/core"
+	"pervasivegrid/internal/load"
+	"pervasivegrid/internal/sensornet"
+)
+
+// queryServer boots a minimal pgridd: a fire-scenario runtime hosting its
+// query agent on a TCP gateway. Returns the dial address.
+func queryServer(t *testing.T) string {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	f := sensornet.NewTemperatureField(20)
+	f.Ignite(sensornet.Hotspot{
+		Center: sensornet.Position{X: 50, Y: 50},
+		Peak:   500, Radius: 15, Start: -1, GrowthRate: 10,
+	})
+	cfg.Field = f
+	rt, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.AssignRooms(2, 2)
+
+	server := agent.NewPlatform("base-station")
+	t.Cleanup(server.Close)
+	if err := rt.RegisterQueryAgent(server); err != nil {
+		t.Fatal(err)
+	}
+	gw, err := agent.ListenAndServe(server, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { gw.Close() })
+	return gw.Addr()
+}
+
+func TestRunFleetRejectsEmptyAddrs(t *testing.T) {
+	if _, err := runFleet([]string{" ", ""}, "q", 10, time.Second, 0, 4, false, 0); err == nil {
+		t.Fatal("want error for empty address list")
+	}
+}
+
+func TestRunFleetFixedRate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real queries over TCP")
+	}
+	addr := queryServer(t)
+	rep, err := runFleet([]string{addr}, "SELECT avg(temp) FROM sensors", 20,
+		1500*time.Millisecond, 300*time.Millisecond, 8, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scenario != "fleet-query" || rep.Target != addr {
+		t.Fatalf("report header = %q/%q", rep.Scenario, rep.Target)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d/%d queries failed", rep.Errors, rep.Offered)
+	}
+	if rep.Latency.P99 <= 0 {
+		t.Fatalf("p99 = %v, want > 0", rep.Latency.P99)
+	}
+}
+
+func TestRunFleetRamp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real queries over TCP")
+	}
+	addr := queryServer(t)
+	// Two cheap steps (10 then 20 req/s): a single node sustains both on
+	// one core, so the report carries an unsaturated ceiling.
+	rep, err := runFleet([]string{addr}, "SELECT temp FROM sensors WHERE sensor = 44", 10,
+		700*time.Millisecond, 100*time.Millisecond, 8, true, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scenario != "fleet-ramp" {
+		t.Fatalf("scenario = %q", rep.Scenario)
+	}
+	if len(rep.Steps) == 0 {
+		t.Fatal("ramp report has no steps")
+	}
+	if rep.CeilingRPS <= 0 {
+		t.Fatalf("ceiling = %v", rep.CeilingRPS)
+	}
+	if rep.Latency.P99 <= 0 {
+		t.Fatal("ramp report should carry the last sustained step's latencies")
+	}
+}
+
+func TestRunScenarioDispatch(t *testing.T) {
+	if _, err := runScenario("earthquake", time.Second, false); err == nil ||
+		!strings.Contains(err.Error(), "unknown scenario") {
+		t.Fatalf("err = %v, want unknown scenario", err)
+	}
+	if testing.Short() {
+		t.Skip("smoke scenarios run seconds of real traffic")
+	}
+	rep, err := runScenario("storm", 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := checkScenario("storm", rep); err != nil {
+		t.Fatalf("storm smoke gate: %v", err)
+	}
+}
+
+func TestCheckScenarioGates(t *testing.T) {
+	if err := checkScenario("earthquake", &load.Report{}); err == nil {
+		t.Fatal("want unknown scenario error")
+	}
+	// A storm that shed at smoke rates must fail even with a perfect
+	// priority lane.
+	shedding := &load.Report{Metrics: map[string]float64{
+		"priorityDeliveryRate": 1, "priorityDeadLetters": 0, "baseShed": 3,
+	}}
+	if err := checkScenario("storm", shedding); err == nil || !strings.Contains(err.Error(), "shed") {
+		t.Fatalf("err = %v, want shed failure", err)
+	}
+	clean := &load.Report{Metrics: map[string]float64{
+		"priorityDeliveryRate": 1, "priorityDeadLetters": 0, "baseShed": 0,
+	}}
+	if err := checkScenario("storm", clean); err != nil {
+		t.Fatalf("clean storm rejected: %v", err)
+	}
+	// Flood dispatch: a report with no blips and full delivery passes.
+	flood := &load.Report{Metrics: map[string]float64{
+		"blips": 0, "queryDeliveryRate": 1, "priorityDeliveryRate": 1,
+		"priorityDeadLetters": 0, "liveShelters": 5,
+	}}
+	if err := checkScenario("flood", flood); err != nil {
+		t.Fatalf("clean flood rejected: %v", err)
+	}
+}
+
+// capture runs fn with os.Stdout redirected to a pipe and returns what it
+// printed.
+func capture(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	fn()
+	w.Close()
+	os.Stdout = old
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+func TestPrintReportFixedRate(t *testing.T) {
+	rep := &load.Report{
+		Scenario: "fleet-query", Target: "127.0.0.1:7070",
+		RateRPS: 50, Offered: 100, Completed: 98, Errors: 2, ErrorRate: 0.02,
+		Throughput: 49.1,
+		Latency:    load.Percentiles{P50: 1.2, P99: 6.5, P999: 9.9, Max: 12.0},
+		NaiveP99Ms: 0.9,
+		Metrics:    map[string]float64{"zeta": 1, "alpha": 2},
+	}
+	out := capture(t, func() { printReport(rep) })
+	for _, want := range []string{
+		"fleet-query", "127.0.0.1:7070", "100 req @ 50/s", "p99=6.50ms",
+		"naive p99:  0.90ms", "scenario metrics:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Metrics print sorted by key.
+	if strings.Index(out, "alpha") > strings.Index(out, "zeta") {
+		t.Fatalf("metrics not sorted:\n%s", out)
+	}
+}
+
+func TestPrintReportRampTable(t *testing.T) {
+	saturated := &load.Report{
+		Scenario:   "fleet-ramp",
+		CeilingRPS: 100, Saturated: true,
+		Steps: []load.StepResult{
+			{Rate: 100, Achieved: 99, Sustained: true, P99: 2 * time.Millisecond, P999: 3 * time.Millisecond},
+			{Rate: 200, Achieved: 120, Sustained: false, FailReason: "achieved 120/s below 90% of offered 200/s"},
+		},
+	}
+	out := capture(t, func() { printReport(saturated) })
+	for _, want := range []string{"sustained", "FAILED: achieved", "ceiling:    100 req/s sustained"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	open := &load.Report{
+		Scenario:   "fleet-ramp",
+		CeilingRPS: 160, Saturated: false,
+		Steps: []load.StepResult{{Rate: 160, Achieved: 159, Sustained: true}},
+	}
+	out = capture(t, func() { printReport(open) })
+	if !strings.Contains(out, "never saturated") {
+		t.Fatalf("unsaturated ramp should say so:\n%s", out)
+	}
+}

@@ -1,0 +1,60 @@
+// Floodevac is the partition-tolerance end-to-end scenario as a
+// narrative: a river floods a district, handheld devices guide evacuees
+// to shelters, and the network between them and the base station keeps
+// failing. Shelter advertisements live under 2-second leases (a flooded
+// shelter that stops renewing genuinely vanishes from route answers),
+// route queries ride the retry layer, heartbeats ride the priority
+// lane, and the handhelds' reconnecting links buffer and replay through
+// every outage.
+//
+// The link is severed for real — a TCP proxy drops every connection
+// mid-run — and the claim on trial is that the robustness substrate
+// turns those outages into latency, not lost evacuees. Run with `make
+// example-floodevac` or `go run ./examples/floodevac`.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"pervasivegrid/internal/load"
+)
+
+func main() {
+	fmt.Println("== Flood evacuation: shelters on 2s leases across a dying link ==")
+	fmt.Println()
+
+	rep, err := load.RunFlood(load.FloodOptions{
+		Duration:      10 * time.Second,
+		Shelters:      10,
+		LeaseTTL:      2 * time.Second,
+		RegisterRate:  20,
+		QueryRate:     60,
+		HeartbeatRate: 20,
+		Blips:         3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("link outages forced:      %.0f (severing %.0f connections)\n",
+		rep.Metrics["blips"], rep.Metrics["linkDrops"])
+	fmt.Printf("reconnects:               %.0f, replaying %.0f buffered envelopes\n",
+		rep.Metrics["reconnects"], rep.Metrics["replayed"])
+	fmt.Printf("route queries delivered:  %.1f%% (%0.f of %d), p50=%.1fms p99=%.1fms\n",
+		rep.Metrics["queryDeliveryRate"]*100, rep.Metrics["queriesOK"], rep.Offered,
+		rep.Latency.P50, rep.Latency.P99)
+	fmt.Printf("lease renewals delivered: %.1f%%\n", rep.Metrics["renewalDeliveryRate"]*100)
+	fmt.Printf("heartbeats delivered:     %.1f%% (priority lane, %g dead letters)\n",
+		rep.Metrics["priorityDeliveryRate"]*100, rep.Metrics["priorityDeadLetters"])
+	fmt.Printf("shelters still live:      %.0f of 10\n", rep.Metrics["liveShelters"])
+
+	if err := load.CheckFloodReport(rep, 0.95, 0.95); err != nil {
+		log.Fatalf("floodevac: %v", err)
+	}
+	fmt.Println()
+	fmt.Println("Every outage became latency: queries retried through, the")
+	fmt.Println("reconnect layer replayed what it buffered, and lease churn")
+	fmt.Println("kept the shelter registry honest the whole time.")
+}

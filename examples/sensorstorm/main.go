@@ -1,0 +1,60 @@
+// Sensorstorm is the overload end-to-end scenario as a narrative: a
+// city-wide heat emergency makes thousands of sensors report at once,
+// flooding a single base station whose mailbox holds a few dozen
+// envelopes. The platform's two-lane mailbox design is the safety
+// property on trial — bulk readings shed under the DropOldest policy
+// (fresh data beats stale), while operator control pings on the
+// priority lane keep flowing with a flat tail.
+//
+// The scenario runs three times at rising storm intensity to trace the
+// overload curve: under the service ceiling nothing sheds; past it the
+// base station sheds exactly the excess while the control plane never
+// notices. Run with `make example-sensorstorm` or `go run
+// ./examples/sensorstorm`.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"pervasivegrid/internal/load"
+)
+
+func main() {
+	fmt.Println("== Sensor storm: heat emergency, one base station ==")
+	fmt.Println()
+	fmt.Println("The sink services ~400 readings/s (2.5ms each); its normal")
+	fmt.Println("mailbox lane holds 32 envelopes under DropOldest.")
+	fmt.Println()
+
+	for _, storm := range []struct {
+		label string
+		rate  float64
+	}{
+		{"calm        (0.5x ceiling)", 200},
+		{"storm       (2x ceiling)", 800},
+		{"superstorm  (4x ceiling)", 1600},
+	} {
+		rep, err := load.RunStorm(load.StormOptions{
+			Duration:     5 * time.Second,
+			BulkRate:     storm.rate,
+			ServiceTime:  2500 * time.Microsecond,
+			PriorityRate: 10,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := load.CheckStormReport(rep, 0.99); err != nil {
+			log.Fatalf("%s: priority lane failed: %v", storm.label, err)
+		}
+		fmt.Printf("%s  bulk %4.0f/s: delivered=%5.0f shed=%5.0f | control: %3.0f%% delivered, p99=%.1fms\n",
+			storm.label, storm.rate,
+			rep.Metrics["baseDelivered"], rep.Metrics["baseShed"],
+			rep.Metrics["priorityDeliveryRate"]*100, rep.Latency.P99)
+	}
+
+	fmt.Println()
+	fmt.Println("Past the ceiling the base station sheds stale bulk readings,")
+	fmt.Println("but every control ping rode the priority lane to delivery.")
+}

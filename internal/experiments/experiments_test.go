@@ -54,8 +54,8 @@ func TestTableFprint(t *testing.T) {
 
 func TestAllRunnersPresent(t *testing.T) {
 	rs := All()
-	if len(rs) != 14 {
-		t.Fatalf("runners = %d, want 14", len(rs))
+	if len(rs) != 16 {
+		t.Fatalf("runners = %d, want 16", len(rs))
 	}
 	seen := map[string]bool{}
 	for _, r := range rs {
@@ -363,5 +363,55 @@ func TestE11CachingOrdering(t *testing.T) {
 	}
 	if get("cached", "messages") >= get("reactive", "messages") {
 		t.Fatal("caching should slash message count")
+	}
+}
+
+func TestE16ShedsScaleWhilePriorityHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three 4s open-loop storm runs over real TCP")
+	}
+	tb, err := E16PriorityUnderStorm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 intensities", len(tb.Rows))
+	}
+	get := func(row []string, col string) float64 {
+		return num(t, cell(t, tb, func(r []string) bool { return &r[0] == &row[0] }, col))
+	}
+	// The runner already gates priority delivery >= 99% and a clean
+	// priority lane per row (CheckStormReport); here we pin the shape of
+	// the claim: sheds grow with overload and the 4x row really shed.
+	low, mid, high := tb.Rows[0], tb.Rows[1], tb.Rows[2]
+	if s := get(high, "bulk shed"); s <= get(mid, "bulk shed") || s == 0 {
+		t.Fatalf("sheds did not grow with intensity: %v -> %v -> %v",
+			get(low, "bulk shed"), get(mid, "bulk shed"), s)
+	}
+	for _, row := range tb.Rows {
+		if dl := get(row, "prio dead letters"); dl != 0 {
+			t.Fatalf("bulk %s/s: %v priority dead letters", row[0], dl)
+		}
+	}
+}
+
+func TestE17DeterministicAtEveryScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2M node-ticks per row, serial and parallel")
+	}
+	tb, err := E17CityScaleSimulation()
+	if err != nil {
+		t.Fatal(err) // includes any digest divergence — the runner refuses to tabulate one
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d, want 10k/50k/100k", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if eq := cell(t, tb, func(r []string) bool { return &r[0] == &row[0] }, "digest(1w)==digest(8w)"); eq != "yes" {
+			t.Fatalf("%s nodes: digest column = %q", row[0], eq)
+		}
+		if tps := num(t, cell(t, tb, func(r []string) bool { return &r[0] == &row[0] }, "ticks/s")); tps <= 0 {
+			t.Fatalf("%s nodes: ticks/s = %v", row[0], tps)
+		}
 	}
 }

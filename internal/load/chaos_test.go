@@ -1,0 +1,192 @@
+package load_test
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+
+	"pervasivegrid/internal/agent"
+	"pervasivegrid/internal/leak"
+	"pervasivegrid/internal/load"
+)
+
+// kill -9 under load: a real echo-node process takes open-loop traffic
+// from this process over TCP, is SIGKILLed mid-run, and is restarted a
+// second later on the same address. Because the generator is open-loop
+// and attributes every request to its *scheduled* second, the load
+// report localises the outage precisely: the error spike must be bounded
+// to the kill window, and once the node is back the measured throughput
+// must recover to ≥90% of the offered rate. A closed-loop harness could
+// not make either claim — it would simply stop sending while the node
+// was dead.
+
+const (
+	chaosEcho     = agent.ID("chaos-echo")
+	chaosOntology = "x-load-chaos"
+	chaosEnvFlag  = "PGRID_LOAD_CHAOS_NODE"
+	chaosEnvAddr  = "PGRID_LOAD_CHAOS_ADDR"
+)
+
+// TestLoadChaosNodeProcess is not a test: it is the echo-node body this
+// binary is re-execed into (the subprocess idiom from the durable chaos
+// suite). It serves until killed.
+func TestLoadChaosNodeProcess(t *testing.T) {
+	if os.Getenv(chaosEnvFlag) != "1" {
+		t.Skip("helper process for TestChaosKillNineUnderLoad")
+	}
+	p := agent.NewPlatform("chaos-node")
+	err := p.Register(chaosEcho, agent.HandlerFunc(func(env agent.Envelope, ctx *agent.Context) {
+		if reply, err := env.Reply("inform", "ok"); err == nil {
+			_ = ctx.Send(reply)
+		}
+	}), agent.Attributes{}, nil)
+	if err != nil {
+		fmt.Printf("FAIL register: %v\n", err)
+		return
+	}
+	if _, err := agent.ListenAndServe(p, os.Getenv(chaosEnvAddr)); err != nil {
+		fmt.Printf("FAIL listen: %v\n", err)
+		return
+	}
+	fmt.Println("READY")
+	select {} // hold the node up until the parent kills it
+}
+
+// startChaosNode re-execs the test binary as the echo node and waits for
+// its READY line.
+func startChaosNode(t *testing.T, addr string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestLoadChaosNodeProcess$", "-test.v")
+	cmd.Env = append(os.Environ(), chaosEnvFlag+"=1", chaosEnvAddr+"="+addr)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ready := make(chan struct{})
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if sc.Text() == "READY" {
+				close(ready)
+				break
+			}
+		}
+		for sc.Scan() { //nolint:revive // drain so the child never blocks on stdout
+		}
+	}()
+	select {
+	case <-ready:
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatal("chaos node never became READY")
+	}
+	return cmd
+}
+
+func reap(cmd *exec.Cmd) {
+	if cmd.Process != nil {
+		_ = cmd.Process.Kill()
+	}
+	_ = cmd.Wait()
+}
+
+func TestChaosKillNineUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	defer leak.Check(t)()
+
+	// Reserve an address the node can reuse across both lives.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	node := startChaosNode(t, addr)
+	defer reap(node)
+
+	client := agent.NewPlatform("chaos-load-client")
+	defer client.Close()
+	link := agent.DialReconnect(client, addr, agent.ReconnectOptions{
+		MaxBuffer: 4096,
+		BaseDelay: 20 * time.Millisecond,
+		MaxDelay:  200 * time.Millisecond,
+	})
+	defer link.Close()
+
+	const (
+		rate       = 120.0
+		dur        = 8 * time.Second
+		killAt     = 2500 * time.Millisecond
+		restartAt  = 1200 * time.Millisecond // after the kill
+		callBudget = 500 * time.Millisecond  // short on purpose: outage requests must fail, not ride retries
+	)
+
+	// Kill and restart on a fixed schedule while the load runs.
+	restarted := make(chan *exec.Cmd, 1)
+	go func() {
+		time.Sleep(killAt)
+		if node.Process != nil {
+			_ = node.Process.Kill() // SIGKILL: no goodbye, no flush
+		}
+		_ = node.Wait()
+		time.Sleep(restartAt)
+		restarted <- startChaosNode(t, addr)
+	}()
+
+	res, err := load.Run(load.Options{Rate: rate, Duration: dur, Workers: 256},
+		func(int) error {
+			_, err := agent.Call(client, chaosEcho, "request", chaosOntology, "ping", callBudget)
+			return err
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reap(<-restarted)
+
+	t.Logf("chaos timeline (offered/ok/errors per scheduled second): %+v", res.Timeline)
+
+	// The kill must be visible: a node dying under open-loop load cannot
+	// hide.
+	if res.Errors == 0 {
+		t.Fatal("kill -9 left no trace in the load report")
+	}
+
+	// The error spike must be bounded to the outage window. The node is
+	// dead from ~2.5s to ~3.7s plus reconnect backoff; seconds 0-1 and
+	// the final seconds must be clean.
+	killSec := int(killAt / time.Second)                  // 2
+	recoverSec := int((killAt+restartAt)/time.Second) + 2 // 5: restart + reconnect + drain slack
+	for sec, s := range res.Timeline {
+		if sec < killSec && s.Errors > 0 {
+			t.Errorf("second %d (before the kill) saw %d errors", sec, s.Errors)
+		}
+		if sec > recoverSec && s.Errors > 0 {
+			t.Errorf("second %d (after recovery) saw %d errors", sec, s.Errors)
+		}
+	}
+
+	// Post-recovery throughput: the last two full seconds must complete
+	// ≥90% of their offered load.
+	var offered, ok int
+	for _, s := range res.Timeline[len(res.Timeline)-2:] {
+		offered += s.Offered
+		ok += s.OK
+	}
+	if offered == 0 {
+		t.Fatal("empty tail timeline")
+	}
+	if frac := float64(ok) / float64(offered); frac < 0.9 {
+		t.Errorf("post-recovery throughput %.2f below 0.9 (%d/%d in final 2s)", frac, ok, offered)
+	}
+}

@@ -1,0 +1,195 @@
+// Package load is the city-scale load harness: an open-loop,
+// coordinated-omission-safe traffic generator (latency is measured from
+// each request's *scheduled* send time, never from when a stalled worker
+// finally got to send it), HDR-style latency histograms with p50/p99/p999,
+// a step-ramp search for the sustained-throughput ceiling, and the two
+// flagship disaster scenarios (sensor-storm, flood evacuation) that
+// saturate the overload and recovery machinery the runtime grew in
+// earlier PRs. Results serialize to JSON so pgridbench -compare can gate
+// regressions on tail latency, not just ns/op.
+package load
+
+import (
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// Histogram is an HDR-style log-linear latency histogram: values bucket
+// by octave with 64 linear sub-buckets per octave, bounding relative
+// error to ~1.6% while keeping the whole structure a few KB. Durations
+// are recorded in nanoseconds. The zero value is not usable; construct
+// with NewHistogram. Safe for concurrent use.
+type Histogram struct {
+	mu     sync.Mutex
+	counts []int64
+	total  int64
+	max    int64
+	sum    int64
+}
+
+// subBuckets is the linear resolution per octave (power of two).
+const subBuckets = 64
+
+// maxBucketIndex covers every int64 nanosecond value.
+var maxBucketIndex = bucketIndex(1<<63 - 1)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]int64, maxBucketIndex+1)}
+}
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	u := uint64(v)
+	if u < subBuckets {
+		return int(u)
+	}
+	exp := bits.Len64(u) - 7 // u>>exp lands in [64,128)
+	return subBuckets + exp*subBuckets + int(u>>uint(exp)) - subBuckets
+}
+
+// bucketHigh returns the largest value a bucket holds — quantiles report
+// this bound, so "p99 = X" reads as "99% of requests finished in ≤ X".
+func bucketHigh(idx int) int64 {
+	if idx < subBuckets {
+		return int64(idx)
+	}
+	exp := (idx - subBuckets) / subBuckets
+	m := uint64((idx-subBuckets)%subBuckets + subBuckets)
+	return int64(m<<uint(exp) + 1<<uint(exp) - 1)
+}
+
+// Record adds one latency observation. Negative durations clamp to zero
+// (a scheduled time in the future can produce them when a request
+// completes before its own schedule slot under a fake clock).
+func (h *Histogram) Record(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.mu.Lock()
+	h.counts[bucketIndex(v)]++
+	h.total++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// Count reports recorded observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Max reports the largest recorded value.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return time.Duration(h.max)
+}
+
+// Mean reports the average recorded value.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.total)
+}
+
+// Quantile reports the latency bound below which fraction q of the
+// recorded values fall (q in [0,1]; q=0.99 is p99). An empty histogram
+// reports 0. The exact recorded max is returned for the top bucket so
+// p100 never overstates.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(h.total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			hi := bucketHigh(i)
+			if hi > h.max {
+				hi = h.max
+			}
+			return time.Duration(hi)
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Merge folds other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	other.mu.Lock()
+	counts := make([]int64, len(other.counts))
+	copy(counts, other.counts)
+	total, max, sum := other.total, other.max, other.sum
+	other.mu.Unlock()
+
+	h.mu.Lock()
+	for i, c := range counts {
+		h.counts[i] += c
+	}
+	h.total += total
+	h.sum += sum
+	if max > h.max {
+		h.max = max
+	}
+	h.mu.Unlock()
+}
+
+// HistBucket is one non-empty bucket in a serialized histogram.
+type HistBucket struct {
+	// High is the inclusive upper latency bound of the bucket in
+	// nanoseconds.
+	High int64 `json:"highNs"`
+	// Count is the number of observations in the bucket.
+	Count int64 `json:"count"`
+}
+
+// Snapshot exports the non-empty buckets, oldest bound first.
+func (h *Histogram) Snapshot() []HistBucket {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []HistBucket
+	for i, c := range h.counts {
+		if c > 0 {
+			out = append(out, HistBucket{High: bucketHigh(i), Count: c})
+		}
+	}
+	return out
+}
+
+// FromSnapshot rebuilds a histogram from serialized buckets (quantiles
+// survive; the exact max degrades to its bucket bound).
+func FromSnapshot(buckets []HistBucket) *Histogram {
+	h := NewHistogram()
+	for _, b := range buckets {
+		idx := bucketIndex(b.High)
+		h.counts[idx] += b.Count
+		h.total += b.Count
+		h.sum += b.High * b.Count
+		if b.High > h.max {
+			h.max = b.High
+		}
+	}
+	return h
+}

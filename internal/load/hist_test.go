@@ -1,0 +1,91 @@
+package load
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantilesAgainstExactSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := NewHistogram()
+	n := 20_000
+	vals := make([]int64, n)
+	for i := range vals {
+		// Mixed regimes: µs-scale bulk plus a heavy ms-scale tail.
+		v := int64(rng.ExpFloat64() * 2e5)
+		if rng.Intn(100) == 0 {
+			v += int64(rng.Intn(50)) * int64(time.Millisecond)
+		}
+		vals[i] = v
+		h.Record(time.Duration(v))
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	if h.Count() != int64(n) {
+		t.Fatalf("count = %d, want %d", h.Count(), n)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := vals[int(q*float64(n))-1]
+		got := int64(h.Quantile(q))
+		// Upper-bound semantics: got >= exact, within one octave sub-bucket
+		// (~1.6% relative error) plus rounding slack near the rank edge.
+		if got < exact-exact/32 {
+			t.Fatalf("q=%g: histogram %d below exact %d", q, got, exact)
+		}
+		if got > exact+exact/16+1 {
+			t.Fatalf("q=%g: histogram %d overshoots exact %d beyond bucket error", q, got, exact)
+		}
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Fatalf("p100 %v != max %v", h.Quantile(1), h.Max())
+	}
+}
+
+func TestHistogramBucketBoundsRoundTrip(t *testing.T) {
+	// Every bucket's upper bound must map back into that bucket, and
+	// bounds must be strictly increasing.
+	prev := int64(-1)
+	for idx := 0; idx <= bucketIndex(1<<40); idx++ {
+		hi := bucketHigh(idx)
+		if bucketIndex(hi) != idx {
+			t.Fatalf("bucketHigh(%d)=%d maps to bucket %d", idx, hi, bucketIndex(hi))
+		}
+		if hi <= prev {
+			t.Fatalf("bucket %d bound %d not above previous %d", idx, hi, prev)
+		}
+		prev = hi
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Record(-time.Second) // clamps to zero
+	if h.Count() != 1 || h.Max() != 0 {
+		t.Fatalf("negative record: count=%d max=%v", h.Count(), h.Max())
+	}
+}
+
+func TestHistogramMergeAndSnapshotRoundTrip(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		a.Record(time.Duration(i) * time.Microsecond)
+		b.Record(time.Duration(i) * time.Millisecond)
+	}
+	a.Merge(b)
+	if a.Count() != 2000 {
+		t.Fatalf("merged count = %d, want 2000", a.Count())
+	}
+	p99 := a.Quantile(0.99)
+
+	rebuilt := FromSnapshot(a.Snapshot())
+	if rebuilt.Count() != a.Count() {
+		t.Fatalf("snapshot round-trip count %d != %d", rebuilt.Count(), a.Count())
+	}
+	if got := rebuilt.Quantile(0.99); got != p99 {
+		t.Fatalf("snapshot round-trip p99 %v != %v", got, p99)
+	}
+}

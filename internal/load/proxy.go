@@ -1,0 +1,117 @@
+package load
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"pervasivegrid/internal/supervise"
+)
+
+// FlakyProxy is a TCP forwarder placed between a client and a gateway so
+// scenarios can sever links honestly: the runtime's DialReconnect layer
+// has no test hook for "the network died", but killing every proxied
+// connection produces exactly the read error a dead link would. The
+// flood-evacuation scenario uses it to force handheld redials mid-run.
+type FlakyProxy struct {
+	target string
+	ln     net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	drops  int
+	closed bool
+}
+
+// NewFlakyProxy listens on a fresh loopback port and forwards every
+// connection to target until DropAll or Close.
+func NewFlakyProxy(target string) (*FlakyProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("load: proxy listen: %w", err)
+	}
+	p := &FlakyProxy{target: target, ln: ln, conns: make(map[net.Conn]struct{})}
+	supervise.Spawn("load-proxy-accept", p.acceptLoop)
+	return p, nil
+}
+
+// Addr is the address clients should dial instead of the real target.
+func (p *FlakyProxy) Addr() string { return p.ln.Addr().String() }
+
+// Drops reports how many connections DropAll has severed so far.
+func (p *FlakyProxy) Drops() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.drops
+}
+
+// DropAll severs every live proxied connection, simulating a link
+// outage. New connections are accepted again immediately, so a
+// reconnecting client recovers as soon as it redials.
+func (p *FlakyProxy) DropAll() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(p.conns)
+	for c := range p.conns {
+		c.Close()
+		delete(p.conns, c)
+	}
+	p.drops += n
+	return n
+}
+
+// Close stops accepting and severs everything.
+func (p *FlakyProxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.DropAll()
+	return err
+}
+
+func (p *FlakyProxy) acceptLoop() {
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		upstream, err := net.Dial("tcp", p.target)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		p.track(client)
+		p.track(upstream)
+		supervise.Spawn("load-proxy-pipe", func() { p.pipe(client, upstream) })
+		supervise.Spawn("load-proxy-pipe", func() { p.pipe(upstream, client) })
+	}
+}
+
+func (p *FlakyProxy) track(c net.Conn) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		c.Close()
+		return
+	}
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+}
+
+// pipe copies one direction; when either side dies it closes both so the
+// peer's read unblocks, and forgets the pair.
+func (p *FlakyProxy) pipe(dst, src net.Conn) {
+	io.Copy(dst, src) //nolint:errcheck // a severed link is the point
+	dst.Close()
+	src.Close()
+	p.mu.Lock()
+	delete(p.conns, dst)
+	delete(p.conns, src)
+	p.mu.Unlock()
+}

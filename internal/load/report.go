@@ -1,0 +1,164 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// ReportSchema identifies a pgridload JSON report. pgridbench -compare
+// sniffs this to decide whether two files are latency reports (gate on
+// p99/p999/ceiling) or test2json bench captures (gate on ns/op).
+const ReportSchema = "pgridload/v1"
+
+// Percentiles is the latency summary of one run, in milliseconds for
+// human eyes; the histogram carries the full nanosecond resolution.
+type Percentiles struct {
+	P50  float64 `json:"p50Ms"`
+	P90  float64 `json:"p90Ms"`
+	P99  float64 `json:"p99Ms"`
+	P999 float64 `json:"p999Ms"`
+	Max  float64 `json:"maxMs"`
+	Mean float64 `json:"meanMs"`
+}
+
+// Report is the serialized outcome of a pgridload run.
+type Report struct {
+	Schema   string `json:"schema"`
+	Scenario string `json:"scenario"`
+	Target   string `json:"target,omitempty"`
+
+	RateRPS    float64      `json:"rateRPS"`
+	Offered    int          `json:"offered"`
+	Completed  int          `json:"completed"`
+	Errors     int          `json:"errors"`
+	ErrorRate  float64      `json:"errorRate"`
+	ElapsedSec float64      `json:"elapsedSec"`
+	Throughput float64      `json:"throughputRPS"`
+	Latency    Percentiles  `json:"latency"`
+	NaiveP99Ms float64      `json:"naiveP99Ms"` // the closed-loop lie, kept for contrast
+	CeilingRPS float64      `json:"ceilingRPS,omitempty"`
+	Saturated  bool         `json:"saturated,omitempty"`
+	Steps      []StepResult `json:"steps,omitempty"`
+	Histogram  []HistBucket `json:"histogram,omitempty"`
+	Timeline   []Second     `json:"timeline,omitempty"`
+	// Metrics carries scenario-specific measurements (priority delivery
+	// rate, sheds, reconnects, lease churn, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// ms converts a duration for the report.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// SummarizeHist fills a Percentiles from a histogram.
+func SummarizeHist(h *Histogram) Percentiles {
+	return Percentiles{
+		P50:  ms(h.Quantile(0.50)),
+		P90:  ms(h.Quantile(0.90)),
+		P99:  ms(h.Quantile(0.99)),
+		P999: ms(h.Quantile(0.999)),
+		Max:  ms(h.Max()),
+		Mean: ms(h.Mean()),
+	}
+}
+
+// NewReport folds a generator result into a serializable report.
+func NewReport(scenario, target string, rate float64, res *Result) *Report {
+	r := &Report{
+		Schema:     ReportSchema,
+		Scenario:   scenario,
+		Target:     target,
+		RateRPS:    rate,
+		Offered:    res.Offered,
+		Completed:  res.Completed,
+		Errors:     res.Errors,
+		ErrorRate:  res.ErrorRate(),
+		ElapsedSec: res.Elapsed.Seconds(),
+		Throughput: res.Throughput,
+		Latency:    SummarizeHist(res.Hist),
+		NaiveP99Ms: ms(res.NaiveHist.Quantile(0.99)),
+		Histogram:  res.Hist.Snapshot(),
+		Timeline:   res.Timeline,
+	}
+	return r
+}
+
+// AttachRamp folds a ceiling search into the report.
+func (r *Report) AttachRamp(ramp *RampResult) {
+	r.CeilingRPS = ramp.Ceiling
+	r.Saturated = ramp.Saturated
+	r.Steps = ramp.Steps
+}
+
+// WriteFile serializes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadReport parses a pgridload report, rejecting files with the wrong
+// schema tag (a bench capture, a fleet snapshot, hand-edited junk).
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("load: %s: %w", path, err)
+	}
+	if r.Schema != ReportSchema {
+		return nil, fmt.Errorf("load: %s: schema %q is not %q", path, r.Schema, ReportSchema)
+	}
+	return &r, nil
+}
+
+// IsReport reports whether path parses as a pgridload report.
+func IsReport(path string) bool {
+	_, err := ReadReport(path)
+	return err == nil
+}
+
+// CompareReports gates new against old on tail latency and ceiling: p99
+// and p999 may not grow by more than latencyThreshold (fractional), and
+// the sustained-throughput ceiling may not drop by more than
+// ceilingThreshold. It returns a human-readable table plus the gate
+// verdict.
+func CompareReports(old, new *Report, latencyThreshold, ceilingThreshold float64) (string, error) {
+	if latencyThreshold <= 0 {
+		latencyThreshold = 0.25
+	}
+	if ceilingThreshold <= 0 {
+		ceilingThreshold = 0.20
+	}
+	out := fmt.Sprintf("%-24s %12s %12s %8s\n", "metric", "old", "new", "delta")
+	var failures []string
+	row := func(name string, oldV, newV float64, unit string, worseWhenUp bool, threshold float64) {
+		delta := 0.0
+		if oldV != 0 {
+			delta = newV/oldV - 1
+		}
+		mark := ""
+		bad := worseWhenUp && delta > threshold || !worseWhenUp && delta < -threshold
+		if oldV != 0 && bad {
+			mark = "  REGRESSION"
+			failures = append(failures, fmt.Sprintf("%s %.3g -> %.3g (%+.1f%%)", name, oldV, newV, delta*100))
+		}
+		out += fmt.Sprintf("%-24s %12.3g %12.3g %+7.1f%%%s\n", name+unit, oldV, newV, delta*100, mark)
+	}
+	row("p50", old.Latency.P50, new.Latency.P50, "(ms)", true, latencyThreshold*4) // informational slack: gate is the tail
+	row("p99", old.Latency.P99, new.Latency.P99, "(ms)", true, latencyThreshold)
+	row("p999", old.Latency.P999, new.Latency.P999, "(ms)", true, latencyThreshold)
+	row("throughput", old.Throughput, new.Throughput, "(rps)", false, ceilingThreshold)
+	if old.CeilingRPS > 0 && new.CeilingRPS > 0 {
+		row("ceiling", old.CeilingRPS, new.CeilingRPS, "(rps)", false, ceilingThreshold)
+	}
+	if len(failures) > 0 {
+		return out, fmt.Errorf("load report regressed: %v", failures)
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package load
+
+import (
+	"testing"
+	"time"
+)
+
+// Scenario tests run the real TCP stacks at rates a loaded single-core CI
+// box sustains comfortably; short mode trims durations, not coverage.
+
+func TestStormScenarioPriorityLaneSurvivesOverload(t *testing.T) {
+	dur := 6 * time.Second
+	if testing.Short() {
+		dur = 3 * time.Second
+	}
+	rep, err := RunStorm(StormOptions{
+		Duration:     dur,
+		BulkRate:     800, // ~2x the service ceiling below
+		ServiceTime:  2500 * time.Microsecond,
+		PriorityRate: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("storm: priority p99=%gms delivery=%.4f sheds=%g delivered=%g",
+		rep.Latency.P99, rep.Metrics["priorityDeliveryRate"],
+		rep.Metrics["baseShed"], rep.Metrics["baseDelivered"])
+	if err := CheckStormReport(rep, 0.99); err != nil {
+		t.Fatal(err)
+	}
+	// The storm must actually overload the base: bulk above the service
+	// ceiling with a tiny mailbox has to shed.
+	if rep.Metrics["baseShed"] == 0 {
+		t.Fatalf("no sheds under 2x overload: %+v", rep.Metrics)
+	}
+	if rep.Schema != ReportSchema || rep.Scenario != "sensor-storm" {
+		t.Fatalf("report mislabelled: %q %q", rep.Schema, rep.Scenario)
+	}
+}
+
+func TestStormScenarioLowRateSmokeIsClean(t *testing.T) {
+	// The make load-smoke contract: at low rate nothing sheds and the
+	// priority lane is spotless.
+	rep, err := RunStorm(StormOptions{
+		Duration:     2 * time.Second,
+		BulkRate:     100,
+		ServiceTime:  200 * time.Microsecond,
+		PriorityRate: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckStormReport(rep, 0.99); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics["baseShed"] != 0 {
+		t.Fatalf("sheds at 10%% load: %+v", rep.Metrics)
+	}
+}
+
+func TestFloodScenarioSurvivesLinkBlips(t *testing.T) {
+	dur := 8 * time.Second
+	blips := 2
+	if testing.Short() {
+		dur, blips = 4*time.Second, 1
+	}
+	rep, err := RunFlood(FloodOptions{
+		Duration:      dur,
+		Blips:         blips,
+		QueryRate:     30,
+		RegisterRate:  20,
+		HeartbeatRate: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("flood: query p99=%gms delivery=%.4f reconnects=%g replayed=%g live=%g",
+		rep.Latency.P99, rep.Metrics["queryDeliveryRate"],
+		rep.Metrics["reconnects"], rep.Metrics["replayed"], rep.Metrics["liveShelters"])
+	// Outages are retried through, so delivery stays high even with the
+	// link cut mid-run; thresholds leave room for requests caught at the
+	// exact moment of a blip on a slow box.
+	if err := CheckFloodReport(rep, 0.95, 0.95); err != nil {
+		t.Fatal(err)
+	}
+}
