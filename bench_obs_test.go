@@ -78,6 +78,52 @@ func BenchmarkPlatformDeliverTraced(b *testing.B) {
 	}
 }
 
+// benchDeliverSampled runs the traced-delivery loop with the given
+// sampler plus a wide-event log attached — the fully instrumented
+// pipeline as pgridd runs it.
+func benchDeliverSampled(b *testing.B, smp *obs.Sampler) {
+	p := agent.NewPlatform("bench")
+	p.Tracer = obs.NewTracer(4096)
+	p.Tracer.SetSampler(smp)
+	p.Events = obs.NewEventLog(1024)
+	defer p.Close()
+	done := make(chan struct{}, 1)
+	if err := p.Register("sink", agent.HandlerFunc(func(agent.Envelope, *agent.Context) {
+		done <- struct{}{}
+	}), agent.Attributes{}, nil); err != nil {
+		b.Fatal(err)
+	}
+	env, err := agent.NewEnvelope("bench", "sink", "inform", "b", map[string]float64{"temp": 21.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := env
+		e.TraceID = 0 // fresh trace per delivery
+		if err := p.Send(e); err != nil {
+			b.Fatal(err)
+		}
+		<-done
+	}
+}
+
+// BenchmarkPlatformDeliverSampled is the instrumented Deliver path at the
+// production sampling rate (1%): spans head-sampled by TraceID hash,
+// wide-event log attached. pgridbench -compare gates this against
+// BenchmarkPlatformDeliverSamplerOff with the ≤10% overhead budget.
+func BenchmarkPlatformDeliverSampled(b *testing.B) {
+	benchDeliverSampled(b, obs.NewSampler(0.01))
+}
+
+// BenchmarkPlatformDeliverSamplerOff is the overhead baseline: the same
+// wiring with sampling off (complete span blackout, cheapest possible
+// Record path), isolating what 1% sampling itself costs.
+func BenchmarkPlatformDeliverSamplerOff(b *testing.B) {
+	benchDeliverSampled(b, obs.SamplerOff)
+}
+
 // BenchmarkDiscoveryMatch measures one semantic lookup against a
 // 500-profile registry — the paper's discovery hot path.
 func BenchmarkDiscoveryMatch(b *testing.B) {

@@ -9,7 +9,14 @@
 //	pgridbench -compare BENCH_obs.json BENCH_new.json
 //	                           # diff two `go test -bench -json` captures;
 //	                           # exits 1 on >20% ns/op regression of the
-//	                           # Deliver/Route benchmarks (make benchcmp)
+//	                           # Deliver/Route benchmarks (make benchcmp).
+//	                           # When the new capture holds the
+//	                           # instrumented-vs-blackout Deliver pair
+//	                           # (PlatformDeliverSampled / ...SamplerOff)
+//	                           # it additionally gates the observability
+//	                           # pipeline's own cost: exits 1 when 1%
+//	                           # sampling costs more than -overhead-budget
+//	                           # (10%) over the sampler-off baseline
 //	pgridbench -compare old-load.json new-load.json
 //	                           # when both files are pgridload reports
 //	                           # (schema pgridload/v1), gate on tail
@@ -40,6 +47,7 @@ func main() {
 	compare := flag.Bool("compare", false, "compare two bench captures: pgridbench -compare old.json new.json")
 	benchMatch := flag.String("bench-match", "Deliver|Route|WAL", "regexp selecting which benchmarks -compare gates on")
 	benchThreshold := flag.Float64("bench-threshold", 0.20, "-compare fails when a gated benchmark's ns/op grows by more than this fraction")
+	overheadBudget := flag.Float64("overhead-budget", 0.10, "-compare fails when the instrumented Deliver path (PlatformDeliverSampled) costs more than this fraction over the sampler-off blackout baseline")
 	p99Threshold := flag.Float64("p99-threshold", 0.25, "-compare on pgridload reports fails when p99/p999 grows by more than this fraction")
 	ceilingThreshold := flag.Float64("ceiling-threshold", 0.20, "-compare on pgridload reports fails when throughput/ceiling drops by more than this fraction")
 	flag.Parse()
@@ -58,7 +66,7 @@ func main() {
 			}
 			return
 		}
-		if err := compareBench(flag.Arg(0), flag.Arg(1), *benchMatch, *benchThreshold); err != nil {
+		if err := compareBench(flag.Arg(0), flag.Arg(1), *benchMatch, *benchThreshold, *overheadBudget); err != nil {
 			fmt.Fprintf(os.Stderr, "pgridbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -180,7 +188,7 @@ func compareLoad(oldPath, newPath string, p99Threshold, ceilingThreshold float64
 // catches structural mistakes (an O(n) scan on the deliver path), not
 // single-digit drift; `make bench` records the gated set best-of-3 at a
 // fixed iteration count so the compared numbers are stable.
-func compareBench(oldPath, newPath, match string, threshold float64) error {
+func compareBench(oldPath, newPath, match string, threshold, overheadBudget float64) error {
 	gate, err := regexp.Compile(match)
 	if err != nil {
 		return fmt.Errorf("-bench-match: %w", err)
@@ -226,5 +234,37 @@ func compareBench(oldPath, newPath, match string, threshold float64) error {
 		return fmt.Errorf("%d gated benchmark(s) regressed beyond %.0f%%", regressed, threshold*100)
 	}
 	fmt.Printf("ok: %d gated benchmark(s) within %.0f%% of baseline\n", gated, threshold*100)
+	return checkOverhead(newRes, overheadBudget)
+}
+
+// The instrumented-vs-blackout Deliver pair: Sampled runs the full
+// observability pipeline at 1% head sampling, SamplerOff runs the same
+// wiring in complete blackout — their ratio is the pipeline's own cost.
+const (
+	benchSampled    = "BenchmarkPlatformDeliverSampled"
+	benchSamplerOff = "BenchmarkPlatformDeliverSamplerOff"
+)
+
+// checkOverhead gates the observability pipeline's cost within a single
+// capture: 1% sampling may not cost more than budget over the blackout
+// baseline. Captures that don't carry the pair (older baselines) are not
+// gated — the check only ever tightens a run that opted in by recording
+// both benchmarks.
+func checkOverhead(res map[string]float64, budget float64) error {
+	sampled, okS := res[benchSampled]
+	off, okO := res[benchSamplerOff]
+	if !okS || !okO || off <= 0 {
+		return nil
+	}
+	overhead := sampled/off - 1
+	verdict := "ok"
+	if overhead > budget {
+		verdict = "REGRESSION"
+	}
+	fmt.Printf("sampling overhead: %.0f ns/op instrumented vs %.0f ns/op blackout = %+.1f%% (budget %.0f%%) %s\n",
+		sampled, off, overhead*100, budget*100, verdict)
+	if overhead > budget {
+		return fmt.Errorf("observability overhead %.1f%% exceeds the %.0f%% budget", overhead*100, budget*100)
+	}
 	return nil
 }

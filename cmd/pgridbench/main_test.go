@@ -74,15 +74,50 @@ func TestCompareBenchVerdicts(t *testing.T) {
 	}
 	for _, c := range cases {
 		newPath := writeCapture(t, "new.json", c.newRes)
-		err := compareBench(oldPath, newPath, "Deliver|Route", 0.20)
+		err := compareBench(oldPath, newPath, "Deliver|Route", 0.20, 0.10)
 		if (err != nil) != c.wantErr {
 			t.Fatalf("%s: err = %v, wantErr = %v", c.name, err, c.wantErr)
 		}
 	}
-	if err := compareBench(oldPath, oldPath, "(", 0.20); err == nil {
+	if err := compareBench(oldPath, oldPath, "(", 0.20, 0.10); err == nil {
 		t.Fatal("bad gate regexp must error")
 	}
-	if err := compareBench(filepath.Join(t.TempDir(), "nope.json"), oldPath, ".", 0.20); err == nil {
+	if err := compareBench(filepath.Join(t.TempDir(), "nope.json"), oldPath, ".", 0.20, 0.10); err == nil {
 		t.Fatal("missing capture must error")
+	}
+}
+
+// TestCompareBenchOverheadGate exercises the instrumented-vs-blackout
+// budget: the new capture carries the Sampled/SamplerOff pair and fails
+// only when sampling costs more than the budget over the baseline.
+func TestCompareBenchOverheadGate(t *testing.T) {
+	oldPath := writeCapture(t, "old.json", map[string]float64{
+		"BenchmarkPlatformDeliver": 1000,
+	})
+	cases := []struct {
+		name    string
+		newRes  map[string]float64
+		wantErr bool
+	}{
+		{"within budget", map[string]float64{
+			"BenchmarkPlatformDeliver":           1000,
+			"BenchmarkPlatformDeliverSampled":    1080,
+			"BenchmarkPlatformDeliverSamplerOff": 1000}, false},
+		{"over budget", map[string]float64{
+			"BenchmarkPlatformDeliver":           1000,
+			"BenchmarkPlatformDeliverSampled":    1200,
+			"BenchmarkPlatformDeliverSamplerOff": 1000}, true},
+		{"pair absent: not gated", map[string]float64{
+			"BenchmarkPlatformDeliver": 1000}, false},
+		{"half the pair: not gated", map[string]float64{
+			"BenchmarkPlatformDeliver":        1000,
+			"BenchmarkPlatformDeliverSampled": 9000}, false},
+	}
+	for _, c := range cases {
+		newPath := writeCapture(t, "new.json", c.newRes)
+		err := compareBench(oldPath, newPath, "Deliver|Route", 10, 0.10)
+		if (err != nil) != c.wantErr {
+			t.Fatalf("%s: err = %v, wantErr = %v", c.name, err, c.wantErr)
+		}
 	}
 }

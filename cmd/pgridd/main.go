@@ -17,6 +17,7 @@ import (
 	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -59,7 +60,22 @@ func main() {
 	fsyncPolicy := flag.String("fsync", "always", "WAL fsync policy: always (fsync per append), interval (batched), or rotate (per segment)")
 	fsyncEvery := flag.Duration("fsync-interval", 50*time.Millisecond, "sync period when -fsync=interval")
 	walSegment := flag.Int64("wal-segment", 0, "WAL segment rotation threshold in bytes (0 = default 4MB)")
+	traceSample := flag.Float64("trace-sample", 1, "head-sampling rate for span traces by TraceID hash (1 = keep all, 0.01 = ~1%; error/shed/breaker-open/p99-slow traces are always tail-kept)")
+	flightDump := flag.Bool("flight-dump", false, "print the flight recorder's black box from -data-dir (post-crash forensics) and exit")
 	flag.Parse()
+
+	if *flightDump {
+		if *dataDir == "" {
+			log.Fatalf("pgridd: -flight-dump needs -data-dir")
+		}
+		fr, err := durable.OpenFlight(filepath.Join(*dataDir, "flight"), durable.FlightOptions{})
+		if err != nil {
+			log.Fatalf("pgridd: flight open: %v", err)
+		}
+		fmt.Print(fr.DumpText())
+		_ = fr.Close()
+		return
+	}
 
 	cfg := core.DefaultConfig()
 	cfg.Rows, cfg.Cols = *rows, *cols
@@ -174,6 +190,38 @@ func main() {
 		}
 	}
 
+	// Observability pipeline. Every node records spans through a
+	// head-sampled tracer (the monitor's aggregate tracer stays
+	// unsampled: remote spans arriving in reports already survived
+	// sampling at their source) and emits one wide event per
+	// conversation. With -data-dir both feed the flight recorder — a
+	// WAL-journaled black box that survives kill -9 and is read back
+	// with -flight-dump.
+	if platform.Tracer == nil {
+		platform.Tracer = obs.NewTracer(4096)
+		platform.Tracer.SetSampler(obs.NewSampler(*traceSample))
+	} else if *traceSample != 1 {
+		log.Printf("pgridd: -trace-sample ignored with -monitor (the aggregator keeps every reported span)")
+	}
+	platform.Tracer.AttachMetrics(rt.Metrics)
+	platform.Events = obs.NewEventLog(4096)
+	platform.Events.AttachMetrics(rt.Metrics)
+	var flight *durable.FlightRecorder
+	if *dataDir != "" {
+		flight, err = durable.OpenFlight(filepath.Join(*dataDir, "flight"), durable.FlightOptions{})
+		if err != nil {
+			log.Fatalf("pgridd: flight recorder: %v", err)
+		}
+		defer flight.Close()
+		if n := len(flight.RecoveredEvents()) + len(flight.RecoveredSpans()); n > 0 {
+			fmt.Printf("pgridd: flight recorder holds %d pre-restart records (-flight-dump prints them)\n", n)
+		}
+		flight.Hook(platform.Tracer, platform.Events)
+		// After store.AttachPlatform, so the black box marks ride the
+		// same crash hooks durable state uses.
+		flight.AttachPlatform(platform)
+	}
+
 	if err := rt.RegisterQueryAgent(platform); err != nil {
 		log.Fatalf("pgridd: %v", err)
 	}
@@ -238,6 +286,7 @@ func main() {
 			mux.Handle("/", telemetry.Handler(mon, platform.Metrics(), rt.Metrics))
 		} else {
 			mux.Handle("/", obs.Handler(platform.Metrics(), rt.Metrics))
+			mux.Handle("/events.json", obs.EventsHandler(platform.Events))
 			if *healthzOn {
 				mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 					w.Header().Set("Content-Type", "application/json")
@@ -276,8 +325,13 @@ func main() {
 		gw.Addr(), core.QueryAgentID, core.BrokerAgentID)
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGQUIT)
+	s := <-sig
+	if s == syscall.SIGQUIT && flight != nil {
+		// SIGQUIT is the operator's "preserve the black box" signal:
+		// mark + fsync the flight WAL before the drain touches anything.
+		flight.Mark("sigquit", nil)
+	}
 
 	// Graceful shutdown: stop accepting, let queued envelopes drain,
 	// flush the final telemetry report, and withdraw this node's service

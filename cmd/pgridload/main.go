@@ -34,6 +34,7 @@ import (
 	"pervasivegrid/internal/agent"
 	"pervasivegrid/internal/core"
 	"pervasivegrid/internal/load"
+	"pervasivegrid/internal/obs"
 )
 
 func main() {
@@ -48,6 +49,7 @@ func main() {
 		rampMax  = flag.Float64("ramp-max", 0, "ramp rate limit, req/s (default 64x -rate)")
 		scenario = flag.String("scenario", "", "built-in scenario: storm | flood")
 		smoke    = flag.Bool("smoke", false, "scenario smoke mode: short low-rate run, exit 1 unless clean")
+		sample   = flag.Float64("trace-sample", 0.01, "client-side head-sampling rate for traces (0 disables, 1 keeps all)")
 		out      = flag.String("o", "", "write the JSON report here")
 	)
 	flag.Parse()
@@ -58,7 +60,7 @@ func main() {
 	case *scenario != "":
 		rep, err = runScenario(*scenario, *duration, *smoke)
 	case *addrs != "":
-		rep, err = runFleet(strings.Split(*addrs, ","), *query, *rate, *duration, *warmup, *workers, *ramp, *rampMax)
+		rep, err = runFleet(strings.Split(*addrs, ","), *query, *rate, *duration, *warmup, *workers, *ramp, *rampMax, *sample)
 	default:
 		fmt.Fprintln(os.Stderr, "pgridload: need -addrs (fleet mode) or -scenario storm|flood")
 		flag.Usage()
@@ -132,12 +134,16 @@ func checkScenario(name string, rep *load.Report) error {
 
 // runFleet drives AskQuery round-robin across the fleet: one client
 // platform per daemon (every pgridd hosts its query agent under the same
-// ID, so each needs its own link).
-func runFleet(addrs []string, query string, rate float64, dur, warmup time.Duration, workers int, ramp bool, rampMax float64) (*load.Report, error) {
+// ID, so each needs its own link). Each client platform carries a
+// head-sampled tracer + wide-event log so every request gets a TraceID —
+// the histogram's tail buckets then name concrete traces to go dump on
+// the server (`GET /trace?id=<exemplar>`).
+func runFleet(addrs []string, query string, rate float64, dur, warmup time.Duration, workers int, ramp bool, rampMax, sample float64) (*load.Report, error) {
 	type fleetClient struct {
 		platform *agent.Platform
 		link     *agent.ReconnectLink
 	}
+	smp := obs.NewSampler(sample)
 	clients := make([]*fleetClient, 0, len(addrs))
 	for i, a := range addrs {
 		a = strings.TrimSpace(a)
@@ -145,6 +151,9 @@ func runFleet(addrs []string, query string, rate float64, dur, warmup time.Durat
 			continue
 		}
 		p := agent.NewPlatform(fmt.Sprintf("pgridload-%d", i))
+		p.Tracer = obs.NewTracer(4096)
+		p.Tracer.SetSampler(smp)
+		p.Events = obs.NewEventLog(1024)
 		l := agent.DialReconnect(p, a, agent.ReconnectOptions{})
 		clients = append(clients, &fleetClient{platform: p, link: l})
 		defer p.Close()
@@ -156,21 +165,22 @@ func runFleet(addrs []string, query string, rate float64, dur, warmup time.Durat
 
 	policy := agent.DefaultRetryPolicy()
 	var next atomic.Uint64
-	do := func(int) error {
+	doTraced := func(int) (uint64, error) {
 		c := clients[next.Add(1)%uint64(len(clients))]
-		r, err := core.AskQuery(c.platform, query, 10*time.Second, policy)
+		r, trace, err := core.AskQueryTraced(c.platform, query, 10*time.Second, policy)
 		if err != nil {
-			return err
+			return trace, err
 		}
 		if !r.OK {
-			return fmt.Errorf("query failed: %s", r.Error)
+			return trace, fmt.Errorf("query failed: %s", r.Error)
 		}
-		return nil
+		return trace, nil
 	}
+	do := func(i int) error { _, err := doTraced(i); return err }
 
 	target := strings.Join(addrs, ",")
 	if !ramp {
-		res, err := load.Run(load.Options{Rate: rate, Duration: dur, Warmup: warmup, Workers: workers}, do)
+		res, err := load.RunTraced(load.Options{Rate: rate, Duration: dur, Warmup: warmup, Workers: workers}, doTraced)
 		if err != nil {
 			return nil, err
 		}
@@ -225,6 +235,14 @@ func printReport(rep *load.Report) {
 			rep.Latency.P50, rep.Latency.P99, rep.Latency.P999, rep.Latency.Max)
 		fmt.Printf("naive p99:  %.2fms (send-time measurement — the number a closed-loop harness would report)\n",
 			rep.NaiveP99Ms)
+	}
+	if len(rep.Exemplars) > 0 {
+		fmt.Println("exemplars:  (GET /trace?id=<trace> on the target to dump the timeline)")
+		for _, k := range []string{"p99", "p999", "max"} {
+			if t, ok := rep.Exemplars[k]; ok {
+				fmt.Printf("  %-5s trace=%s\n", k, t)
+			}
+		}
 	}
 	if len(rep.Steps) > 0 {
 		fmt.Printf("\n%-10s %-10s %-9s %-10s %-10s %s\n", "rate", "achieved", "errors", "p99", "p999", "verdict")

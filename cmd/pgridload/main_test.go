@@ -44,7 +44,7 @@ func queryServer(t *testing.T) string {
 }
 
 func TestRunFleetRejectsEmptyAddrs(t *testing.T) {
-	if _, err := runFleet([]string{" ", ""}, "q", 10, time.Second, 0, 4, false, 0); err == nil {
+	if _, err := runFleet([]string{" ", ""}, "q", 10, time.Second, 0, 4, false, 0, 0); err == nil {
 		t.Fatal("want error for empty address list")
 	}
 }
@@ -55,7 +55,7 @@ func TestRunFleetFixedRate(t *testing.T) {
 	}
 	addr := queryServer(t)
 	rep, err := runFleet([]string{addr}, "SELECT avg(temp) FROM sensors", 20,
-		1500*time.Millisecond, 300*time.Millisecond, 8, false, 0)
+		1500*time.Millisecond, 300*time.Millisecond, 8, false, 0, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,6 +68,11 @@ func TestRunFleetFixedRate(t *testing.T) {
 	if rep.Latency.P99 <= 0 {
 		t.Fatalf("p99 = %v, want > 0", rep.Latency.P99)
 	}
+	// Full client-side sampling: the report's tail percentiles must name
+	// concrete TraceIDs to dump on the server.
+	if rep.Exemplars["max"] == "" {
+		t.Fatalf("no max exemplar in report: %v", rep.Exemplars)
+	}
 }
 
 func TestRunFleetRamp(t *testing.T) {
@@ -78,7 +83,7 @@ func TestRunFleetRamp(t *testing.T) {
 	// Two cheap steps (10 then 20 req/s): a single node sustains both on
 	// one core, so the report carries an unsaturated ceiling.
 	rep, err := runFleet([]string{addr}, "SELECT temp FROM sensors WHERE sensor = 44", 10,
-		700*time.Millisecond, 100*time.Millisecond, 8, true, 20)
+		700*time.Millisecond, 100*time.Millisecond, 8, true, 20, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

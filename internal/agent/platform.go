@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pervasivegrid/internal/obs"
 	"pervasivegrid/internal/supervise"
@@ -148,6 +149,13 @@ type Platform struct {
 	// be reassembled into a causal timeline. Nil disables tracing.
 	Tracer *obs.Tracer
 
+	// Events, when set, receives one wide event per conversation from
+	// the retry layer (CallRetry/SendRetry): route, retries, sheds,
+	// breaker state, per-attempt latency, outcome. Envelopes get a
+	// TraceID assigned on Send whenever Events or Tracer is set, so an
+	// event always points at a stitchable trace. Nil disables events.
+	Events *obs.EventLog
+
 	// Clock is the time source for deliver-latency measurement and the
 	// retry/reconnect layers. Nil means the wall clock; tests inject
 	// obs.FakeClock to run backoff schedules without sleeping.
@@ -216,6 +224,13 @@ type Platform struct {
 	dropped   atomic.Uint64
 	retries   atomic.Uint64
 	shedded   atomic.Uint64
+
+	// p99 slow-keep cache: deliver latencies above slowNanos tail-keep
+	// their trace; refreshed from the latency histogram every
+	// slowRefreshEvery sends (slowTick) to keep Quantile off the hot
+	// path.
+	slowNanos atomic.Uint64
+	slowTick  atomic.Uint64
 
 	// Dead-letter accounting: a bounded ring of the most recent
 	// undeliverable envelopes plus an unbounded per-reason counter.
@@ -515,7 +530,7 @@ func (p *Platform) Send(env Envelope) error {
 	if env.Seq == 0 {
 		env.Seq = p.seq.next()
 	}
-	if p.Tracer != nil && env.TraceID == 0 {
+	if (p.Tracer != nil || p.Events != nil) && env.TraceID == 0 {
 		env.TraceID = obs.NewTraceID()
 	}
 	p.trace(obs.SpanSend, env, "")
@@ -539,8 +554,10 @@ func (p *Platform) Send(env Envelope) error {
 			return err
 		}
 		p.delivered.Add(1)
+		lat := p.clock().Now().Sub(start)
 		p.metrics.Histogram("agent_deliver_latency_seconds").
-			Observe(p.clock().Now().Sub(start).Seconds())
+			Observe(lat.Seconds())
+		p.noteSlow(env.TraceID, lat)
 		p.metrics.Gauge("agent_mailbox_depth", "agent", string(env.To)).
 			Set(float64(len(reg.mailbox) + len(reg.high)))
 		p.metrics.Counter("agent_delivered_total").Inc()
@@ -619,6 +636,27 @@ func (p *Platform) RestoreDeadLetters(letters []DeadLetter) {
 		p.dlTotal++
 		p.dlWhy[dl.Reason]++
 		p.pushDeadLetterLocked(dl)
+	}
+}
+
+// slowRefreshEvery spaces out the Quantile(0.99) lookups that feed the
+// slow-keep threshold; a power of two so the tick check is a mask.
+const slowRefreshEvery = 256
+
+// noteSlow tail-keeps the trace of any deliver slower than the cached
+// p99 of agent_deliver_latency_seconds — the "why was this one slow?"
+// conversations survive head sampling. The threshold refreshes lazily
+// so the hot path pays two atomic ops, not a histogram scan.
+func (p *Platform) noteSlow(trace uint64, lat time.Duration) {
+	if p.Tracer == nil || trace == 0 {
+		return
+	}
+	if p.slowTick.Add(1)&(slowRefreshEvery-1) == 1 {
+		p99 := p.metrics.Histogram("agent_deliver_latency_seconds").Quantile(0.99)
+		p.slowNanos.Store(uint64(p99 * float64(time.Second)))
+	}
+	if thr := p.slowNanos.Load(); thr > 0 && lat > 0 && uint64(lat) > thr {
+		p.Tracer.KeepTrace(trace)
 	}
 }
 

@@ -123,6 +123,36 @@ func (b *backoffSource) next() time.Duration {
 	return d
 }
 
+// breakerStateName names the breaker state toward a destination for
+// wide events ("" when no breaker set is installed).
+func (p *Platform) breakerStateName(to ID) string {
+	if p.Breakers == nil {
+		return ""
+	}
+	return p.Breakers.State(string(to)).String()
+}
+
+// finishEvent stamps outcome/err/breaker on a conversation's wide event
+// and emits it, tail-keeping the trace when anything went wrong so the
+// event always points at a retained timeline.
+func (p *Platform) finishEvent(ev *obs.Event, outcome string, callErr error, end time.Time) {
+	if p.Events == nil {
+		return
+	}
+	if callErr != nil && outcome == obs.OutcomeOK {
+		outcome = obs.OutcomeError
+	}
+	if callErr != nil {
+		ev.Err = callErr.Error()
+	}
+	ev.Breaker = p.breakerStateName(ID(ev.To))
+	ev.Finish(outcome, end)
+	if ev.Failed() {
+		p.Tracer.KeepTrace(ev.Trace)
+	}
+	p.Events.Emit(*ev)
+}
+
 // SendRetry sends an envelope, re-attempting transient failures (mailbox
 // full, no route — e.g. a link mid-reconnect) with backoff until the
 // policy or deadline is exhausted. Permanent errors (closed platform, TTL
@@ -136,30 +166,39 @@ func SendRetry(p *Platform, env Envelope, timeout time.Duration, policy RetryPol
 	if env.Seq == 0 {
 		env.Seq = p.seq.next()
 	}
-	if p.Tracer != nil && env.TraceID == 0 {
+	if (p.Tracer != nil || p.Events != nil) && env.TraceID == 0 {
 		env.TraceID = obs.NewTraceID()
 	}
 	clk := rp.clock()
-	deadline := clk.Now().Add(timeout)
+	start := clk.Now()
+	ev := obs.NewEvent(p.Name, env.TraceID, string(env.From), string(env.To), env.Ontology, start)
+	deadline := start.Add(timeout)
 	backoff := newBackoffSource(rp)
 	var err error
 	for attempt := 1; attempt <= rp.MaxAttempts; attempt++ {
 		if attempt > 1 {
 			p.noteRetry()
 			p.trace(obs.SpanRetry, env, fmt.Sprintf("attempt %d", attempt))
+			ev.Retries++
 		}
+		attemptStart := clk.Now()
 		if !p.breakerAllow(env.To) {
 			// The destination's circuit is open: shed the attempt
 			// instead of feeding a known-bad target. Backing off still
 			// applies — the breaker may half-open before the deadline.
 			p.noteBreakerReject()
+			p.Tracer.KeepTrace(env.TraceID)
+			ev.Sheds++
 			err = fmt.Errorf("%w: %q", ErrCircuitOpen, env.To)
 		} else {
 			err = p.Send(env)
+			ev.AddPhase(fmt.Sprintf("attempt-%d", attempt), clk.Now().Sub(attemptStart))
 			if err == nil {
+				p.finishEvent(&ev, obs.OutcomeOK, nil, clk.Now())
 				return nil
 			}
 			if errors.Is(err, ErrClosed) || errors.Is(err, ErrTTLExpired) {
+				p.finishEvent(&ev, obs.OutcomeError, err, clk.Now())
 				return err
 			}
 		}
@@ -169,6 +208,11 @@ func SendRetry(p *Platform, env Envelope, timeout time.Duration, policy RetryPol
 		}
 		clk.Sleep(wait)
 	}
+	outcome := obs.OutcomeError
+	if errors.Is(err, ErrCircuitOpen) {
+		outcome = obs.OutcomeBreakerOpen
+	}
+	p.finishEvent(&ev, outcome, err, clk.Now())
 	return err
 }
 
@@ -212,13 +256,21 @@ func CallRetry(p *Platform, to ID, performative, ontology string, body any, time
 	}
 	// One trace covers every attempt of the conversation: each retry
 	// re-sends with a fresh Seq but the same TraceID, so the dumped
-	// timeline shows the loss, the backoff, and the attempt that won.
-	if p.Tracer != nil {
+	// timeline shows the loss, the backoff, and the attempt that won —
+	// and the wide event points at a stitchable trace.
+	if p.Tracer != nil || p.Events != nil {
 		template.TraceID = obs.NewTraceID()
 	}
 
 	clk := rp.clock()
-	deadline := clk.Now().Add(timeout)
+	start := clk.Now()
+	ev := obs.NewEvent(p.Name, template.TraceID, string(self), string(to), ontology, start)
+	done := func(r Envelope) (Envelope, error) {
+		ev.Hops = r.Hops
+		p.finishEvent(&ev, obs.OutcomeOK, nil, clk.Now())
+		return r, nil
+	}
+	deadline := start.Add(timeout)
 	backoff := newBackoffSource(rp)
 	// Seqs of every attempt sent so far; a reply to any of them wins.
 	sent := map[uint64]bool{}
@@ -230,15 +282,20 @@ func CallRetry(p *Platform, to ID, performative, ontology string, body any, time
 		if attempt > 1 {
 			p.noteRetry()
 			p.trace(obs.SpanRetry, env, fmt.Sprintf("attempt %d", attempt))
+			ev.Retries++
 		}
+		attemptStart := clk.Now()
 		if !p.breakerAllow(to) {
 			// Open circuit: skip the send. The attempt timer still runs
 			// — a reply to an earlier attempt may yet land, and the
 			// breaker needs its cool-down to elapse before half-opening.
 			p.noteBreakerReject()
+			p.Tracer.KeepTrace(env.TraceID)
+			ev.Sheds++
 			lastErr = fmt.Errorf("%w: %q", ErrCircuitOpen, to)
 		} else if err := p.Send(env); err != nil {
 			if errors.Is(err, ErrClosed) {
+				p.finishEvent(&ev, obs.OutcomeError, err, clk.Now())
 				return Envelope{}, err
 			}
 			// Transient (mailbox full, link down with no buffer, no
@@ -256,13 +313,15 @@ func CallRetry(p *Platform, to ID, performative, ontology string, body any, time
 			select {
 			case r := <-replies:
 				if sent[r.InReplyTo] {
-					return r, nil
+					ev.AddPhase(fmt.Sprintf("attempt-%d", attempt), clk.Now().Sub(attemptStart))
+					return done(r)
 				}
 				// Stray envelope: keep waiting.
 			case <-timer:
 				break wait
 			}
 		}
+		ev.AddPhase(fmt.Sprintf("attempt-%d", attempt), clk.Now().Sub(attemptStart))
 		if attempt == rp.MaxAttempts || !clk.Now().Before(deadline) {
 			break
 		}
@@ -277,14 +336,22 @@ func CallRetry(p *Platform, to ID, performative, ontology string, body any, time
 		select {
 		case r := <-replies:
 			if sent[r.InReplyTo] {
-				return r, nil
+				return done(r)
 			}
 		default:
 		}
 	}
 	if lastErr != nil {
-		return Envelope{}, fmt.Errorf("agent: call retry exhausted: %w", lastErr)
+		outcome := obs.OutcomeError
+		if errors.Is(lastErr, ErrCircuitOpen) {
+			outcome = obs.OutcomeBreakerOpen
+		}
+		err := fmt.Errorf("agent: call retry exhausted: %w", lastErr)
+		p.finishEvent(&ev, outcome, err, clk.Now())
+		return Envelope{}, err
 	}
-	return Envelope{}, fmt.Errorf("%w: %s -> %s after %d attempts in %v",
+	err = fmt.Errorf("%w: %s -> %s after %d attempts in %v",
 		ErrCallTimeout, performative, to, len(sent), timeout)
+	p.finishEvent(&ev, obs.OutcomeTimeout, err, clk.Now())
+	return Envelope{}, err
 }

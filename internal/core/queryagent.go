@@ -114,16 +114,26 @@ var replyPolicy = agent.RetryPolicy{MaxAttempts: 3, BaseDelay: 20 * time.Millise
 // into latency instead of failure. Query execution is idempotent, which
 // is what makes the re-send safe.
 func AskQuery(p *agent.Platform, src string, timeout time.Duration, policy agent.RetryPolicy) (QueryReply, error) {
+	reply, _, err := AskQueryTraced(p, src, timeout, policy)
+	return reply, err
+}
+
+// AskQueryTraced is AskQuery, additionally returning the conversation's
+// TraceID (0 when the platform traces nothing). The reply envelope
+// carries the request's TraceID across every hop, so the ID names the
+// whole causal timeline — load harnesses attach it to latency
+// histograms as an exemplar.
+func AskQueryTraced(p *agent.Platform, src string, timeout time.Duration, policy agent.RetryPolicy) (QueryReply, uint64, error) {
 	env, err := agent.CallRetry(p, QueryAgentID, "request", QueryOntology,
 		QueryRequest{Query: src}, timeout, policy)
 	if err != nil {
-		return QueryReply{}, err
+		return QueryReply{}, 0, err
 	}
 	var reply QueryReply
 	if err := env.Decode(&reply); err != nil {
-		return QueryReply{}, fmt.Errorf("core: bad query reply: %w", err)
+		return QueryReply{}, env.TraceID, fmt.Errorf("core: bad query reply: %w", err)
 	}
-	return reply, nil
+	return reply, env.TraceID, nil
 }
 
 // ChooseOnly runs the decision maker without executing — used by tools

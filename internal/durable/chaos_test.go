@@ -7,6 +7,8 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -15,6 +17,7 @@ import (
 	"pervasivegrid/internal/discovery"
 	"pervasivegrid/internal/durable"
 	"pervasivegrid/internal/leak"
+	"pervasivegrid/internal/obs"
 	"pervasivegrid/internal/ontology"
 )
 
@@ -26,6 +29,12 @@ import (
 // in-flight conversation must complete end-to-end through retry +
 // reconnect. This is the acceptance scenario of ROADMAP open item 4,
 // run for real: two OS processes, real TCP, a real uncatchable signal.
+//
+// The node also carries the observability pipeline's black box: a
+// flight recorder journaling every wide event and span through its own
+// WAL. The restarted process must recover the pre-crash records — the
+// conversations the dead process was having are readable after the
+// SIGKILL, which is the `pgridd -flight-dump` contract.
 
 const (
 	chaosOntology = "x-durable-chaos"
@@ -42,13 +51,18 @@ type ackCounter struct {
 	count int
 }
 
+// ackReplyPolicy ships the counter's acks through the retry layer — each
+// ack is then a conversation the node's wide-event log records, which is
+// what the flight recorder journals for post-SIGKILL forensics.
+var ackReplyPolicy = agent.RetryPolicy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond, MaxDelay: 100 * time.Millisecond}
+
 func (a *ackCounter) Handle(env agent.Envelope, ctx *agent.Context) {
 	a.mu.Lock()
 	a.count++
 	n := a.count
 	a.mu.Unlock()
 	if reply, err := env.Reply("ack", n); err == nil {
-		_ = ctx.Send(reply)
+		_ = agent.SendRetry(ctx.Platform, reply, 2*time.Second, ackReplyPolicy)
 	}
 }
 
@@ -89,6 +103,19 @@ func TestDurableNodeProcess(t *testing.T) {
 	}
 	p := agent.NewPlatform("durable-node")
 	store.AttachPlatform(p)
+
+	// Black box: full-capture tracer + wide-event log, both journaled
+	// through the flight recorder's WAL. Hooked after the store attaches
+	// so the crash marks chain onto the same platform hooks.
+	p.Tracer = obs.NewTracer(1024)
+	p.Events = obs.NewEventLog(256)
+	flight, err := durable.OpenFlight(filepath.Join(dir, "flight"), durable.FlightOptions{})
+	if err != nil {
+		fmt.Printf("FAIL open flight: %v\n", err)
+		return
+	}
+	flight.Hook(p.Tracer, p.Events)
+	flight.AttachPlatform(p)
 
 	counter := &ackCounter{}
 	if err := p.Register("counter", counter, agent.Attributes{}, nil); err != nil {
@@ -133,8 +160,9 @@ func TestDurableNodeProcess(t *testing.T) {
 			recovered = st.Count
 		}
 	}
-	fmt.Printf("READY count=%d regs=%d deadletters=%d\n",
-		recovered, len(reg.Profiles()), len(store.DeadLetters()))
+	fmt.Printf("READY count=%d regs=%d deadletters=%d flightevents=%d flightspans=%d\n",
+		recovered, len(reg.Profiles()), len(store.DeadLetters()),
+		len(flight.RecoveredEvents()), len(flight.RecoveredSpans()))
 	select {} // hold the node up until the parent kills it
 }
 
@@ -179,18 +207,18 @@ func startNode(t *testing.T, dir, addr string) *nodeProc {
 }
 
 // awaitReady blocks for the node's READY line and parses its fields.
-func (np *nodeProc) awaitReady(t *testing.T) (count, regs, deadletters int) {
+func (np *nodeProc) awaitReady(t *testing.T) (count, regs, deadletters, flightEvents, flightSpans int) {
 	t.Helper()
 	select {
 	case line := <-np.ready:
-		if _, err := fmt.Sscanf(line, "READY count=%d regs=%d deadletters=%d",
-			&count, &regs, &deadletters); err != nil {
+		if _, err := fmt.Sscanf(line, "READY count=%d regs=%d deadletters=%d flightevents=%d flightspans=%d",
+			&count, &regs, &deadletters, &flightEvents, &flightSpans); err != nil {
 			t.Fatalf("bad READY line %q: %v", line, err)
 		}
-		return count, regs, deadletters
+		return count, regs, deadletters, flightEvents, flightSpans
 	case <-time.After(30 * time.Second):
 		t.Fatal("node never became READY")
-		return 0, 0, 0
+		return 0, 0, 0, 0, 0
 	}
 }
 
@@ -219,12 +247,15 @@ func TestChaosKillDashNine(t *testing.T) {
 	addr := ln.Addr().String()
 	ln.Close()
 
-	// Life 1: fresh node.
+	// Life 1: fresh node — empty black box.
 	node := startNode(t, dir, addr)
-	count, regs, deadletters := node.awaitReady(t)
+	count, regs, deadletters, fe, fs := node.awaitReady(t)
 	if count != 0 || regs != 2 || deadletters != 0 {
 		t.Fatalf("fresh node READY count=%d regs=%d deadletters=%d, want 0/2/0",
 			count, regs, deadletters)
+	}
+	if fe != 0 || fs != 0 {
+		t.Fatalf("fresh node recovered flightevents=%d flightspans=%d, want 0/0", fe, fs)
 	}
 
 	client := agent.NewPlatform("chaos-client")
@@ -292,9 +323,12 @@ func TestChaosKillDashNine(t *testing.T) {
 
 	// Life 2: same data dir, same address. The READY line proves the
 	// journal: the counter's checkpoint, both service registrations, and
-	// the ghost's dead letter all survived the SIGKILL.
+	// the ghost's dead letter all survived the SIGKILL. So did the black
+	// box: the five acked conversations' wide events and the spans of
+	// the traffic the dead process was carrying (including the in-flight
+	// inc's delivery spans) are back, pre-crash, before any new traffic.
 	node2 := startNode(t, dir, addr)
-	count2, regs2, dead2 := node2.awaitReady(t)
+	count2, regs2, dead2, fe2, fs2 := node2.awaitReady(t)
 	if count2 < 5 {
 		t.Fatalf("recovered count = %d, want >= 5 acknowledged increments", count2)
 	}
@@ -303,6 +337,12 @@ func TestChaosKillDashNine(t *testing.T) {
 	}
 	if dead2 < 1 {
 		t.Fatalf("recovered dead letters = %d, want >= 1 (the ghost)", dead2)
+	}
+	if fe2 < 5 {
+		t.Fatalf("recovered flight events = %d, want >= 5 (one per acked conversation)", fe2)
+	}
+	if fs2 < 5 {
+		t.Fatalf("recovered flight spans = %d, want >= 5 (the dead process's span traffic)", fs2)
 	}
 
 	// The in-flight conversation must complete against the reborn node,
@@ -335,4 +375,23 @@ func TestChaosKillDashNine(t *testing.T) {
 	// Reap the second node before the leak gate runs (its stdout
 	// scanner goroutine lives as long as the child does).
 	node2.kill()
+
+	// Finally, read the black box the way an operator would after the
+	// outage: `pgridd -flight-dump` opens the flight WAL offline and
+	// renders every recovered conversation. Both lives' traffic is in
+	// there — at least the 5 pre-kill acks plus the in-flight inc that
+	// completed against the reborn node.
+	fr, err := durable.OpenFlight(filepath.Join(dir, "flight"), durable.FlightOptions{})
+	if err != nil {
+		t.Fatalf("offline flight open: %v", err)
+	}
+	defer fr.Close()
+	if got := len(fr.RecoveredEvents()); got < 6 {
+		t.Fatalf("offline dump recovered %d wide events, want >= 6", got)
+	}
+	dump := fr.DumpText()
+	if !strings.Contains(dump, "wide events") || !strings.Contains(dump, "span timelines") ||
+		!strings.Contains(dump, "durable-node") {
+		t.Fatalf("flight dump missing expected sections:\n%s", dump)
+	}
 }

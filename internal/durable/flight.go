@@ -1,0 +1,365 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pervasivegrid/internal/agent"
+	"pervasivegrid/internal/obs"
+)
+
+// Flight recorder: the black box. The tracer and event log explain a
+// running node, but a crash takes their rings with it — exactly when
+// the last few conversations matter most. The recorder journals every
+// retained span and every wide event through its own small WAL, so
+// after a panic, an OnGiveUp escalation, a SIGQUIT, or a kill -9, the
+// next boot replays what the node saw on its way down
+// (`pgridd -flight-dump`).
+//
+// It is a *bounded* black box, not an archive: tiny segments rotate
+// constantly and only the last KeepSegments are retained, so the disk
+// cost is fixed no matter how long the node runs. Appends are plain
+// write(2)s — a killed process loses nothing (the page cache survives
+// process death); explicit Flush fsyncs for the machine-crash case and
+// runs on the crash hooks.
+
+// FlightOptions shapes the recorder.
+type FlightOptions struct {
+	// WAL tunes the underlying journal. Zero values mean: 256 KiB
+	// segments, fsync on rotate (write(2) per record regardless — see
+	// above), wall clock.
+	WAL Options
+	// EventCap / SpanCap bound the rings recovered at open
+	// (defaults 256 / 1024; the newest records win).
+	EventCap int
+	SpanCap  int
+	// KeepSegments bounds the on-disk window: segments older than the
+	// newest KeepSegments are deleted after each rotation (default 2,
+	// so the box holds between one and two segments' worth of history).
+	KeepSegments int
+}
+
+func (o FlightOptions) withDefaults() FlightOptions {
+	if o.WAL.SegmentBytes <= 0 {
+		o.WAL.SegmentBytes = 256 << 10
+	}
+	if o.WAL.Sync == 0 { // zero value is SyncAlways; flight default is rotate
+		o.WAL.Sync = SyncOnRotate
+	}
+	o.WAL = o.WAL.withDefaults()
+	if o.EventCap <= 0 {
+		o.EventCap = 256
+	}
+	if o.SpanCap <= 0 {
+		o.SpanCap = 1024
+	}
+	if o.KeepSegments <= 0 {
+		o.KeepSegments = 2
+	}
+	return o
+}
+
+// FlightMark is a crash-context marker journaled when a flush hook
+// fires (agent restart, give-up, SIGQUIT), so the dump says not just
+// what happened but why the box was sealed.
+type FlightMark struct {
+	Note string    `json:"note"`
+	Err  string    `json:"err,omitempty"`
+	Time time.Time `json:"time"`
+}
+
+// flightRec is the journal frame: exactly one of Ev/Sp/Mk is set.
+type flightRec struct {
+	K  string      `json:"k"` // "fev" | "fsp" | "fmk"
+	Ev *obs.Event  `json:"ev,omitempty"`
+	Sp *obs.Span   `json:"sp,omitempty"`
+	Mk *FlightMark `json:"mk,omitempty"`
+}
+
+// FlightRecorder journals recent wide events and spans to disk.
+type FlightRecorder struct {
+	opts FlightOptions
+	wal  *WAL
+
+	mu      sync.Mutex
+	events  []obs.Event // recovered from the previous life, oldest first
+	spans   []obs.Span
+	marks   []FlightMark
+	lastSeg uint64
+	badRecs int
+}
+
+// OpenFlight opens (creating if needed) the black box under dir,
+// replaying whatever the previous process life left behind.
+func OpenFlight(dir string, opts FlightOptions) (*FlightRecorder, error) {
+	o := opts.withDefaults()
+	fr := &FlightRecorder{opts: o}
+	w, err := OpenWAL(dir, 0, o.WAL, func(seg uint64, rec []byte) {
+		var r flightRec
+		if err := json.Unmarshal(rec, &r); err != nil {
+			fr.badRecs++
+			return
+		}
+		switch {
+		case r.K == "fev" && r.Ev != nil:
+			fr.events = appendBounded(fr.events, *r.Ev, o.EventCap)
+		case r.K == "fsp" && r.Sp != nil:
+			fr.spans = appendBounded(fr.spans, *r.Sp, o.SpanCap)
+		case r.K == "fmk" && r.Mk != nil:
+			fr.marks = append(fr.marks, *r.Mk)
+		default:
+			fr.badRecs++
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	fr.wal = w
+	fr.lastSeg = w.ActiveSegment()
+	fr.gc()
+	return fr, nil
+}
+
+// appendBounded keeps the newest capacity entries.
+func appendBounded[T any](s []T, v T, capacity int) []T {
+	if len(s) < capacity {
+		return append(s, v)
+	}
+	copy(s, s[1:])
+	s[len(s)-1] = v
+	return s
+}
+
+// RecoveredEvents returns the wide events replayed at open, oldest
+// first — the pre-crash conversation history.
+func (fr *FlightRecorder) RecoveredEvents() []obs.Event {
+	if fr == nil {
+		return nil
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	out := make([]obs.Event, len(fr.events))
+	copy(out, fr.events)
+	return out
+}
+
+// RecoveredSpans returns the spans replayed at open, oldest first —
+// including the in-flight conversation the crash interrupted.
+func (fr *FlightRecorder) RecoveredSpans() []obs.Span {
+	if fr == nil {
+		return nil
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	out := make([]obs.Span, len(fr.spans))
+	copy(out, fr.spans)
+	return out
+}
+
+// RecoveredMarks returns the crash-context markers replayed at open.
+func (fr *FlightRecorder) RecoveredMarks() []FlightMark {
+	if fr == nil {
+		return nil
+	}
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	out := make([]FlightMark, len(fr.marks))
+	copy(out, fr.marks)
+	return out
+}
+
+// append journals one frame and garbage-collects old segments after a
+// rotation. Journal errors are swallowed: the black box must never
+// take down the flight it is recording.
+func (fr *FlightRecorder) append(r flightRec) {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return
+	}
+	if err := fr.wal.Append(data); err != nil {
+		return
+	}
+	if seg := fr.wal.ActiveSegment(); seg != fr.lastSeg {
+		fr.mu.Lock()
+		fr.lastSeg = seg
+		fr.mu.Unlock()
+		fr.gc()
+	}
+}
+
+// gc trims the on-disk window to KeepSegments.
+func (fr *FlightRecorder) gc() {
+	active := fr.wal.ActiveSegment()
+	keep := uint64(fr.opts.KeepSegments)
+	if active+1 > keep {
+		_ = fr.wal.RemoveBefore(active + 1 - keep)
+	}
+}
+
+// RecordEvent journals one wide event. Safe on nil; hook this to
+// obs.EventLog.OnEmit.
+func (fr *FlightRecorder) RecordEvent(ev obs.Event) {
+	if fr == nil {
+		return
+	}
+	fr.append(flightRec{K: "fev", Ev: &ev})
+}
+
+// RecordSpan journals one retained span. Safe on nil; hook this to
+// obs.Tracer.SetOnRecord.
+func (fr *FlightRecorder) RecordSpan(sp obs.Span) {
+	if fr == nil {
+		return
+	}
+	fr.append(flightRec{K: "fsp", Sp: &sp})
+}
+
+// Mark journals a crash-context marker and flushes: the box is being
+// sealed because something went wrong.
+func (fr *FlightRecorder) Mark(note string, cause error) {
+	if fr == nil {
+		return
+	}
+	errStr := ""
+	if cause != nil {
+		errStr = cause.Error()
+	}
+	fr.append(flightRec{K: "fmk", Mk: &FlightMark{
+		Note: note,
+		Err:  errStr,
+		Time: fr.opts.WAL.Clock.Now(),
+	}})
+	_ = fr.Flush()
+}
+
+// Hook subscribes the recorder to a tracer and an event log: every
+// retained span and every emitted wide event is journaled. Either may
+// be nil.
+func (fr *FlightRecorder) Hook(tr *obs.Tracer, events *obs.EventLog) {
+	if fr == nil {
+		return
+	}
+	tr.SetOnRecord(fr.RecordSpan)
+	if events != nil {
+		events.OnEmit(fr.RecordEvent)
+	}
+}
+
+// AttachPlatform chains the recorder onto the platform's crash hooks:
+// an agent restart (panic) or give-up seals the box with a marker and
+// an fsync, so the journal survives even a machine crash that follows.
+// Call after any other hook owners (durable.Store) have attached.
+func (fr *FlightRecorder) AttachPlatform(p *agent.Platform) {
+	if fr == nil || p == nil {
+		return
+	}
+	prevRestart := p.OnAgentRestart
+	p.OnAgentRestart = func(id agent.ID, err error) {
+		if prevRestart != nil {
+			prevRestart(id, err)
+		}
+		fr.Mark("agent-restart:"+string(id), err)
+	}
+	prevDown := p.OnAgentDown
+	p.OnAgentDown = func(id agent.ID, err error) {
+		if prevDown != nil {
+			prevDown(id, err)
+		}
+		fr.Mark("agent-giveup:"+string(id), err)
+	}
+}
+
+// Flush fsyncs the journal.
+func (fr *FlightRecorder) Flush() error {
+	if fr == nil {
+		return nil
+	}
+	return fr.wal.Sync()
+}
+
+// Close flushes and closes the journal.
+func (fr *FlightRecorder) Close() error {
+	if fr == nil {
+		return nil
+	}
+	return fr.wal.Close()
+}
+
+// DumpText renders the recovered black box for humans — the
+// `pgridd -flight-dump` output. Events come first (one line each),
+// then per-trace span timelines for the traces those events reference
+// plus any orphan in-flight traces.
+func (fr *FlightRecorder) DumpText() string {
+	if fr == nil {
+		return "flight recorder: not open\n"
+	}
+	fr.mu.Lock()
+	events := append([]obs.Event(nil), fr.events...)
+	spans := append([]obs.Span(nil), fr.spans...)
+	marks := append([]FlightMark(nil), fr.marks...)
+	bad := fr.badRecs
+	fr.mu.Unlock()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "flight recorder: %d wide events, %d spans, %d marks recovered",
+		len(events), len(spans), len(marks))
+	if bad > 0 {
+		fmt.Fprintf(&b, " (%d undecodable records skipped)", bad)
+	}
+	b.WriteByte('\n')
+	for _, m := range marks {
+		fmt.Fprintf(&b, "MARK %s  %s", m.Time.Format(time.RFC3339Nano), m.Note)
+		if m.Err != "" {
+			fmt.Fprintf(&b, "  err=%s", m.Err)
+		}
+		b.WriteByte('\n')
+	}
+	if len(events) > 0 {
+		b.WriteString("\nwide events (oldest first):\n")
+		for _, ev := range events {
+			fmt.Fprintf(&b, "  %s  trace=%016x  %s->%s  %s  %.3fms  retries=%d sheds=%d hops=%d",
+				ev.Start.Format("15:04:05.000"), ev.Trace, ev.From, ev.To, ev.Outcome, ev.Ms,
+				ev.Retries, ev.Sheds, ev.Hops)
+			if ev.Breaker != "" {
+				fmt.Fprintf(&b, " breaker=%s", ev.Breaker)
+			}
+			if ev.Err != "" {
+				fmt.Fprintf(&b, "  err=%s", ev.Err)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	if len(spans) > 0 {
+		// Group spans per trace, traces in first-seen order, spans in
+		// time order — the same shape as obs.Tracer.Timeline, rebuilt
+		// from the journal.
+		order := []uint64{}
+		byTrace := map[uint64][]obs.Span{}
+		for _, s := range spans {
+			if _, ok := byTrace[s.Trace]; !ok {
+				order = append(order, s.Trace)
+			}
+			byTrace[s.Trace] = append(byTrace[s.Trace], s)
+		}
+		b.WriteString("\nspan timelines (oldest trace first):\n")
+		for _, id := range order {
+			ss := byTrace[id]
+			sort.SliceStable(ss, func(i, j int) bool { return ss[i].Time.Before(ss[j].Time) })
+			fmt.Fprintf(&b, "  trace %016x (%d spans)\n", id, len(ss))
+			t0 := ss[0].Time
+			for _, s := range ss {
+				fmt.Fprintf(&b, "    +%9.6fs  [%s]  %-8s seq=%-4d %s -> %s",
+					s.Time.Sub(t0).Seconds(), s.Node, s.Kind, s.Seq, s.From, s.To)
+				if s.Note != "" {
+					fmt.Fprintf(&b, "  (%s)", s.Note)
+				}
+				b.WriteByte('\n')
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,222 @@
+package durable_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"pervasivegrid/internal/durable"
+	"pervasivegrid/internal/obs"
+)
+
+func flightSpan(trace, seq uint64, kind string, at time.Time) obs.Span {
+	return obs.Span{Trace: trace, Seq: seq, Time: at, Node: "n1", Kind: kind, From: "a", To: "b"}
+}
+
+// TestFlightRoundTrip journals spans (via a hooked tracer), wide events
+// (via a hooked event log), and a mark, then reopens the box and checks
+// the previous life is replayed intact — the core -flight-dump promise.
+func TestFlightRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fr, err := durable.OpenFlight(dir, durable.FlightOptions{})
+	if err != nil {
+		t.Fatalf("OpenFlight: %v", err)
+	}
+	if n := len(fr.RecoveredEvents()) + len(fr.RecoveredSpans()) + len(fr.RecoveredMarks()); n != 0 {
+		t.Fatalf("fresh box recovered %d records, want 0", n)
+	}
+
+	tr := obs.NewTracer(64)
+	el := obs.NewEventLog(64)
+	fr.Hook(tr, el)
+
+	base := time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)
+	tr.Record(flightSpan(7, 1, obs.SpanSend, base))
+	tr.Record(flightSpan(7, 2, obs.SpanDeliver, base.Add(time.Millisecond)))
+
+	ev := obs.NewEvent("n1", 7, "a", "b", "test-ontology", base)
+	ev.Retries = 2
+	ev.Finish(obs.OutcomeTimeout, base.Add(10*time.Millisecond))
+	el.Emit(ev)
+
+	fr.Mark("agent-giveup:b", os.ErrDeadlineExceeded)
+	if err := fr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	fr2, err := durable.OpenFlight(dir, durable.FlightOptions{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer fr2.Close()
+
+	evs, sps, mks := fr2.RecoveredEvents(), fr2.RecoveredSpans(), fr2.RecoveredMarks()
+	if len(evs) != 1 || len(sps) != 2 || len(mks) != 1 {
+		t.Fatalf("recovered %d events, %d spans, %d marks; want 1, 2, 1", len(evs), len(sps), len(mks))
+	}
+	if evs[0].Trace != 7 || evs[0].Outcome != obs.OutcomeTimeout || evs[0].Retries != 2 {
+		t.Fatalf("event did not round-trip: %+v", evs[0])
+	}
+	if sps[0].Kind != obs.SpanSend || sps[1].Kind != obs.SpanDeliver || sps[1].Trace != 7 {
+		t.Fatalf("spans did not round-trip: %+v", sps)
+	}
+	if mks[0].Note != "agent-giveup:b" || mks[0].Err == "" {
+		t.Fatalf("mark did not round-trip: %+v", mks[0])
+	}
+
+	dump := fr2.DumpText()
+	for _, want := range []string{
+		"1 wide events, 2 spans, 1 marks recovered",
+		"MARK",
+		"agent-giveup:b",
+		"trace=0000000000000007",
+		"timeout",
+		"span timelines",
+		"[n1]",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("DumpText missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+// TestFlightRecoveryBounded proves the box replays only the newest
+// EventCap/SpanCap records — the black box is a window, not an archive.
+func TestFlightRecoveryBounded(t *testing.T) {
+	dir := t.TempDir()
+	opts := durable.FlightOptions{EventCap: 4, SpanCap: 4, KeepSegments: 64}
+	fr, err := durable.OpenFlight(dir, opts)
+	if err != nil {
+		t.Fatalf("OpenFlight: %v", err)
+	}
+	base := time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		ev := obs.NewEvent("n1", uint64(i), "a", "b", "", base)
+		ev.Finish(obs.OutcomeOK, base.Add(time.Millisecond))
+		fr.RecordEvent(ev)
+		fr.RecordSpan(flightSpan(uint64(i), 1, obs.SpanSend, base))
+	}
+	fr.Close()
+
+	fr2, err := durable.OpenFlight(dir, opts)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer fr2.Close()
+	evs, sps := fr2.RecoveredEvents(), fr2.RecoveredSpans()
+	if len(evs) != 4 || len(sps) != 4 {
+		t.Fatalf("recovered %d events, %d spans; want 4, 4", len(evs), len(sps))
+	}
+	// The newest win: traces 6..9 survive, 0..5 aged out.
+	if evs[0].Trace != 6 || evs[3].Trace != 9 || sps[0].Trace != 6 || sps[3].Trace != 9 {
+		t.Fatalf("bounded replay kept wrong window: events %v..%v spans %v..%v",
+			evs[0].Trace, evs[3].Trace, sps[0].Trace, sps[3].Trace)
+	}
+}
+
+// TestFlightGCTrimsSegments forces rotations with tiny segments and
+// checks the on-disk window stays at KeepSegments files.
+func TestFlightGCTrimsSegments(t *testing.T) {
+	dir := t.TempDir()
+	opts := durable.FlightOptions{
+		WAL:          durable.Options{SegmentBytes: 512},
+		KeepSegments: 2,
+	}
+	fr, err := durable.OpenFlight(dir, opts)
+	if err != nil {
+		t.Fatalf("OpenFlight: %v", err)
+	}
+	base := time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 200; i++ {
+		fr.RecordSpan(flightSpan(uint64(i), 1, obs.SpanRoute, base))
+	}
+	fr.Close()
+
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	segs := 0
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "wal-") {
+			segs++
+		}
+	}
+	if segs > 2 {
+		t.Fatalf("gc left %d segments on disk, want <= 2", segs)
+	}
+
+	// The bounded window still replays cleanly.
+	fr2, err := durable.OpenFlight(dir, opts)
+	if err != nil {
+		t.Fatalf("reopen after gc: %v", err)
+	}
+	defer fr2.Close()
+	if len(fr2.RecoveredSpans()) == 0 {
+		t.Fatal("no spans recovered from retained segments")
+	}
+}
+
+// TestFlightSkipsUndecodableRecords plants a frame of non-JSON garbage
+// in the journal (a valid WAL record — torn tails are the WAL's job,
+// bad payloads are the recorder's) and checks replay skips it, counts
+// it, and keeps everything around it.
+func TestFlightSkipsUndecodableRecords(t *testing.T) {
+	dir := t.TempDir()
+	fr, err := durable.OpenFlight(dir, durable.FlightOptions{})
+	if err != nil {
+		t.Fatalf("OpenFlight: %v", err)
+	}
+	base := time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)
+	fr.RecordSpan(flightSpan(1, 1, obs.SpanSend, base))
+	fr.Close()
+
+	w, err := durable.OpenWAL(dir, 0, durable.Options{Sync: durable.SyncOnRotate}, nil)
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	if err := w.Append([]byte("not json at all")); err != nil {
+		t.Fatalf("Append garbage: %v", err)
+	}
+	// A well-formed frame with an unknown kind is also skipped.
+	if err := w.Append([]byte(`{"k":"future-kind"}`)); err != nil {
+		t.Fatalf("Append unknown kind: %v", err)
+	}
+	w.Close()
+
+	fr2, err := durable.OpenFlight(dir, durable.FlightOptions{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer fr2.Close()
+	if got := len(fr2.RecoveredSpans()); got != 1 {
+		t.Fatalf("recovered %d spans, want 1", got)
+	}
+	if dump := fr2.DumpText(); !strings.Contains(dump, "2 undecodable records skipped") {
+		t.Fatalf("dump does not report skipped records:\n%s", dump)
+	}
+}
+
+// TestFlightNilSafe checks every method tolerates a nil receiver, so
+// callers can wire the recorder unconditionally and gate only OpenFlight.
+func TestFlightNilSafe(t *testing.T) {
+	var fr *durable.FlightRecorder
+	fr.RecordEvent(obs.NewEvent("", 0, "", "", "", time.Time{}))
+	fr.RecordSpan(obs.Span{})
+	fr.Mark("x", nil)
+	fr.Hook(nil, nil)
+	fr.AttachPlatform(nil)
+	if fr.RecoveredEvents() != nil || fr.RecoveredSpans() != nil || fr.RecoveredMarks() != nil {
+		t.Fatal("nil recorder returned non-nil recovery")
+	}
+	if err := fr.Flush(); err != nil {
+		t.Fatalf("nil Flush: %v", err)
+	}
+	if err := fr.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+	if !strings.Contains(fr.DumpText(), "not open") {
+		t.Fatal("nil DumpText should say not open")
+	}
+}

@@ -236,6 +236,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 // agentPkgPath is the import path the platform invariants anchor on.
 const agentPkgPath = "pervasivegrid/internal/agent"
 
+// obsPkgPath is the import path that owns the wide-event schema.
+const obsPkgPath = "pervasivegrid/internal/obs"
+
 // Default returns the production analyzer set, configured for this
 // module's layout: obs owns raw time, telemetry and core must use the
 // retry layer for sends.
@@ -246,6 +249,7 @@ func Default() []*Analyzer {
 		LockedDeliver(),
 		GoroLeak(),
 		EnvHops(),
+		RawEvent(),
 		RawSpawn("pervasivegrid/internal/supervise", "pervasivegrid/internal/obs"),
 		RawFsync("pervasivegrid/internal/durable"),
 	}

@@ -129,6 +129,10 @@ func TestEnvHopsFixture(t *testing.T) {
 	checkAgainstMarkers(t, lint.EnvHops(), "envhops")
 }
 
+func TestRawEventFixture(t *testing.T) {
+	checkAgainstMarkers(t, lint.RawEvent(), "rawevent")
+}
+
 func TestRawSpawnFixture(t *testing.T) {
 	checkAgainstMarkers(t, lint.RawSpawn(), "rawspawn")
 }

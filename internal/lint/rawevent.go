@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// RawEvent flags raw obs.Event composite literals outside the obs
+// package itself. A hand-rolled wide event bypasses NewEvent, the only
+// constructor that pins the identity fields (node, trace, from, to,
+// start) every downstream consumer keys on: the monitor's per-node
+// event view, the flight recorder's dump grouping, and the exemplar
+// join from pgridload percentiles all break silently on an event whose
+// Trace or Node was forgotten. Inside internal/obs the literal IS the
+// constructor; everywhere else it is a schema violation waiting for a
+// query that filters on the missing field.
+func RawEvent() *Analyzer {
+	return &Analyzer{
+		Name: "rawevent",
+		Doc:  "raw obs.Event literal outside internal/obs (bypasses NewEvent and the wide-event identity fields)",
+		Run: func(pass *Pass) {
+			if pass.Pkg.Path == obsPkgPath {
+				return
+			}
+			for _, file := range pass.Pkg.Files {
+				f := file
+				ast.Inspect(f, func(n ast.Node) bool {
+					lit, ok := n.(*ast.CompositeLit)
+					if !ok {
+						return true
+					}
+					if tv, ok := pass.Pkg.Info.Types[lit]; ok {
+						if path, name, ok := NamedType(tv.Type); ok {
+							if path == obsPkgPath && name == "Event" {
+								reportEventLit(pass, lit)
+							}
+							return true
+						}
+					}
+					if sel, ok := lit.Type.(*ast.SelectorExpr); ok && sel.Sel.Name == "Event" {
+						if id, ok := sel.X.(*ast.Ident); ok && pass.ImportedPath(f, id) == obsPkgPath {
+							reportEventLit(pass, lit)
+						}
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+func reportEventLit(pass *Pass, lit *ast.CompositeLit) {
+	pass.Report(lit,
+		"raw obs.Event literal skips NewEvent (trace/node/from/to identity fields the monitor, flight recorder, and exemplar join key on)",
+		"build wide events with obs.NewEvent and the accretion helpers (AddPhase/SetAttr/Finish)")
+}

@@ -1,0 +1,36 @@
+// Package rawevent is a pgridlint fixture: raw wide-event literals
+// versus the NewEvent constructor.
+package rawevent
+
+import (
+	"time"
+
+	"pervasivegrid/internal/obs"
+)
+
+// Bad hand-rolls a wide event, forgetting the identity fields.
+func Bad() obs.Event {
+	return obs.Event{Outcome: obs.OutcomeOK} // want rawevent
+}
+
+// BadPtr does the same through a pointer literal.
+func BadPtr() *obs.Event {
+	return &obs.Event{Trace: 1, Node: "n1"} // want rawevent
+}
+
+// Good uses the constructor and the accretion helpers.
+func Good(now time.Time) obs.Event {
+	ev := obs.NewEvent("n1", 1, "a", "b", "fixture", now)
+	ev.SetAttr("k", "v")
+	ev.Finish(obs.OutcomeOK, now)
+	return ev
+}
+
+// GoodSlice carries events without constructing any.
+func GoodSlice(evs []obs.Event) int { return len(evs) }
+
+// Suppressed is a decode-target literal that never leaves the function.
+func Suppressed() obs.Event {
+	//lint:ignore rawevent fixture: zero value as a JSON decode target
+	return obs.Event{}
+}

@@ -100,6 +100,14 @@ type request struct {
 // Run drives do open-loop under opts. do receives the request index and
 // returns the request's error; it must be safe for concurrent calls.
 func Run(opts Options, do func(i int) error) (*Result, error) {
+	return RunTraced(opts, func(i int) (uint64, error) { return 0, do(i) })
+}
+
+// RunTraced is Run for instrumented targets: do additionally returns
+// the TraceID of the conversation it ran, which becomes the latency
+// histogram's exemplar for that request's bucket — the report's p999
+// then names a concrete trace to dump.
+func RunTraced(opts Options, do func(i int) (uint64, error)) (*Result, error) {
 	opts, err := opts.withDefaults()
 	if err != nil {
 		return nil, err
@@ -132,7 +140,7 @@ func Run(opts Options, do func(i int) error) (*Result, error) {
 			defer wg.Done()
 			for req := range queue {
 				sendStart := clk.Now()
-				err := do(req.i)
+				trace, err := do(req.i)
 				end := clk.Now()
 				sec := int(req.scheduled.Sub(start) / time.Second)
 				measured := req.scheduled.Sub(start) >= opts.Warmup
@@ -154,7 +162,7 @@ func Run(opts Options, do func(i int) error) (*Result, error) {
 				}
 				mu.Unlock()
 				if measured && err == nil {
-					res.Hist.Record(end.Sub(req.scheduled))
+					res.Hist.RecordTraced(end.Sub(req.scheduled), trace)
 					res.NaiveHist.Record(end.Sub(sendStart))
 				}
 			}

@@ -2,6 +2,7 @@ package load
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"os"
@@ -282,5 +283,36 @@ func TestFlakyProxyForwardsAndDrops(t *testing.T) {
 	}
 	if p.Drops() == 0 {
 		t.Fatal("drop counter not advanced")
+	}
+}
+
+// TestRunTracedExemplarsInReport drives RunTraced against a target where
+// exactly one request is dramatically slow, and checks the report names
+// that request's TraceID as the max exemplar — the "p999 is a concrete
+// trace to dump" pipeline, end to end.
+func TestRunTracedExemplarsInReport(t *testing.T) {
+	const slowIdx = 17
+	res, err := RunTraced(Options{Rate: 100, Duration: 500 * time.Millisecond, Workers: 8},
+		func(i int) (uint64, error) {
+			if i == slowIdx {
+				time.Sleep(80 * time.Millisecond)
+			}
+			return uint64(i + 1), nil // trace 0 means untraced; offset past it
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != res.Offered {
+		t.Fatalf("completed %d != offered %d", res.Completed, res.Offered)
+	}
+	if got := res.Hist.MaxExemplar(); got != slowIdx+1 {
+		t.Fatalf("max exemplar = %#x, want trace %#x", got, slowIdx+1)
+	}
+	rep := NewReport("unit", "loopback", 100, res)
+	if rep.Exemplars["max"] != fmt.Sprintf("%016x", slowIdx+1) {
+		t.Fatalf("report max exemplar = %q", rep.Exemplars["max"])
+	}
+	if rep.Exemplars["p999"] == "" {
+		t.Fatal("report missing p999 exemplar")
 	}
 }

@@ -10,7 +10,9 @@
 package load
 
 import (
+	"fmt"
 	"math/bits"
+	"strconv"
 	"sync"
 	"time"
 )
@@ -23,9 +25,15 @@ import (
 type Histogram struct {
 	mu     sync.Mutex
 	counts []int64
-	total  int64
-	max    int64
-	sum    int64
+	// traces holds one exemplar TraceID per bucket (the last recorded;
+	// lazily allocated the first time a traced value arrives), so a
+	// percentile can be answered with a *concrete request* to go look
+	// at: "p999 is 80ms — here is a trace that took that long".
+	traces   []uint64
+	total    int64
+	max      int64
+	maxTrace uint64
+	sum      int64
 }
 
 // subBuckets is the linear resolution per octave (power of two).
@@ -63,17 +71,31 @@ func bucketHigh(idx int) int64 {
 // Record adds one latency observation. Negative durations clamp to zero
 // (a scheduled time in the future can produce them when a request
 // completes before its own schedule slot under a fake clock).
-func (h *Histogram) Record(d time.Duration) {
+func (h *Histogram) Record(d time.Duration) { h.RecordTraced(d, 0) }
+
+// RecordTraced adds one latency observation carrying the TraceID of the
+// request that produced it (0 = untraced). The trace becomes the
+// bucket's exemplar: Exemplar(q) later answers "which request was that
+// slow?" for any percentile.
+func (h *Histogram) RecordTraced(d time.Duration, trace uint64) {
 	v := int64(d)
 	if v < 0 {
 		v = 0
 	}
 	h.mu.Lock()
-	h.counts[bucketIndex(v)]++
+	idx := bucketIndex(v)
+	h.counts[idx]++
 	h.total++
 	h.sum += v
 	if v > h.max {
 		h.max = v
+		h.maxTrace = trace
+	}
+	if trace != 0 {
+		if h.traces == nil {
+			h.traces = make([]uint64, len(h.counts))
+		}
+		h.traces[idx] = trace
 	}
 	h.mu.Unlock()
 }
@@ -112,6 +134,21 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	if h.total == 0 {
 		return 0
 	}
+	idx := h.quantileIdxLocked(q)
+	if idx < 0 {
+		return time.Duration(h.max)
+	}
+	hi := bucketHigh(idx)
+	if hi > h.max {
+		hi = h.max
+	}
+	return time.Duration(hi)
+}
+
+// quantileIdxLocked finds the bucket the q-quantile lands in (-1 when
+// the cumulative walk falls through, i.e. q points past the last
+// occupied bucket). Caller holds h.mu.
+func (h *Histogram) quantileIdxLocked(q float64) int {
 	if q < 0 {
 		q = 0
 	}
@@ -126,32 +163,72 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	for i, c := range h.counts {
 		cum += c
 		if cum >= rank {
-			hi := bucketHigh(i)
-			if hi > h.max {
-				hi = h.max
-			}
-			return time.Duration(hi)
+			return i
 		}
 	}
-	return time.Duration(h.max)
+	return -1
 }
 
-// Merge folds other into h.
+// Exemplar returns the TraceID of a request observed at (or just above)
+// the q-quantile latency, or 0 when no traced request is nearby. The
+// walk prefers the quantile's own bucket, then the slower tail — an
+// exemplar for p999 should never be a *faster* request than the p999.
+func (h *Histogram) Exemplar(q float64) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 || h.traces == nil {
+		return 0
+	}
+	idx := h.quantileIdxLocked(q)
+	if idx < 0 {
+		return h.maxTrace
+	}
+	for i := idx; i < len(h.traces); i++ {
+		if h.traces[i] != 0 {
+			return h.traces[i]
+		}
+	}
+	return h.maxTrace
+}
+
+// MaxExemplar returns the TraceID of the slowest recorded request
+// (0 when the max was untraced).
+func (h *Histogram) MaxExemplar() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.maxTrace
+}
+
+// Merge folds other into h (exemplars included; other's win per bucket).
 func (h *Histogram) Merge(other *Histogram) {
 	other.mu.Lock()
 	counts := make([]int64, len(other.counts))
 	copy(counts, other.counts)
-	total, max, sum := other.total, other.max, other.sum
+	var traces []uint64
+	if other.traces != nil {
+		traces = make([]uint64, len(other.traces))
+		copy(traces, other.traces)
+	}
+	total, max, sum, maxTrace := other.total, other.max, other.sum, other.maxTrace
 	other.mu.Unlock()
 
 	h.mu.Lock()
 	for i, c := range counts {
 		h.counts[i] += c
 	}
+	for i, t := range traces {
+		if t != 0 {
+			if h.traces == nil {
+				h.traces = make([]uint64, len(h.counts))
+			}
+			h.traces[i] = t
+		}
+	}
 	h.total += total
 	h.sum += sum
 	if max > h.max {
 		h.max = max
+		h.maxTrace = maxTrace
 	}
 	h.mu.Unlock()
 }
@@ -163,6 +240,9 @@ type HistBucket struct {
 	High int64 `json:"highNs"`
 	// Count is the number of observations in the bucket.
 	Count int64 `json:"count"`
+	// Trace is the bucket's exemplar TraceID in hex (absent when no
+	// traced request landed here).
+	Trace string `json:"trace,omitempty"`
 }
 
 // Snapshot exports the non-empty buckets, oldest bound first.
@@ -172,14 +252,18 @@ func (h *Histogram) Snapshot() []HistBucket {
 	var out []HistBucket
 	for i, c := range h.counts {
 		if c > 0 {
-			out = append(out, HistBucket{High: bucketHigh(i), Count: c})
+			b := HistBucket{High: bucketHigh(i), Count: c}
+			if h.traces != nil && h.traces[i] != 0 {
+				b.Trace = fmt.Sprintf("%016x", h.traces[i])
+			}
+			out = append(out, b)
 		}
 	}
 	return out
 }
 
 // FromSnapshot rebuilds a histogram from serialized buckets (quantiles
-// survive; the exact max degrades to its bucket bound).
+// and exemplars survive; the exact max degrades to its bucket bound).
 func FromSnapshot(buckets []HistBucket) *Histogram {
 	h := NewHistogram()
 	for _, b := range buckets {
@@ -187,8 +271,19 @@ func FromSnapshot(buckets []HistBucket) *Histogram {
 		h.counts[idx] += b.Count
 		h.total += b.Count
 		h.sum += b.High * b.Count
+		var trace uint64
+		if b.Trace != "" {
+			trace, _ = strconv.ParseUint(b.Trace, 16, 64)
+		}
+		if trace != 0 {
+			if h.traces == nil {
+				h.traces = make([]uint64, len(h.counts))
+			}
+			h.traces[idx] = trace
+		}
 		if b.High > h.max {
 			h.max = b.High
+			h.maxTrace = trace
 		}
 	}
 	return h

@@ -89,3 +89,76 @@ func TestHistogramMergeAndSnapshotRoundTrip(t *testing.T) {
 		t.Fatalf("snapshot round-trip p99 %v != %v", got, p99)
 	}
 }
+
+// TestHistogramExemplars checks that tail percentiles answer with a
+// concrete TraceID no faster than the percentile itself: the p99
+// exemplar must come from the p99 bucket or the slower tail.
+func TestHistogramExemplars(t *testing.T) {
+	h := NewHistogram()
+	const fastTrace, slowTrace, maxTrace = 0x111, 0x222, 0x333
+	for i := 0; i < 990; i++ {
+		h.RecordTraced(time.Millisecond, fastTrace)
+	}
+	for i := 0; i < 9; i++ {
+		h.RecordTraced(80*time.Millisecond, slowTrace)
+	}
+	h.RecordTraced(500*time.Millisecond, maxTrace)
+
+	if got := h.Exemplar(0.50); got != fastTrace {
+		t.Fatalf("p50 exemplar = %#x, want fast trace %#x", got, fastTrace)
+	}
+	if got := h.Exemplar(0.999); got != slowTrace && got != maxTrace {
+		t.Fatalf("p999 exemplar = %#x, want a tail trace", got)
+	}
+	if got := h.MaxExemplar(); got != maxTrace {
+		t.Fatalf("max exemplar = %#x, want %#x", got, maxTrace)
+	}
+	// Untraced observations leave no exemplar, and an untraced histogram
+	// answers 0 rather than inventing one.
+	u := NewHistogram()
+	u.Record(time.Millisecond)
+	if u.Exemplar(0.99) != 0 || u.MaxExemplar() != 0 {
+		t.Fatal("untraced histogram produced an exemplar")
+	}
+}
+
+// TestHistogramExemplarNeverFaster floods the fast buckets with traced
+// requests and leaves the slow tail untraced: the tail exemplar must
+// fall back to the max trace, never a fast bucket's.
+func TestHistogramExemplarNeverFaster(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 999; i++ {
+		h.RecordTraced(time.Millisecond, 0xfa57)
+	}
+	h.RecordTraced(time.Second, 0x510)
+	if got := h.Exemplar(0.9999); got != 0x510 {
+		t.Fatalf("tail exemplar = %#x, want the slow trace 0x510", got)
+	}
+}
+
+// TestHistogramExemplarSurvivesSnapshotAndMerge round-trips exemplars
+// through the wire shape and a shard merge — the path pgridload takes
+// from per-client histograms to the printed report.
+func TestHistogramExemplarSurvivesSnapshotAndMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.RecordTraced(time.Millisecond, 0xa)
+	b.RecordTraced(time.Minute, 0xb)
+	a.Merge(b)
+	if got := a.MaxExemplar(); got != 0xb {
+		t.Fatalf("merge lost max exemplar: %#x", got)
+	}
+	if got := a.Exemplar(0.999); got != 0xb {
+		t.Fatalf("merge lost tail exemplar: %#x", got)
+	}
+
+	rebuilt := FromSnapshot(a.Snapshot())
+	if got := rebuilt.Exemplar(0.999); got != 0xb {
+		t.Fatalf("snapshot round-trip lost tail exemplar: %#x", got)
+	}
+	if got := rebuilt.MaxExemplar(); got != 0xb {
+		t.Fatalf("snapshot round-trip lost max exemplar: %#x", got)
+	}
+	if got := rebuilt.Exemplar(0.01); got != 0xa {
+		t.Fatalf("snapshot round-trip lost fast exemplar: %#x", got)
+	}
+}

@@ -46,6 +46,11 @@ type Report struct {
 	// Metrics carries scenario-specific measurements (priority delivery
 	// rate, sheds, reconnects, lease churn, ...).
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Exemplars maps tail percentiles (p99, p999, max) to the hex
+	// TraceID of a request observed at that latency — the handle that
+	// turns "p999 spiked" into a dumpable causal timeline
+	// (GET /trace?id=<exemplar> on the target node).
+	Exemplars map[string]string `json:"exemplars,omitempty"`
 }
 
 // ms converts a duration for the report.
@@ -80,6 +85,19 @@ func NewReport(scenario, target string, rate float64, res *Result) *Report {
 		NaiveP99Ms: ms(res.NaiveHist.Quantile(0.99)),
 		Histogram:  res.Hist.Snapshot(),
 		Timeline:   res.Timeline,
+	}
+	ex := map[string]string{}
+	if t := res.Hist.Exemplar(0.99); t != 0 {
+		ex["p99"] = fmt.Sprintf("%016x", t)
+	}
+	if t := res.Hist.Exemplar(0.999); t != 0 {
+		ex["p999"] = fmt.Sprintf("%016x", t)
+	}
+	if t := res.Hist.MaxExemplar(); t != 0 {
+		ex["max"] = fmt.Sprintf("%016x", t)
+	}
+	if len(ex) > 0 {
+		r.Exemplars = ex
 	}
 	return r
 }

@@ -244,6 +244,14 @@ func (st histState) quantile(q float64) float64 {
 	if rank < 1 {
 		rank = 1
 	}
+	// With few observations a high quantile lands in (or past) the last
+	// occupied bucket, and interpolating inside a factor-of-two bucket
+	// invents a value no one observed — p99 of 3 samples must not read
+	// above the slowest of the 3. When the rank rounds up to the final
+	// observation, answer with the exact max instead of interpolating.
+	if math.Ceil(rank) >= float64(st.total) && !math.IsInf(st.max, -1) {
+		return st.max
+	}
 	var cum float64
 	for i, c := range st.counts {
 		if c == 0 {

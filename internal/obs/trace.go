@@ -47,16 +47,64 @@ type Span struct {
 	Note  string    `json:"note,omitempty"`
 }
 
-// Tracer is a bounded ring of spans. Recording is cheap (one mutexed
-// append); the ring keeps the most recent spans and drops the oldest.
-// A nil *Tracer is a valid no-op sink.
+// Tracer is a bounded ring of spans with optional head sampling and
+// tail-keep. Recording is cheap (one mutexed append on the sampled
+// path, a pair of atomic adds on the blacked-out path); the ring keeps
+// the most recent retained spans and evicts the oldest, counting every
+// eviction. A nil *Tracer is a valid no-op sink.
+//
+// With no sampler (SetSampler never called, or called with nil) every
+// span is retained — the original full-capture behavior. With a
+// sampler, the deterministic head decision (see Sampler) routes each
+// span either into the ring or into a short "recent" side buffer.
+// KeepTrace promotes a trace after the fact: its buffered spans move
+// into the ring in order and all its future spans are retained, which
+// is how error, shed, breaker-open, and p99-slow conversations survive
+// a 1% sampling rate. Drop spans trigger the promotion automatically.
+//
+// The ledger is exact and loss is never silent:
+//
+//	trace_sampled_total — spans retained in the ring (head or tail keep)
+//	trace_dropped_total — spans whose loss became irrevocable (evicted
+//	                      from the recent buffer unpromoted, or recorded
+//	                      while the sampler was off)
+//	trace_evicted_total — retained spans later overwritten by ring wrap
 type Tracer struct {
 	mu    sync.Mutex
 	ring  []Span
 	next  int
 	full  bool
 	total uint64
+
+	// Tail-keep machinery, all guarded by mu.
+	recent  []Span // head-dropped spans, promotion candidates
+	rnext   int
+	rfull   bool
+	keep    map[uint64]struct{} // tail-kept traces (current generation)
+	keepOld map[uint64]struct{} // previous generation (approximate age-out)
+	keepCap int
+
+	sampler atomic.Pointer[Sampler]
+
+	sampled atomic.Uint64
+	dropped atomic.Uint64
+	evicted atomic.Uint64
+
+	// Optional mirrors into a metrics registry (AttachMetrics) and the
+	// flight-recorder feed (SetOnRecord).
+	cSampled atomic.Pointer[Counter]
+	cDropped atomic.Pointer[Counter]
+	cEvicted atomic.Pointer[Counter]
+	onRecord atomic.Value // func(Span)
 }
+
+// recentCap sizes the tail-keep side buffer: it only needs to cover the
+// spans of conversations still in flight, not history.
+const recentCap = 512
+
+// keepGenCap bounds the tail-keep set per generation; two generations
+// are live at once, so at most 2×keepGenCap traces are pinned.
+const keepGenCap = 1024
 
 // NewTracer returns a tracer retaining up to capacity spans
 // (default 4096 when capacity <= 0).
@@ -64,18 +112,163 @@ func NewTracer(capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = 4096
 	}
-	return &Tracer{ring: make([]Span, capacity)}
+	return &Tracer{ring: make([]Span, capacity), keepCap: keepGenCap}
 }
 
-// Record appends a span. Safe on nil.
+// SetSampler installs (or with nil, removes) the head sampler. Safe on
+// nil and safe to call while recording.
+func (t *Tracer) SetSampler(s *Sampler) {
+	if t == nil {
+		return
+	}
+	t.sampler.Store(s)
+}
+
+// Sampler returns the installed sampler (nil = capture everything).
+func (t *Tracer) Sampler() *Sampler {
+	if t == nil {
+		return nil
+	}
+	return t.sampler.Load()
+}
+
+// AttachMetrics mirrors the ledger into reg as trace_sampled_total,
+// trace_dropped_total, and trace_evicted_total, seeding the counters
+// with anything counted before attachment.
+func (t *Tracer) AttachMetrics(reg *Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	cs := reg.Counter("trace_sampled_total")
+	cd := reg.Counter("trace_dropped_total")
+	ce := reg.Counter("trace_evicted_total")
+	cs.Add(float64(t.sampled.Load()))
+	cd.Add(float64(t.dropped.Load()))
+	ce.Add(float64(t.evicted.Load()))
+	t.cSampled.Store(cs)
+	t.cDropped.Store(cd)
+	t.cEvicted.Store(ce)
+}
+
+// SetOnRecord installs a hook called (outside the tracer lock) for
+// every span retained in the ring — the flight-recorder feed. Promoted
+// spans fire it too, in order. Pass nil to detach.
+func (t *Tracer) SetOnRecord(fn func(Span)) {
+	if t == nil {
+		return
+	}
+	if fn == nil {
+		t.onRecord.Store((func(Span))(nil))
+		return
+	}
+	t.onRecord.Store(fn)
+}
+
+func (t *Tracer) fireOnRecord(spans ...Span) {
+	fn, _ := t.onRecord.Load().(func(Span))
+	if fn == nil {
+		return
+	}
+	for _, s := range spans {
+		fn(s)
+	}
+}
+
+// SampledTotal reports spans retained in the ring since start.
+func (t *Tracer) SampledTotal() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.sampled.Load()
+}
+
+// DroppedTotal reports spans irrevocably lost to sampling since start.
+func (t *Tracer) DroppedTotal() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// Evicted reports retained spans since overwritten by ring wrap — the
+// "full-capture loss" that used to be silent.
+func (t *Tracer) Evicted() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.evicted.Load()
+}
+
+// Record appends a span, applying the sampling policy. Safe on nil.
 func (t *Tracer) Record(s Span) {
 	if t == nil {
+		return
+	}
+	smp := t.sampler.Load()
+	if smp.Off() {
+		// Blacked out: count the loss and get off the hot path without
+		// touching the clock or the lock.
+		t.dropped.Add(1)
+		t.cDropped.Load().Add(1)
 		return
 	}
 	if s.Time.IsZero() {
 		s.Time = time.Now()
 	}
 	t.mu.Lock()
+	admit := smp.Sampled(s.Trace) || t.keptLocked(s.Trace)
+	if !admit && s.Kind == SpanDrop {
+		// A dead-lettered envelope is exactly the trace worth keeping:
+		// promote everything buffered for it, then admit this span.
+		t.keepLocked(s.Trace)
+		promoted := t.promoteLocked(s.Trace)
+		t.appendLocked(s)
+		t.mu.Unlock()
+		t.fireOnRecord(promoted...)
+		t.fireOnRecord(s)
+		return
+	}
+	if admit {
+		t.appendLocked(s)
+		t.mu.Unlock()
+		t.fireOnRecord(s)
+		return
+	}
+	t.bufferLocked(s)
+	t.mu.Unlock()
+}
+
+// KeepTrace pins a trace: its buffered recent spans are promoted into
+// the ring and all its future spans are retained regardless of the head
+// decision. This is the tail-keep entry point for error, shed,
+// breaker-open, and p99-slow conversations. Safe on nil; a no-op for
+// trace 0, with no sampler (everything is kept already), or when
+// sampling is off.
+func (t *Tracer) KeepTrace(id uint64) {
+	if t == nil || id == 0 {
+		return
+	}
+	smp := t.sampler.Load()
+	if smp == nil || smp.Off() {
+		return
+	}
+	t.mu.Lock()
+	if smp.Sampled(id) || t.keptLocked(id) {
+		t.mu.Unlock()
+		return
+	}
+	t.keepLocked(id)
+	promoted := t.promoteLocked(id)
+	t.mu.Unlock()
+	t.fireOnRecord(promoted...)
+}
+
+// appendLocked retains s in the main ring. Caller holds mu.
+func (t *Tracer) appendLocked(s Span) {
+	if t.full {
+		t.evicted.Add(1)
+		t.cEvicted.Load().Add(1)
+	}
 	t.ring[t.next] = s
 	t.next++
 	t.total++
@@ -83,11 +276,86 @@ func (t *Tracer) Record(s Span) {
 		t.next = 0
 		t.full = true
 	}
-	t.mu.Unlock()
+	t.sampled.Add(1)
+	t.cSampled.Load().Add(1)
 }
 
-// Total reports how many spans have ever been recorded (including those
-// already evicted from the ring).
+// bufferLocked parks a head-dropped span in the recent side buffer; the
+// span it overwrites (if any) is now irrevocably lost and counted.
+// Caller holds mu.
+func (t *Tracer) bufferLocked(s Span) {
+	if t.recent == nil {
+		t.recent = make([]Span, recentCap)
+	}
+	if t.rfull {
+		t.dropped.Add(1)
+		t.cDropped.Load().Add(1)
+	}
+	t.recent[t.rnext] = s
+	t.rnext++
+	if t.rnext == len(t.recent) {
+		t.rnext = 0
+		t.rfull = true
+	}
+}
+
+// keptLocked reports whether id is tail-kept. Caller holds mu.
+func (t *Tracer) keptLocked(id uint64) bool {
+	if _, ok := t.keep[id]; ok {
+		return true
+	}
+	_, ok := t.keepOld[id]
+	return ok
+}
+
+// keepLocked marks id tail-kept, rotating generations when the current
+// one fills (approximate age-out with bounded memory). Caller holds mu.
+func (t *Tracer) keepLocked(id uint64) {
+	if t.keep == nil {
+		t.keep = make(map[uint64]struct{}, 64)
+	}
+	if t.keepCap <= 0 {
+		t.keepCap = keepGenCap
+	}
+	if len(t.keep) >= t.keepCap {
+		t.keepOld = t.keep
+		t.keep = make(map[uint64]struct{}, 64)
+	}
+	t.keep[id] = struct{}{}
+}
+
+// promoteLocked moves id's spans from the recent buffer into the ring,
+// oldest first, returning them for the OnRecord hook. Caller holds mu.
+func (t *Tracer) promoteLocked(id uint64) []Span {
+	if t.recent == nil {
+		return nil
+	}
+	n := len(t.recent)
+	if !t.rfull {
+		n = t.rnext
+	}
+	var promoted []Span
+	scan := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if t.recent[i].Trace != id {
+				continue
+			}
+			t.appendLocked(t.recent[i])
+			promoted = append(promoted, t.recent[i])
+			t.recent[i].Trace = 0 // tombstone; never promote twice
+		}
+	}
+	if t.rfull {
+		scan(t.rnext, len(t.recent))
+		scan(0, t.rnext)
+	} else {
+		scan(0, n)
+	}
+	return promoted
+}
+
+// Total reports how many spans have ever been retained in the ring
+// (including those already evicted from it).
 func (t *Tracer) Total() uint64 {
 	if t == nil {
 		return 0

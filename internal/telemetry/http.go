@@ -18,6 +18,7 @@ import (
 //	GET /fleet.json    FleetView: per-node snapshot + health states
 //	GET /traces        stitched cross-node trace IDs (text)
 //	GET /trace?id=..   one stitched timeline (text; hex or decimal id)
+//	GET /events.json   fleet-merged wide events (one row per conversation)
 //
 // Mount it on the daemon's metrics listener.
 func Handler(m *Monitor, extra ...obs.Source) http.Handler {
@@ -52,6 +53,8 @@ func Handler(m *Monitor, extra ...obs.Source) http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(m.Fleet())
 	})
+
+	mux.Handle("/events.json", obs.EventsHandler(m.Events()))
 
 	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")

@@ -55,6 +55,9 @@ type MonitorOptions struct {
 	// TraceCapacity bounds the stitched cross-node span ring
 	// (default 8192).
 	TraceCapacity int
+	// EventCapacity bounds the fleet-merged wide-event ring
+	// (default 4096).
+	EventCapacity int
 	// Clock is the staleness time source (default: the platform's
 	// clock); tests drive health transitions with obs.FakeClock.
 	Clock obs.Clock
@@ -86,6 +89,9 @@ func (o MonitorOptions) withDefaults(p *agent.Platform) MonitorOptions {
 	if o.TraceCapacity <= 0 {
 		o.TraceCapacity = 8192
 	}
+	if o.EventCapacity <= 0 {
+		o.EventCapacity = 4096
+	}
 	if o.Clock == nil {
 		if p.Clock != nil {
 			o.Clock = p.Clock
@@ -106,9 +112,15 @@ type nodeState struct {
 	missed    uint64 // seq gaps (reports lost in transit)
 	resyncs   uint64 // full snapshots after the first
 	spans     uint64
+	events    uint64
 	delivered uint64
 	dropped   uint64
 	retries   uint64
+
+	// Tracer sampling ledger, as last reported by the node.
+	spansSampled uint64
+	spansDropped uint64
+	spansEvicted uint64
 }
 
 // Monitor is the fleet MonitorAgent: it ingests telemetry reports,
@@ -118,6 +130,7 @@ type Monitor struct {
 	platform *agent.Platform
 	opts     MonitorOptions
 	tracer   *obs.Tracer
+	events   *obs.EventLog
 
 	mu    sync.Mutex
 	nodes map[string]*nodeState
@@ -133,6 +146,7 @@ func RegisterMonitor(p *agent.Platform, opts MonitorOptions) (*Monitor, error) {
 		nodes:    map[string]*nodeState{},
 	}
 	m.tracer = obs.NewTracer(m.opts.TraceCapacity)
+	m.events = obs.NewEventLog(m.opts.EventCapacity)
 	err := p.Register(m.opts.ID, agent.HandlerFunc(m.handle),
 		agent.Attributes{Agent: map[string]string{agent.AttrRole: "fleet-monitor"}}, nil)
 	if err != nil {
@@ -142,7 +156,7 @@ func RegisterMonitor(p *agent.Platform, opts MonitorOptions) (*Monitor, error) {
 }
 
 // handle ingests one envelope delivered to the monitor agent.
-func (m *Monitor) handle(env agent.Envelope, _ *agent.Context) {
+func (m *Monitor) handle(env agent.Envelope, ctx *agent.Context) {
 	if env.Ontology != OntologyReport {
 		return
 	}
@@ -151,12 +165,35 @@ func (m *Monitor) handle(env agent.Envelope, _ *agent.Context) {
 		m.platform.Metrics().Counter("telemetry_bad_reports_total").Inc()
 		return
 	}
-	m.Ingest(rep)
+	if gapped := m.Ingest(rep); gapped {
+		// Deltas died in transit and the reporter believed they arrived;
+		// the stored view may hold stale series until each one changes
+		// again. Ask the node for a full snapshot instead of waiting.
+		// The request is retried off the mailbox goroutine: a dropped
+		// resync is lost forever (the next report's seq is continuous),
+		// so this one envelope must try harder than fire-and-forget.
+		if reply, err := env.Reply("request", nil); err == nil {
+			reply.Ontology = OntologyResync
+			m.platform.Metrics().Counter("telemetry_resync_requests_total").Inc()
+			policy := agent.RetryPolicy{
+				MaxAttempts: 3,
+				BaseDelay:   m.opts.Interval / 4,
+				MaxDelay:    m.opts.Interval,
+				Clock:       m.opts.Clock,
+			}
+			timeout := 2 * m.opts.Interval
+			supervise.Spawn("telemetry-resync", func() {
+				_ = agent.SendRetry(m.platform, reply, timeout, policy)
+			})
+		}
+	}
 }
 
-// Ingest merges one report into the fleet state. Exported so in-process
-// deployments (and tests) can bypass the envelope layer.
-func (m *Monitor) Ingest(rep Report) {
+// Ingest merges one report into the fleet state, reporting whether it
+// exposed a seq gap (reports lost in transit since the node's previous
+// one). Exported so in-process deployments (and tests) can bypass the
+// envelope layer.
+func (m *Monitor) Ingest(rep Report) (gapped bool) {
 	now := m.opts.Clock.Now()
 	m.mu.Lock()
 	ns := m.nodes[rep.Node]
@@ -177,26 +214,35 @@ func (m *Monitor) Ingest(rep Report) {
 	// means reports died in transit — telemetry observing its own loss.
 	if ns.seq > 0 && rep.Seq > ns.seq+1 {
 		ns.missed += rep.Seq - ns.seq - 1
+		gapped = !rep.Full // a full report already healed the gap
 	}
 	if rep.Seq > ns.seq {
 		ns.seq = rep.Seq
 	}
 	ns.reports++
 	ns.spans += uint64(len(rep.Spans))
+	ns.events += uint64(len(rep.Events))
 	ns.lastSeen = now
 	ns.sentAt = rep.SentAt
 	ns.delivered, ns.dropped, ns.retries = rep.Delivered, rep.Dropped, rep.Retries
+	ns.spansSampled, ns.spansDropped, ns.spansEvicted =
+		rep.SpansSampled, rep.SpansDropped, rep.SpansEvicted
 	m.mu.Unlock()
 
 	for _, s := range rep.Spans {
 		m.tracer.Record(s)
 	}
+	for _, e := range rep.Events {
+		m.events.Emit(e)
+	}
 
 	reg := m.platform.Metrics()
 	reg.Counter("telemetry_reports_total", "node", rep.Node).Inc()
 	reg.Counter("telemetry_spans_total").Add(float64(len(rep.Spans)))
+	reg.Counter("telemetry_events_total").Add(float64(len(rep.Events)))
 	reg.Gauge("telemetry_nodes").Set(float64(m.NodeCount()))
 	m.SyncBreakers()
+	return gapped
 }
 
 // SyncBreakers pushes the monitor's current health verdicts into the
@@ -334,10 +380,18 @@ type NodeView struct {
 	Missed       uint64    `json:"missedReports"`
 	Resyncs      uint64    `json:"resyncs"`
 	Spans        uint64    `json:"spans"`
+	Events       uint64    `json:"events"`
 	Delivered    uint64    `json:"delivered"`
 	Dropped      uint64    `json:"dropped"`
 	Retries      uint64    `json:"retries"`
 	Series       int       `json:"series"`
+	// The node's tracer sampling ledger: how many spans it retained,
+	// head-dropped, and overwrote. A climbing SpansEvicted on a
+	// full-capture node means the ring is too small (or it is time to
+	// sample); SpansDropped quantifies what sampling cost.
+	SpansSampled uint64 `json:"spansSampled"`
+	SpansDropped uint64 `json:"spansDropped"`
+	SpansEvicted uint64 `json:"spansEvicted"`
 	Observed     struct {
 		AvgDeliverSec float64 `json:"avgDeliverSec"`
 		DropRate      float64 `json:"dropRate"`
@@ -355,6 +409,8 @@ type FleetView struct {
 	Worst Health `json:"worst"`
 	// Traces is how many distinct stitched trace IDs are retained.
 	Traces int `json:"traces"`
+	// Events is how many fleet-merged wide events are retained.
+	Events int `json:"events"`
 	// Breakers is the per-node circuit state when the monitor drives a
 	// breaker set (absent otherwise) — open circuits in /fleet.json are
 	// the operator's first clue a node is being shed.
@@ -384,10 +440,14 @@ func (m *Monitor) Fleet() FleetView {
 			Missed:       ns.missed,
 			Resyncs:      ns.resyncs,
 			Spans:        ns.spans,
+			Events:       ns.events,
 			Delivered:    ns.delivered,
 			Dropped:      ns.dropped,
 			Retries:      ns.retries,
 			Series:       ns.snap.Len(),
+			SpansSampled: ns.spansSampled,
+			SpansDropped: ns.spansDropped,
+			SpansEvicted: ns.spansEvicted,
 			Snapshot:     ns.snap.Clone(),
 		}
 		if healthRank(nv.Health) > healthRank(fv.Worst) {
@@ -403,6 +463,7 @@ func (m *Monitor) Fleet() FleetView {
 		}
 	}
 	fv.Traces = len(m.tracer.Traces())
+	fv.Events = len(m.events.Events())
 	if m.opts.Breakers != nil {
 		m.SyncBreakers()
 		fv.Breakers = m.opts.Breakers.Snapshot()
@@ -427,6 +488,11 @@ func (m *Monitor) Snapshot() obs.Snapshot {
 // monitor platform (Platform.Tracer) to interleave local hops with the
 // reported ones.
 func (m *Monitor) Tracer() *obs.Tracer { return m.tracer }
+
+// Events exposes the fleet-merged wide-event ring. Give it to the
+// monitor platform (Platform.Events) to interleave local conversations
+// with the reported ones, and mount it at /events.json.
+func (m *Monitor) Events() *obs.EventLog { return m.events }
 
 // Timeline renders one stitched cross-node trace.
 func (m *Monitor) Timeline(traceID uint64) string { return m.tracer.Timeline(traceID) }

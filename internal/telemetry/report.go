@@ -29,6 +29,12 @@ const (
 	OntologyReport = "pgrid-telemetry-report"
 	// OntologyProbe marks a transport probe (echo) conversation.
 	OntologyProbe = "pgrid-telemetry-probe"
+	// OntologyResync marks a monitor→node control envelope asking the
+	// reporter to ship its next report as a full snapshot. Sent when the
+	// monitor observes a seq gap: the missing deltas died in transit
+	// while the reporter believed they arrived (a silently lossy uplink),
+	// so only the monitor knows the stored view may be stale.
+	OntologyResync = "pgrid-telemetry-resync"
 )
 
 // Report is one node's periodic telemetry shipment.
@@ -45,6 +51,15 @@ type Report struct {
 	Snap obs.Snapshot `json:"snap"`
 	// Spans are the trace spans recorded since the previous report.
 	Spans []obs.Span `json:"spans,omitempty"`
+	// Events are the wide events emitted since the previous report.
+	Events []obs.Event `json:"events,omitempty"`
+	// SpansSampled/SpansDropped/SpansEvicted mirror the tracer's
+	// sampling ledger (lifetime totals), so the monitor can tell how
+	// much of each node's trace volume was retained, head-dropped, or
+	// overwritten — loss is never silent, fleet-wide.
+	SpansSampled uint64 `json:"spansSampled,omitempty"`
+	SpansDropped uint64 `json:"spansDropped,omitempty"`
+	SpansEvicted uint64 `json:"spansEvicted,omitempty"`
 	// Delivered/Dropped/Retries mirror the platform's DeliveryStats
 	// totals so the monitor can compute delivery ratios without
 	// depending on metric names.

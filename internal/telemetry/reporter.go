@@ -32,6 +32,9 @@ type ReporterOptions struct {
 	// MaxSpans caps the spans shipped per report (default 512; the most
 	// recent are kept).
 	MaxSpans int
+	// MaxEvents caps the wide events shipped per report (default 256;
+	// the most recent are kept).
+	MaxEvents int
 	// DisableRuntime skips capturing runtime gauges (goroutines, heap,
 	// GC pauses) into the platform registry before each snapshot.
 	DisableRuntime bool
@@ -54,6 +57,9 @@ func (o ReporterOptions) withDefaults(p *agent.Platform) ReporterOptions {
 	}
 	if o.MaxSpans <= 0 {
 		o.MaxSpans = 512
+	}
+	if o.MaxEvents <= 0 {
+		o.MaxEvents = 256
 	}
 	if o.Clock == nil {
 		if p.Clock != nil {
@@ -79,12 +85,13 @@ type Reporter struct {
 	done     chan struct{}
 	stopped  chan struct{}
 
-	mu        sync.Mutex
-	last      obs.Snapshot // last snapshot acked onto the wire
-	haveLast  bool
-	seq       uint64
-	spanTotal uint64 // tracer total at the previous report
-	closed    bool
+	mu         sync.Mutex
+	last       obs.Snapshot // last snapshot acked onto the wire
+	haveLast   bool
+	seq        uint64
+	spanTotal  uint64 // tracer total at the previous report
+	eventTotal uint64 // event-log total at the previous report
+	closed     bool
 }
 
 // StartReporter registers the reporter agent on p and begins the report
@@ -97,10 +104,17 @@ func StartReporter(p *agent.Platform, opts ReporterOptions) (*Reporter, error) {
 		done:     make(chan struct{}),
 		stopped:  make(chan struct{}),
 	}
-	// The reporter receives nothing today; registering it anyway gives
-	// the monitor (and gateways tracking From IDs) a real addressable
-	// agent, and reserves the ID for future monitor→node control traffic.
-	err := p.Register(r.opts.ID, agent.HandlerFunc(func(agent.Envelope, *agent.Context) {}),
+	// The reporter's inbound side is the monitor→node control channel:
+	// a resync request means the monitor saw a seq gap (deltas silently
+	// lost), so the next report must be a full snapshot.
+	err := p.Register(r.opts.ID, agent.HandlerFunc(func(env agent.Envelope, _ *agent.Context) {
+		if env.Ontology != OntologyResync {
+			return
+		}
+		r.mu.Lock()
+		r.haveLast = false
+		r.mu.Unlock()
+	}),
 		agent.Attributes{Agent: map[string]string{agent.AttrRole: "telemetry-reporter"}}, nil)
 	if err != nil {
 		return nil, err
@@ -177,6 +191,20 @@ func (r *Reporter) newSpans(prevTotal uint64) ([]obs.Span, uint64) {
 	return out, total
 }
 
+// newEvents returns the wide events emitted since the previous report,
+// capped at MaxEvents (most recent kept), and the log total to remember.
+func (r *Reporter) newEvents(prevTotal uint64) ([]obs.Event, uint64) {
+	el := r.platform.Events
+	if el == nil {
+		return nil, 0
+	}
+	events, total := el.Since(prevTotal)
+	if len(events) > r.opts.MaxEvents {
+		events = events[len(events)-r.opts.MaxEvents:]
+	}
+	return events, total
+}
+
 // ReportNow builds and ships one report immediately (also used by the
 // periodic loop). On send failure the reporter forgets its delta base so
 // the next report is full again — the monitor may have missed this one.
@@ -193,22 +221,29 @@ func (r *Reporter) ReportNow() error {
 		ship = cur.Delta(r.last)
 	}
 	spans, spanTotal := r.newSpans(r.spanTotal)
+	events, eventTotal := r.newEvents(r.eventTotal)
 	r.seq++
 	st := r.platform.DeliveryStats()
+	tr := r.platform.Tracer
 	rep := Report{
-		Node:      r.platform.Name,
-		Seq:       r.seq,
-		Full:      full,
-		Snap:      ship,
-		Spans:     spans,
-		Delivered: st.Delivered,
-		Dropped:   st.Dropped,
-		Retries:   st.Retries,
-		SentAt:    r.opts.Clock.Now(),
+		Node:         r.platform.Name,
+		Seq:          r.seq,
+		Full:         full,
+		Snap:         ship,
+		Spans:        spans,
+		Events:       events,
+		SpansSampled: tr.SampledTotal(),
+		SpansDropped: tr.DroppedTotal(),
+		SpansEvicted: tr.Evicted(),
+		Delivered:    st.Delivered,
+		Dropped:      st.Dropped,
+		Retries:      st.Retries,
+		SentAt:       r.opts.Clock.Now(),
 	}
 	// Optimistically advance the delta base; rolled back below on error.
 	r.last, r.haveLast = cur, true
 	r.spanTotal = spanTotal
+	r.eventTotal = eventTotal
 	monitor, id := r.opts.Monitor, r.opts.ID
 	timeout, policy := r.opts.SendTimeout, r.opts.Retry
 	r.mu.Unlock()

@@ -291,3 +291,61 @@ func TestTraceStitchingAcrossReportedSpans(t *testing.T) {
 		t.Fatalf("fleet traces = %d, want 1", fv.Traces)
 	}
 }
+
+// TestSeqGapTriggersFullResyncAtLoadRates runs the silent-loss scenario
+// at load-harness rates: a node doing thousands of local deliveries per
+// virtual second keeps reporting into a partitioned uplink (the injector
+// drops silently, so the reporter believes every delta arrived and its
+// delta base keeps advancing). After the heal, the series that changed
+// only during the blackout are stale on the monitor forever — unless the
+// monitor notices the seq gap and requests a full resync, which is the
+// contract under test.
+func TestSeqGapTriggersFullResyncAtLoadRates(t *testing.T) {
+	clk := obs.NewFakeClock()
+	f := startTestFleet(t, clk, 1)
+	node := f.Nodes[0]
+	advanceAndSettle(t, clk, f, 0)
+
+	// Blackout: five report intervals of heavy local traffic, every
+	// report silently dropped on the uplink.
+	f.Partition(0, true)
+	repBaseline := node.Reporter.Seq()
+	for i := 0; i < 5; i++ {
+		node.Work(2000)
+		clk.Advance(time.Second)
+		seqTarget := repBaseline + uint64(i+1)
+		waitFor(t, "blackout report attempt", func() bool {
+			return node.Reporter.Seq() >= seqTarget
+		})
+	}
+	// The deliver histogram moved only during the blackout; nothing
+	// after the heal touches it (reporter traffic leaves over the link,
+	// not through a local mailbox).
+	liveCount := node.Platform.MetricsSnapshot().Histograms["agent_deliver_latency_seconds"].Count
+
+	// Heal. The first post-heal delta exposes the seq gap; the monitor
+	// must request a resync and the next report must be full.
+	f.Partition(0, false)
+	advanceAndSettle(t, clk, f, 0)
+	waitFor(t, "monitor-side resync after seq gap", func() bool {
+		clk.Advance(time.Second)
+		for _, nv := range f.Monitor.Fleet().Nodes {
+			if nv.Node == node.Name {
+				return nv.Missed >= 1 && nv.Resyncs >= 1
+			}
+		}
+		return false
+	})
+	snap, ok := f.Monitor.NodeSnapshot(node.Name)
+	if !ok {
+		t.Fatalf("node %s unknown to monitor", node.Name)
+	}
+	// The resync control envelope is itself one more local delivery on
+	// the node, so the stored count may run slightly ahead of the
+	// pre-heal capture — what matters is that the ~10k blackout-era
+	// samples are not missing.
+	got := snap.Histograms["agent_deliver_latency_seconds"].Count
+	if got < liveCount {
+		t.Fatalf("stored deliver count = %d, want >= %d (the blackout-era samples must arrive via the full resync)", got, liveCount)
+	}
+}
