@@ -2,23 +2,30 @@
 // internal/lint and docs/static-analysis.md) over the module and
 // prints findings as file:line:col: rule: message.
 //
-// Exit codes: 0 when clean, 1 when there are findings, 2 on a usage or
-// load error — so make check can distinguish "the code is wrong" from
-// "the linter could not run".
+// Exit codes: 0 when clean, 1 when there are new findings, 2 on a
+// usage or load error — or when -time-budget is exceeded — so make
+// check can distinguish "the code is wrong" from "the linter could not
+// run (or got too slow)".
 //
 //	pgridlint                 # lint the whole module (./...)
 //	pgridlint ./internal/...  # lint a subtree
 //	pgridlint -rules rawclock,rawsend ./internal/agent
+//	pgridlint -json           # machine-readable report (schema pgridlint/v1)
+//	pgridlint -baseline lint-baseline.json          # only NEW findings fail
+//	pgridlint -write-baseline lint-baseline.json    # accept current findings
+//	pgridlint -time-budget 90s                      # fail if the run is slower
 //	pgridlint -list           # describe the analyzers
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"pervasivegrid/internal/lint"
 )
@@ -42,8 +49,12 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list analyzers and exit")
 	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit a machine-readable JSON report (schema pgridlint/v1)")
+	baselinePath := fs.String("baseline", "", "findings baseline file; only findings NOT in it fail the run")
+	writeBaseline := fs.String("write-baseline", "", "write current findings to this baseline file and exit 0")
+	timeBudget := fs.Duration("time-budget", 0, "fail (exit 2) if the whole run exceeds this wall time; also prints the elapsed time")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: pgridlint [-list] [-rules r1,r2] [packages]")
+		fmt.Fprintln(stderr, "usage: pgridlint [-list] [-rules r1,r2] [-json] [-baseline file] [-write-baseline file] [-time-budget d] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -83,6 +94,8 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 		patterns = []string{"./..."}
 	}
 
+	//lint:ignore rawclock the linter times its own wall clock for -time-budget; no FakeClock test drives this binary
+	start := time.Now()
 	loader, err := lint.NewLoader(dir)
 	if err != nil {
 		fmt.Fprintf(stderr, "pgridlint: %v\n", err)
@@ -100,11 +113,55 @@ func run(args []string, dir string, stdout, stderr io.Writer) int {
 	}
 
 	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d.String())
+	//lint:ignore rawclock see the time.Now above — real wall time is the point of -time-budget
+	elapsed := time.Since(start)
+
+	if *writeBaseline != "" {
+		b := lint.NewBaseline(loader.ModuleRoot, diags)
+		if err := lint.WriteBaseline(*writeBaseline, b); err != nil {
+			fmt.Fprintf(stderr, "pgridlint: %v\n", err)
+			return exitError
+		}
+		fmt.Fprintf(stderr, "pgridlint: wrote %s with %d accepted finding(s)\n", *writeBaseline, len(b.Findings))
+		return exitClean
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(stderr, "pgridlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+
+	fresh, accepted := diags, []lint.Diagnostic(nil)
+	stale := 0
+	if *baselinePath != "" {
+		b, err := lint.ReadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "pgridlint: %v\n", err)
+			return exitError
+		}
+		fresh, accepted, stale = lint.ApplyBaseline(loader.ModuleRoot, b, diags)
+	}
+
+	if *asJSON {
+		rep := lint.NewJSONReport(loader.ModuleRoot, fresh, accepted, len(pkgs), len(analyzers), stale, elapsed.Milliseconds())
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(stderr, "pgridlint: %v\n", err)
+			return exitError
+		}
+	} else {
+		for _, d := range fresh {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(accepted) > 0 || stale > 0 {
+		fmt.Fprintf(stderr, "pgridlint: %d baselined finding(s), %d stale baseline entr(ies) — regenerate with make lint-baseline\n", len(accepted), stale)
+	}
+	if *timeBudget != 0 {
+		fmt.Fprintf(stderr, "pgridlint: %d package(s), %d rule(s) in %s (budget %s)\n", len(pkgs), len(analyzers), elapsed.Round(time.Millisecond), *timeBudget)
+		if elapsed > *timeBudget {
+			fmt.Fprintf(stderr, "pgridlint: run exceeded time budget — the fixed-point engine is regressing\n")
+			return exitError
+		}
+	}
+	if len(fresh) > 0 {
+		fmt.Fprintf(stderr, "pgridlint: %d finding(s) in %d package(s)\n", len(fresh), len(pkgs))
 		return exitFindings
 	}
 	return exitClean

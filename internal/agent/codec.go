@@ -53,6 +53,8 @@ func validKQMLKey(k string) bool {
 }
 
 // Marshal implements Codec.
+//
+//lint:hot budget=5
 func (KQMLCodec) Marshal(v any) ([]byte, error) {
 	m, ok := v.(map[string]string)
 	if !ok {
@@ -79,6 +81,8 @@ func (KQMLCodec) Marshal(v any) ([]byte, error) {
 }
 
 // Unmarshal implements Codec.
+//
+//lint:hot budget=9
 func (KQMLCodec) Unmarshal(data []byte, v any) error {
 	out, ok := v.(*map[string]string)
 	if !ok {

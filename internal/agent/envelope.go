@@ -54,6 +54,8 @@ type Envelope struct {
 }
 
 // NewEnvelope builds an envelope with a JSON-encoded body.
+//
+//lint:hot budget=4
 func NewEnvelope(from, to ID, performative, ontology string, body any) (Envelope, error) {
 	content, err := json.Marshal(body)
 	if err != nil {
@@ -69,6 +71,8 @@ func NewEnvelope(from, to ID, performative, ontology string, body any) (Envelope
 }
 
 // Decode unmarshals a JSON envelope body into out.
+//
+//lint:hot budget=2
 func (e Envelope) Decode(out any) error {
 	if e.ContentType != "application/json" {
 		return fmt.Errorf("agent: envelope content type %q is not JSON", e.ContentType)

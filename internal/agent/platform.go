@@ -517,6 +517,8 @@ func (p *Platform) Routes() int {
 // Send assigns a sequence number and routes the envelope: local deputy
 // first, then gateway routes in order. Undeliverable envelopes land in the
 // dead-letter ring with a drop reason.
+//
+//lint:hot budget=30
 func (p *Platform) Send(env Envelope) error {
 	p.mu.RLock()
 	if p.closed {

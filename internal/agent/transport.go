@@ -29,6 +29,10 @@ func newWireConn(c net.Conn) *wireConn {
 	return &wireConn{conn: c, enc: json.NewEncoder(c)}
 }
 
+// write frames one envelope onto the wire — the per-envelope syscall
+// path link batching (ROADMAP item 1) will coalesce.
+//
+//lint:hot budget=0
 func (w *wireConn) write(env Envelope) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()

@@ -375,6 +375,7 @@ func (s *Store) Sync() error {
 func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	//lint:ignore blockheld the syncer proc WAL.Close waits for never takes Store.mu, and holding it serializes Close against appenders
 	return s.wal.Close()
 }
 

@@ -252,6 +252,8 @@ func (w *WAL) openSegmentLocked() error {
 // write error the segment is truncated back to the last good frame; if
 // even that fails, the segment is sealed dirty and the next append
 // rotates past it — a fault injects loss, never a wedged log.
+//
+//lint:hot budget=11
 func (w *WAL) Append(rec []byte) error {
 	if len(rec) == 0 {
 		return errors.New("durable: empty record")

@@ -1,0 +1,198 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The findings baseline lets a new analyzer land before the codebase is
+// clean under it: known findings are committed to lint-baseline.json
+// and burned down over time, while anything *not* in the baseline fails
+// the gate immediately. Entries are keyed by (file, rule, message) —
+// deliberately not by line, so unrelated edits that shift code do not
+// resurrect a baselined finding. The cost of that choice: moving a
+// baselined finding to another file, or editing code enough to change
+// the message, surfaces it again — which is the conservative direction.
+
+// BaselineSchema identifies the on-disk format.
+const BaselineSchema = "pgridlint-baseline/v1"
+
+// BaselineEntry is one accepted pre-existing finding.
+type BaselineEntry struct {
+	// File is module-root-relative with forward slashes.
+	File    string `json:"file"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// Baseline is the committed set of accepted findings.
+type Baseline struct {
+	Schema   string          `json:"schema"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// NewBaseline captures the given findings as a baseline, with paths
+// made relative to moduleRoot.
+func NewBaseline(moduleRoot string, diags []Diagnostic) Baseline {
+	b := Baseline{Schema: BaselineSchema, Findings: make([]BaselineEntry, 0, len(diags))}
+	for _, d := range diags {
+		b.Findings = append(b.Findings, BaselineEntry{
+			File:    relFile(moduleRoot, d.Pos.Filename),
+			Rule:    d.Rule,
+			Message: d.Message,
+		})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Rule != c.Rule {
+			return a.Rule < c.Rule
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// WriteBaseline writes the baseline as indented JSON (stable output for
+// small diffs in review).
+func WriteBaseline(path string, b Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBaseline loads a baseline file.
+func ReadBaseline(path string) (Baseline, error) {
+	var b Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("lint: parse baseline %s: %w", path, err)
+	}
+	if b.Schema != BaselineSchema {
+		return b, fmt.Errorf("lint: baseline %s has schema %q, want %q", path, b.Schema, BaselineSchema)
+	}
+	return b, nil
+}
+
+// ApplyBaseline splits findings into new (not covered) and accepted
+// (matched an entry), and reports how many baseline entries went
+// unmatched — the burn-down signal. Matching is multiset: one entry
+// excuses one finding.
+func ApplyBaseline(moduleRoot string, b Baseline, diags []Diagnostic) (fresh, accepted []Diagnostic, stale int) {
+	budget := map[BaselineEntry]int{}
+	for _, e := range b.Findings {
+		budget[e]++
+	}
+	for _, d := range diags {
+		key := BaselineEntry{
+			File:    relFile(moduleRoot, d.Pos.Filename),
+			Rule:    d.Rule,
+			Message: d.Message,
+		}
+		if budget[key] > 0 {
+			budget[key]--
+			accepted = append(accepted, d)
+		} else {
+			fresh = append(fresh, d)
+		}
+	}
+	for _, n := range budget {
+		stale += n
+	}
+	return fresh, accepted, stale
+}
+
+// relFile renders a diagnostic filename relative to the module root
+// with forward slashes, falling back to the input when outside it.
+func relFile(moduleRoot, file string) string {
+	if moduleRoot == "" {
+		return filepath.ToSlash(file)
+	}
+	rel, err := filepath.Rel(moduleRoot, file)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(file)
+	}
+	return filepath.ToSlash(rel)
+}
+
+// JSONFinding is one diagnostic in -json output.
+type JSONFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+	Fix     string `json:"fix,omitempty"`
+	// Baselined marks findings excused by the baseline file; they are
+	// included so tooling can render the burn-down, but they do not
+	// affect the exit code.
+	Baselined bool `json:"baselined,omitempty"`
+}
+
+// JSONReport is the machine-readable output shape (schema pgridlint/v1).
+type JSONReport struct {
+	Schema string `json:"schema"`
+	// Findings lists new findings first, then baselined ones, each
+	// sorted by position.
+	Findings []JSONFinding `json:"findings"`
+	Stats    JSONStats     `json:"stats"`
+}
+
+// JSONStats summarizes one run.
+type JSONStats struct {
+	Packages  int `json:"packages"`
+	Rules     int `json:"rules"`
+	New       int `json:"new"`
+	Baselined int `json:"baselined"`
+	// StaleBaseline counts baseline entries no finding matched — ready
+	// to be dropped by regenerating the baseline.
+	StaleBaseline int   `json:"staleBaseline"`
+	ElapsedMS     int64 `json:"elapsedMs"`
+}
+
+// NewJSONReport assembles the -json payload.
+func NewJSONReport(moduleRoot string, fresh, accepted []Diagnostic, pkgs, rules int, stale int, elapsedMS int64) JSONReport {
+	rep := JSONReport{
+		Schema: "pgridlint/v1",
+		Stats: JSONStats{
+			Packages:      pkgs,
+			Rules:         rules,
+			New:           len(fresh),
+			Baselined:     len(accepted),
+			StaleBaseline: stale,
+			ElapsedMS:     elapsedMS,
+		},
+	}
+	add := func(d Diagnostic, baselined bool) {
+		rep.Findings = append(rep.Findings, JSONFinding{
+			File:      relFile(moduleRoot, d.Pos.Filename),
+			Line:      d.Pos.Line,
+			Col:       d.Pos.Column,
+			Rule:      d.Rule,
+			Message:   d.Message,
+			Fix:       d.Fix,
+			Baselined: baselined,
+		})
+	}
+	for _, d := range fresh {
+		add(d, false)
+	}
+	for _, d := range accepted {
+		add(d, true)
+	}
+	if rep.Findings == nil {
+		rep.Findings = []JSONFinding{}
+	}
+	return rep
+}

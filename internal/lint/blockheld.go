@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+)
+
+// BlockHeld generalizes lockeddeliver from one blocking call (Deliver)
+// caught in one body, to *any* blocking operation reachable through
+// *any* depth of resolved helper calls while a mutex is held. Blocking
+// under a lock is how the PR 1 DisconnectionDeputy deadlocked — the
+// lock holder parks on something that can only make progress once the
+// lock is free — and the single-function rule only catches the literal
+// shape. The summary engine propagates "calling this can block" up the
+// call graph, so the deadlock hides behind helpers at its peril.
+//
+// Blocking operations: channel send/receive, select without a default,
+// Deliver/deliver, Wait, Sleep, Accept, and net dials. The held-set
+// tracking is the same straight-line source-order scan lockeddeliver
+// uses (deferred Unlock holds to exit).
+//
+// Direct Deliver-under-lock sites are left to lockeddeliver, which owns
+// that exact shape and its suppressions; blockheld reports everything
+// else, so the two rules never double-flag one line.
+func BlockHeld() *Analyzer {
+	return &Analyzer{
+		Name:       "blockheld",
+		Doc:        "blocking operation (chan op, select, Deliver, Wait, ...) reachable while a mutex is held",
+		RunProgram: runBlockHeld,
+	}
+}
+
+func runBlockHeld(pass *ProgramPass) {
+	for _, fn := range pass.Graph.Funcs {
+		held := map[string]bool{}
+		for _, ev := range fn.Events {
+			switch ev.Kind {
+			case EventLock:
+				held[ev.Detail] = true
+			case EventUnlock:
+				if !ev.Deferred {
+					delete(held, ev.Detail)
+				}
+			case EventBlock:
+				if len(held) == 0 {
+					continue
+				}
+				// Deliver directly under a lock is lockeddeliver's
+				// finding; do not report it twice.
+				if strings.HasPrefix(ev.Detail, "Deliver") || strings.HasPrefix(ev.Detail, "deliver") {
+					continue
+				}
+				pass.Report(fn.Pkg.Fset.Position(ev.Pos),
+					ev.Detail+" while holding "+heldList(held)+" can deadlock or stall every other user of the lock",
+					"move the blocking operation outside the critical section")
+			case EventCall:
+				if ev.Callee == nil || !ev.Callee.Blocks || len(held) == 0 {
+					continue
+				}
+				pass.Report(fn.Pkg.Fset.Position(ev.Pos),
+					"call while holding "+heldList(held)+" reaches a blocking op: "+
+						ev.Callee.Name+" → "+ev.Callee.BlockWitness,
+					"restructure so the lock is released before the call (collect under the lock, act after Unlock)")
+			}
+		}
+	}
+}
+
+// heldList renders the held lock classes, sorted for determinism.
+func heldList(held map[string]bool) string {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, LockClassString(k))
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}

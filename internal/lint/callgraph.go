@@ -1,0 +1,585 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the interprocedural half of pgridlint: a call graph over
+// every loaded package, with per-function summaries propagated to a
+// fixed point. The per-function analyzers that came first (rawclock,
+// lockeddeliver, ...) see one declaration at a time, which means the PR 1
+// deliver-under-lock deadlock is only caught when Lock and Deliver sit in
+// the same body. The summary engine sees through helper calls: a
+// function that *reaches* a blocking operation, or *eventually acquires*
+// a mutex, carries that fact to every caller.
+//
+// Design, in the order things happen:
+//
+//  1. BuildGraph indexes every FuncDecl of every package by its
+//     *types.Func object (with a per-package name fallback for files
+//     whose type info is incomplete — the loader stubs out-of-module
+//     imports, so some resolution noise is expected and tolerated).
+//
+//  2. One AST walk per function collects its direct facts in source
+//     order: lock/unlock events, calls (resolved against the index),
+//     blocking operations (channel send/receive, select without a
+//     default, Deliver, Wait/Sleep/Accept, net dials), and allocation
+//     sites (composite literals, make/new/append, fmt and friends,
+//     string concatenation, closures).
+//
+//  3. propagate() iterates two monotone summaries to a fixed point:
+//     Blocks (does calling this function ever reach a blocking op?) with
+//     a witness chain for reporting, and Acquires (the set of lock
+//     classes this function can take, transitively) with one witness
+//     path per class. Both are finite and grow monotonically, so the
+//     round-robin iteration terminates; cycles in the call graph simply
+//     converge.
+//
+// Lock identity is a *class*, not an instance: "x.mu" where x has named
+// type agent.Platform becomes "agent.Platform.mu", so two functions
+// locking the same field of the same type agree on the key even through
+// different receivers. When types don't resolve the key degrades to the
+// rendered expression, scoped to the package, which keeps unrelated
+// locals from aliasing each other.
+//
+// Soundness limits (documented in docs/static-analysis.md): calls
+// through interfaces or function values are not resolved (no edges), so
+// facts reached only that way are missed; path sensitivity is the same
+// straight-line approximation lockeddeliver uses; allocations hidden
+// behind stubbed stdlib calls are counted only for a known allocating
+// set (fmt, encoding/json, strconv, strings builders).
+
+// FuncNode is one function declaration in the program graph.
+type FuncNode struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+	Obj  *types.Func // nil when type resolution failed
+	// Name is the qualified display name: "agent.(*Platform).Send" or
+	// "durable.Open".
+	Name string
+
+	// Events are the function's lock/call/block occurrences in source
+	// order — the linear scan blockheld and lockorder replay.
+	Events []FuncEvent
+	// Allocs are the direct allocation sites in this body.
+	Allocs []AllocSite
+	// HotBudget is the parsed //lint:hot budget (see ParseHotDirective);
+	// nil when the function is not marked hot.
+	HotBudget *int
+	// hotPos anchors hotalloc diagnostics at the directive's decl.
+	hotPos token.Pos
+
+	// Summaries, valid after propagate():
+
+	// Blocks is true when calling this function can reach a blocking
+	// operation (directly or through any depth of resolved calls).
+	Blocks bool
+	// BlockWitness is a human-readable chain to one blocking op, e.g.
+	// "flush → send on ch (mailbox.go:94)".
+	BlockWitness string
+	// Acquires maps every lock class this function can take
+	// (transitively) to one witness path describing how.
+	Acquires map[string]string
+}
+
+// FuncEvent is one occurrence inside a function body, in source order.
+type FuncEvent struct {
+	Pos  token.Pos
+	Kind EventKind
+	// Lock/unlock: the lock class key. Block: a short description.
+	Detail string
+	// Deferred marks an unlock performed by a defer statement.
+	Deferred bool
+	// Callee is set for EventCall when the target resolved in-graph.
+	Callee *FuncNode
+	Node   ast.Node
+}
+
+// EventKind discriminates FuncEvent.
+type EventKind int
+
+const (
+	EventLock EventKind = iota
+	EventUnlock
+	EventCall
+	EventBlock
+)
+
+// AllocSite is one direct allocation in a function body.
+type AllocSite struct {
+	Pos  token.Pos
+	Kind string // "composite literal", "make", "fmt.Sprintf", ...
+}
+
+// Graph is the whole-program call graph plus summaries.
+type Graph struct {
+	// Funcs holds every indexed function in deterministic order
+	// (package path, then file, then source position).
+	Funcs []*FuncNode
+
+	byObj  map[*types.Func]*FuncNode
+	byName map[string]*FuncNode // "pkgpath\x00name" fallback
+}
+
+// FuncFor resolves a declaration back to its node (used by tests).
+func (g *Graph) FuncFor(pkg *Package, decl *ast.FuncDecl) *FuncNode {
+	for _, fn := range g.Funcs {
+		if fn.Pkg == pkg && fn.Decl == decl {
+			return fn
+		}
+	}
+	return nil
+}
+
+// blockingCalls are method/function names that block by convention in
+// this codebase: envelope delivery can park on a full mailbox, Wait and
+// Sleep are waits by contract, Accept parks on the listener. Lock/RLock
+// are deliberately absent — nested critical sections are lockorder's
+// business, and flagging every one as "blocking" would drown blockheld.
+var blockingCalls = map[string]string{
+	"Deliver": "Deliver (can park on a full mailbox)",
+	"deliver": "deliver (can park on a full mailbox)",
+	"Wait":    "Wait",
+	"Sleep":   "Sleep",
+	"Accept":  "Accept",
+}
+
+// blockingNetFuncs are package-qualified stdlib calls that block on the
+// network.
+var blockingNetFuncs = map[string]map[string]bool{
+	"net": {"Dial": true, "DialTimeout": true, "Listen": true},
+}
+
+// allocStdlib maps stubbed stdlib packages to the call names that
+// allocate. "*" means every exported call in the package does.
+var allocStdlib = map[string]map[string]bool{
+	"fmt":           {"*": true},
+	"encoding/json": {"Marshal": true, "MarshalIndent": true, "Unmarshal": true, "NewEncoder": true, "NewDecoder": true},
+	"strconv":       {"Itoa": true, "FormatInt": true, "FormatUint": true, "FormatFloat": true, "Quote": true, "AppendInt": false},
+	"strings":       {"Join": true, "Repeat": true, "Split": true, "Fields": true, "ToUpper": true, "ToLower": true, "ReplaceAll": true, "TrimSpace": false},
+	"sort":          {"Strings": false},
+}
+
+// BuildGraph indexes every function declaration across pkgs, collects
+// direct facts, and propagates summaries to a fixed point.
+func BuildGraph(pkgs []*Package) *Graph {
+	g := &Graph{
+		byObj:  map[*types.Func]*FuncNode{},
+		byName: map[string]*FuncNode{},
+	}
+	// Pass 1: index declarations so calls can resolve forward.
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn := &FuncNode{
+					Pkg:      pkg,
+					Decl:     fd,
+					Name:     qualifiedName(pkg, fd),
+					Acquires: map[string]string{},
+				}
+				if pkg.Info != nil {
+					if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						fn.Obj = obj
+						g.byObj[obj] = fn
+					}
+				}
+				// Name fallback: only plain functions — method names
+				// collide too easily across receivers.
+				if fd.Recv == nil {
+					g.byName[pkg.Path+"\x00"+fd.Name.Name] = fn
+				}
+				if budget, pos, ok := ParseHotDirective(pkg.Fset, fd); ok {
+					b := budget
+					fn.HotBudget = &b
+					fn.hotPos = pos
+				}
+				g.Funcs = append(g.Funcs, fn)
+			}
+		}
+	}
+	// Pass 2: per-function direct facts.
+	for _, fn := range g.Funcs {
+		g.collectFacts(fn)
+	}
+	g.propagate()
+	return g
+}
+
+// qualifiedName renders "pkg.(*Recv).Method" / "pkg.Func" for reports.
+func qualifiedName(pkg *Package, fd *ast.FuncDecl) string {
+	short := pkg.Path
+	if i := strings.LastIndex(short, "/"); i >= 0 {
+		short = short[i+1:]
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return short + "." + fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	return short + ".(" + typeExprString(recv) + ")." + fd.Name.Name
+}
+
+// typeExprString renders a receiver type expression.
+func typeExprString(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return "*" + typeExprString(t.X)
+	case *ast.IndexExpr:
+		return typeExprString(t.X)
+	case *ast.IndexListExpr:
+		return typeExprString(t.X)
+	default:
+		return "?"
+	}
+}
+
+// ParseHotDirective scans a function's doc comment for //lint:hot,
+// returning the allocation budget (default 0) and the directive's
+// position. The directive form is:
+//
+//	//lint:hot budget=<n>
+//
+// marking the function as a hot-path root for the hotalloc analyzer.
+func ParseHotDirective(fset *token.FileSet, fd *ast.FuncDecl) (budget int, pos token.Pos, ok bool) {
+	if fd.Doc == nil {
+		return 0, token.NoPos, false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if !strings.HasPrefix(text, "lint:hot") {
+			continue
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(text, "lint:hot"))
+		budget := 0
+		for _, f := range strings.Fields(rest) {
+			if v, found := strings.CutPrefix(f, "budget="); found {
+				if n, err := strconv.Atoi(v); err == nil {
+					budget = n
+				}
+			}
+		}
+		return budget, c.Pos(), true
+	}
+	return 0, token.NoPos, false
+}
+
+// collectFacts walks one body gathering events and allocation sites.
+func (g *Graph) collectFacts(fn *FuncNode) {
+	pkg := fn.Pkg
+	file := fileOf(pkg, fn.Decl)
+	deferred := map[*ast.CallExpr]bool{}
+	// A go statement's call runs in a fresh goroutine: it cannot block
+	// the spawner, so it contributes no block/call event (rawspawn owns
+	// goroutine discipline). Its arguments still evaluate here and keep
+	// their allocation sites.
+	goCalls := map[*ast.CallExpr]bool{}
+	// Channel ops that are a select's comm clauses are part of the
+	// select (one event, blocking only without a default), not free-
+	// standing blocking ops.
+	selectComm := map[ast.Node]bool{}
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.DeferStmt:
+			deferred[node.Call] = true
+		case *ast.GoStmt:
+			goCalls[node.Call] = true
+		case *ast.SelectStmt:
+			for _, clause := range node.Body.List {
+				cc, ok := clause.(*ast.CommClause)
+				if !ok || cc.Comm == nil {
+					continue
+				}
+				switch comm := cc.Comm.(type) {
+				case *ast.SendStmt:
+					selectComm[comm] = true
+				case *ast.ExprStmt:
+					selectComm[unparen(comm.X)] = true
+				case *ast.AssignStmt:
+					if len(comm.Rhs) == 1 {
+						selectComm[unparen(comm.Rhs[0])] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.SendStmt:
+			if !selectComm[node] {
+				fn.Events = append(fn.Events, FuncEvent{Pos: node.Pos(), Kind: EventBlock, Detail: "channel send", Node: node})
+			}
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW && !selectComm[node] {
+				fn.Events = append(fn.Events, FuncEvent{Pos: node.Pos(), Kind: EventBlock, Detail: "channel receive", Node: node})
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(node) {
+				fn.Events = append(fn.Events, FuncEvent{Pos: node.Pos(), Kind: EventBlock, Detail: "select without default", Node: node})
+			}
+		case *ast.CompositeLit:
+			fn.Allocs = append(fn.Allocs, AllocSite{Pos: node.Pos(), Kind: "composite literal"})
+		case *ast.FuncLit:
+			fn.Allocs = append(fn.Allocs, AllocSite{Pos: node.Pos(), Kind: "closure"})
+			// Facts inside the literal belong to whoever runs it, which
+			// the engine cannot see; skip the body (soundness limit).
+			return false
+		case *ast.BinaryExpr:
+			if node.Op == token.ADD && isStringExpr(pkg, node.X) {
+				fn.Allocs = append(fn.Allocs, AllocSite{Pos: node.Pos(), Kind: "string concatenation"})
+			}
+		case *ast.CallExpr:
+			if !goCalls[node] {
+				g.collectCall(fn, file, node, deferred[node])
+			}
+		}
+		return true
+	})
+	sort.SliceStable(fn.Events, func(i, j int) bool { return fn.Events[i].Pos < fn.Events[j].Pos })
+}
+
+// collectCall classifies one call expression: lock event, blocking op,
+// allocation, resolved in-graph call — possibly several at once.
+func (g *Graph) collectCall(fn *FuncNode, file *ast.File, call *ast.CallExpr, isDeferred bool) {
+	pkg := fn.Pkg
+	switch target := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch target.Name {
+		case "make", "new", "append":
+			if isBuiltin(pkg, target) {
+				fn.Allocs = append(fn.Allocs, AllocSite{Pos: call.Pos(), Kind: target.Name})
+			}
+			return
+		}
+		if callee := g.resolve(pkg, target); callee != nil {
+			fn.Events = append(fn.Events, FuncEvent{Pos: call.Pos(), Kind: EventCall, Callee: callee, Node: call})
+		}
+	case *ast.SelectorExpr:
+		name := target.Sel.Name
+		// Package-qualified call?
+		if id, ok := target.X.(*ast.Ident); ok {
+			if path := (&Pass{Pkg: pkg}).ImportedPath(file, id); path != "" {
+				if names, ok := allocStdlib[path]; ok && (names["*"] || names[name]) {
+					short := path[strings.LastIndex(path, "/")+1:]
+					fn.Allocs = append(fn.Allocs, AllocSite{Pos: call.Pos(), Kind: short + "." + name})
+				}
+				if fns, ok := blockingNetFuncs[path]; ok && fns[name] {
+					fn.Events = append(fn.Events, FuncEvent{Pos: call.Pos(), Kind: EventBlock, Detail: "net." + name, Node: call})
+				}
+				if callee := g.resolve(pkg, target.Sel); callee != nil {
+					fn.Events = append(fn.Events, FuncEvent{Pos: call.Pos(), Kind: EventCall, Callee: callee, Node: call})
+				}
+				return
+			}
+		}
+		switch name {
+		case "Lock", "RLock":
+			fn.Events = append(fn.Events, FuncEvent{Pos: call.Pos(), Kind: EventLock, Detail: lockClass(pkg, target.X), Node: call})
+			return
+		case "Unlock", "RUnlock":
+			fn.Events = append(fn.Events, FuncEvent{Pos: call.Pos(), Kind: EventUnlock, Detail: lockClass(pkg, target.X), Deferred: isDeferred, Node: call})
+			return
+		}
+		if desc, ok := blockingCalls[name]; ok {
+			// Blocking-by-convention calls are terminal: the name is the
+			// fact, and a call edge on top would double-report the site.
+			fn.Events = append(fn.Events, FuncEvent{Pos: call.Pos(), Kind: EventBlock, Detail: desc, Node: call})
+			return
+		}
+		if callee := g.resolve(pkg, target.Sel); callee != nil {
+			fn.Events = append(fn.Events, FuncEvent{Pos: call.Pos(), Kind: EventCall, Callee: callee, Node: call})
+		}
+	}
+}
+
+// resolve maps a called identifier to its FuncNode, via type objects
+// when possible and the same-package name table otherwise.
+func (g *Graph) resolve(pkg *Package, id *ast.Ident) *FuncNode {
+	if pkg.Info != nil {
+		if obj, ok := pkg.Info.Uses[id].(*types.Func); ok {
+			return g.byObj[obj] // nil for out-of-graph callees
+		}
+	}
+	return g.byName[pkg.Path+"\x00"+id.Name]
+}
+
+// lockClass names the lock so different holders of the same field
+// agree: "agent.Platform.mu" when the owner's type resolves, otherwise
+// the rendered expression scoped to the package.
+func lockClass(pkg *Package, mutexExpr ast.Expr) string {
+	if sel, ok := unparen(mutexExpr).(*ast.SelectorExpr); ok && pkg.Info != nil {
+		if tv, ok := pkg.Info.Types[sel.X]; ok {
+			if path, name, ok := NamedType(tv.Type); ok {
+				short := path[strings.LastIndex(path, "/")+1:]
+				return short + "." + name + "." + sel.Sel.Name
+			}
+		}
+	}
+	return pkg.Path + "\x00" + exprKey(mutexExpr)
+}
+
+// LockClassString renders a class key for humans (strips the package
+// scoping of unresolved keys).
+func LockClassString(class string) string {
+	if i := strings.IndexByte(class, 0); i >= 0 {
+		path := class[:i]
+		short := path[strings.LastIndex(path, "/")+1:]
+		return short + ":" + class[i+1:]
+	}
+	return class
+}
+
+// propagate iterates the Blocks and Acquires summaries to a fixed
+// point. Both domains are finite and the transfer functions monotone, so
+// repeated sweeps terminate; the sweep order follows g.Funcs, which is
+// deterministic.
+func (g *Graph) propagate() {
+	// Seed direct facts.
+	for _, fn := range g.Funcs {
+		for _, ev := range fn.Events {
+			switch ev.Kind {
+			case EventBlock:
+				if !fn.Blocks {
+					fn.Blocks = true
+					fn.BlockWitness = ev.Detail + " (" + shortPos(fn.Pkg.Fset, ev.Pos) + ")"
+				}
+			case EventLock:
+				if _, ok := fn.Acquires[ev.Detail]; !ok {
+					fn.Acquires[ev.Detail] = fn.Name + " (" + shortPos(fn.Pkg.Fset, ev.Pos) + ")"
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range g.Funcs {
+			for _, ev := range fn.Events {
+				if ev.Kind != EventCall || ev.Callee == nil {
+					continue
+				}
+				callee := ev.Callee
+				if callee.Blocks && !fn.Blocks {
+					fn.Blocks = true
+					fn.BlockWitness = callee.Name + " → " + callee.BlockWitness
+					changed = true
+				}
+				for class, via := range callee.Acquires {
+					if _, ok := fn.Acquires[class]; !ok {
+						fn.Acquires[class] = fn.Name + " → " + via
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// fileOf finds the file containing a declaration.
+func fileOf(pkg *Package, decl ast.Node) *ast.File {
+	for _, f := range pkg.Files {
+		if f.Pos() <= decl.Pos() && decl.Pos() <= f.End() {
+			return f
+		}
+	}
+	return nil
+}
+
+// selectHasDefault reports whether a select statement has a default
+// clause (a non-blocking poll).
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// isStringExpr reports whether an expression is string-typed (resolved
+// type, or a string literal when types are unavailable).
+func isStringExpr(pkg *Package, e ast.Expr) bool {
+	if pkg.Info != nil {
+		if tv, ok := pkg.Info.Types[e]; ok && tv.Type != nil {
+			if b, ok := tv.Type.Underlying().(*types.Basic); ok {
+				return b.Info()&types.IsString != 0
+			}
+			return false
+		}
+	}
+	if lit, ok := unparen(e).(*ast.BasicLit); ok {
+		return lit.Kind == token.STRING
+	}
+	return false
+}
+
+// isBuiltin reports whether an identifier resolves to the universe-scope
+// builtin of the same name (true also when unresolved — shadowing a
+// builtin is rare enough to accept the approximation).
+func isBuiltin(pkg *Package, id *ast.Ident) bool {
+	if pkg.Info != nil {
+		if obj, ok := pkg.Info.Uses[id]; ok {
+			_, isB := obj.(*types.Builtin)
+			return isB
+		}
+	}
+	return true
+}
+
+// shortPos renders "file.go:12" for witness chains.
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	name := p.Filename
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		name = name[i+1:]
+	}
+	return fmt.Sprintf("%s:%d", name, p.Line)
+}
+
+// ReachableAllocs walks the resolved call graph from root collecting
+// every allocation site reachable through it, including the root's own.
+// Each function is visited once; the result is sorted by position for
+// deterministic reports.
+func (g *Graph) ReachableAllocs(root *FuncNode) []AllocSiteIn {
+	var out []AllocSiteIn
+	seen := map[*FuncNode]bool{}
+	var visit func(fn *FuncNode)
+	visit = func(fn *FuncNode) {
+		if seen[fn] {
+			return
+		}
+		seen[fn] = true
+		for _, a := range fn.Allocs {
+			out = append(out, AllocSiteIn{Fn: fn, Site: a})
+		}
+		for _, ev := range fn.Events {
+			if ev.Kind == EventCall && ev.Callee != nil {
+				visit(ev.Callee)
+			}
+		}
+	}
+	visit(root)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Fn.Name != out[j].Fn.Name {
+			return out[i].Fn.Name < out[j].Fn.Name
+		}
+		return out[i].Site.Pos < out[j].Site.Pos
+	})
+	return out
+}
+
+// AllocSiteIn is an allocation site paired with its owning function.
+type AllocSiteIn struct {
+	Fn   *FuncNode
+	Site AllocSite
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// HotAlloc budgets allocations on hot paths. A function marked
+//
+//	//lint:hot budget=<n>
+//
+// in its doc comment is a hot-path root (Platform.Send, the envelope
+// codec, WAL.Append, the sampler — the paths ROADMAP item 1 is about to
+// make fast). The analyzer counts every *static allocation site*
+// reachable from the root through the resolved call graph — composite
+// literals, make/new/append, fmt and other known-allocating stdlib
+// calls, string concatenation, closures — and reports when the count
+// exceeds the budget, listing the heaviest callees so the overage is
+// actionable.
+//
+// Budgets are a ratchet, not a target: set them to today's measured
+// count so an optimization can lower them and a regression cannot raise
+// them without tripping the gate. Static sites are not runtime
+// allocs/op — a site in a loop is one site — but every new site on a
+// hot path is a new place the optimizer has to win back.
+func HotAlloc() *Analyzer {
+	return &Analyzer{
+		Name:       "hotalloc",
+		Doc:        "allocation sites reachable from a //lint:hot root exceed its budget",
+		RunProgram: runHotAlloc,
+	}
+}
+
+func runHotAlloc(pass *ProgramPass) {
+	for _, fn := range pass.Graph.Funcs {
+		if fn.HotBudget == nil {
+			continue
+		}
+		sites := pass.Graph.ReachableAllocs(fn)
+		budget := *fn.HotBudget
+		if len(sites) <= budget {
+			continue
+		}
+		// Summarize per function, heaviest first, for the fix hint.
+		perFn := map[string]int{}
+		var order []string
+		for _, s := range sites {
+			if perFn[s.Fn.Name] == 0 {
+				order = append(order, s.Fn.Name)
+			}
+			perFn[s.Fn.Name]++
+		}
+		// Keep discovery order (deterministic: sites are sorted), then
+		// show the top contributors.
+		top := order
+		if len(top) > 4 {
+			top = top[:4]
+		}
+		var parts []string
+		for _, name := range top {
+			parts = append(parts, fmt.Sprintf("%s: %d", name, perFn[name]))
+		}
+		pass.Report(fn.Pkg.Fset.Position(fn.Decl.Name.Pos()),
+			fmt.Sprintf("hot root %s reaches %d allocation sites, budget %d (%s)",
+				fn.Name, len(sites), budget, strings.Join(parts, ", ")),
+			"remove allocations from the hot path, or raise the budget in the //lint:hot directive with a justification")
+	}
+}

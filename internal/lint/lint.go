@@ -48,7 +48,10 @@ func (d Diagnostic) String() string {
 	return s
 }
 
-// Analyzer is one named invariant check over a type-checked package.
+// Analyzer is one named invariant check. Per-package analyzers set Run
+// and see one type-checked package at a time; whole-program analyzers
+// set RunProgram instead and see every loaded package plus the
+// interprocedural call graph (built lazily, once, shared between them).
 type Analyzer struct {
 	// Name is the rule ID used in diagnostics and //lint:ignore.
 	Name string
@@ -56,6 +59,30 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports findings through the pass.
 	Run func(pass *Pass)
+	// RunProgram inspects the whole program at once. Exactly one of Run
+	// and RunProgram must be set.
+	RunProgram func(pass *ProgramPass)
+}
+
+// ProgramPass carries one whole-program analyzer run.
+type ProgramPass struct {
+	// Pkgs are every loaded package, in load order.
+	Pkgs []*Package
+	// Graph is the interprocedural call graph with summaries.
+	Graph    *Graph
+	analyzer *Analyzer
+	report   func(Diagnostic)
+}
+
+// Report records a finding at an explicit position (program analyzers
+// report across packages, so they carry their own fset positions).
+func (p *ProgramPass) Report(pos token.Position, message, fix string) {
+	p.report(Diagnostic{
+		Pos:     pos,
+		Rule:    p.analyzer.Name,
+		Message: message,
+		Fix:     fix,
+	})
 }
 
 // Pass carries one (analyzer, package) run and collects its findings.
@@ -130,8 +157,9 @@ func NamedType(t types.Type) (path, name string, ok bool) {
 type ignoreDirective struct {
 	rules  map[string]bool
 	reason string
+	pos    token.Position
 	line   int  // line the directive suppresses (its own, or the next)
-	used   bool // reserved for future unused-suppression reporting
+	used   bool // set when the directive suppressed at least one finding
 }
 
 // directivePrefix introduces a suppression comment. Both "//lint:ignore"
@@ -168,7 +196,7 @@ func parseDirectives(fset *token.FileSet, file *ast.File, bad func(Diagnostic)) 
 					rules[r] = true
 				}
 			}
-			d := ignoreDirective{rules: rules, reason: strings.Join(fields[1:], " "), line: pos.Line}
+			d := ignoreDirective{rules: rules, reason: strings.Join(fields[1:], " "), pos: pos, line: pos.Line}
 			// A directive alone on its line suppresses the next line; a
 			// trailing directive suppresses its own line. Distinguish by
 			// whether any node of the file starts on the directive line
@@ -198,29 +226,51 @@ func suppressed(dirs []ignoreDirective, d Diagnostic) bool {
 
 // Run applies every analyzer to every package and returns the surviving
 // findings sorted by position. //lint:ignore directives are honored;
-// malformed directives surface as "lint-directive" findings.
+// malformed directives surface as "lint-directive" findings. Per-package
+// analyzers run first, then whole-program ones (which share one lazily
+// built call graph) — so a program analyzer that inspects directive
+// usage (deadignore) observes the complete run.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var out []Diagnostic
+	// Directive table for every file of every package, built once and
+	// kept for the whole run: suppression marks usage on it, and the
+	// deadignore rule reads the usage bits at the end.
+	dirs := map[string][]ignoreDirective{}
 	for _, pkg := range pkgs {
-		// Directive table per file, built once per package.
-		dirs := map[string][]ignoreDirective{}
 		for _, f := range pkg.Files {
 			name := pkg.Fset.Position(f.Pos()).Filename
 			dirs[name] = parseDirectives(pkg.Fset, f, func(d Diagnostic) {
 				out = append(out, d)
 			})
 		}
-		for _, a := range analyzers {
-			pass := &Pass{Pkg: pkg, analyzer: a}
-			pass.report = func(d Diagnostic) {
-				if suppressed(dirs[d.Pos.Filename], d) {
-					return
-				}
-				out = append(out, d)
-			}
+	}
+	report := func(d Diagnostic) {
+		if suppressed(dirs[d.Pos.Filename], d) {
+			return
+		}
+		out = append(out, d)
+	}
+	var graph *Graph // built on first program-analyzer use
+	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
+		for _, pkg := range pkgs {
+			pass := &Pass{Pkg: pkg, analyzer: a, report: report}
 			a.Run(pass)
 		}
 	}
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		if graph == nil && a.Name != "deadignore" {
+			graph = BuildGraph(pkgs)
+		}
+		pass := &ProgramPass{Pkgs: pkgs, Graph: graph, analyzer: a, report: report}
+		a.RunProgram(pass)
+	}
+	reportDeadIgnores(analyzers, dirs, report)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Pos.Filename != out[j].Pos.Filename {
 			return out[i].Pos.Filename < out[j].Pos.Filename
@@ -231,6 +281,73 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		return out[i].Rule < out[j].Rule
 	})
 	return out
+}
+
+// DeadIgnore returns the stale-suppression rule. It is a marker the Run
+// driver acts on after every other analyzer has finished: a
+// //lint:ignore directive that suppressed nothing, while every rule it
+// names actually ran, is dead weight — the code it excused was fixed or
+// deleted, and keeping the directive would silently excuse the next
+// regression. Directives naming rules outside the run (a -rules subset)
+// are left alone: the rule that would use them did not get a chance.
+func DeadIgnore() *Analyzer {
+	return &Analyzer{
+		Name: "deadignore",
+		Doc:  "//lint:ignore directive that no longer suppresses any finding",
+		// The work happens in Run after all analyzers finish; the no-op
+		// keeps the rule listable and -rules-selectable.
+		RunProgram: func(pass *ProgramPass) {},
+	}
+}
+
+// reportDeadIgnores emits deadignore findings when the rule is part of
+// the run: every directive that suppressed nothing although each rule it
+// names was active. Wildcard directives and directives mentioning
+// deadignore itself are exempt — their deadness is unknowable.
+func reportDeadIgnores(analyzers []*Analyzer, dirs map[string][]ignoreDirective, report func(Diagnostic)) {
+	active := false
+	ran := map[string]bool{"lint-directive": true}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+		if a.Name == "deadignore" {
+			active = true
+		}
+	}
+	if !active {
+		return
+	}
+	// Deterministic file order.
+	files := make([]string, 0, len(dirs))
+	for f := range dirs {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		for i := range dirs[f] {
+			dir := &dirs[f][i]
+			if dir.used || dir.rules["*"] || dir.rules["deadignore"] {
+				continue
+			}
+			covered := true
+			var names []string
+			for r := range dir.rules {
+				names = append(names, r)
+				if !ran[r] {
+					covered = false
+				}
+			}
+			if !covered {
+				continue
+			}
+			sort.Strings(names)
+			report(Diagnostic{
+				Pos:     dir.pos,
+				Rule:    "deadignore",
+				Message: "stale suppression: no " + strings.Join(names, ",") + " finding left to suppress",
+				Fix:     "delete the //lint:ignore directive",
+			})
+		}
+	}
 }
 
 // agentPkgPath is the import path the platform invariants anchor on.
@@ -252,5 +369,9 @@ func Default() []*Analyzer {
 		RawEvent(),
 		RawSpawn("pervasivegrid/internal/supervise", "pervasivegrid/internal/obs"),
 		RawFsync("pervasivegrid/internal/durable"),
+		LockOrder(),
+		BlockHeld(),
+		HotAlloc(),
+		DeadIgnore(),
 	}
 }

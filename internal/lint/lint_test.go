@@ -157,6 +157,111 @@ func TestRawFsyncExemptPackage(t *testing.T) {
 	}
 }
 
+func TestLockOrderFixture(t *testing.T) {
+	checkAgainstMarkers(t, lint.LockOrder(), "lockorder")
+}
+
+func TestBlockHeldFixture(t *testing.T) {
+	checkAgainstMarkers(t, lint.BlockHeld(), "blockheld")
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	checkAgainstMarkers(t, lint.HotAlloc(), "hotalloc")
+}
+
+// TestDeadIgnoreFixture runs rawclock + deadignore together: the live
+// suppression stays silent, the stale one is the only finding.
+func TestDeadIgnoreFixture(t *testing.T) {
+	pkg := loadFixture(t, "deadignore")
+	diags := lint.Run([]*lint.Package{pkg},
+		[]*lint.Analyzer{lint.RawClock("pervasivegrid/internal/obs"), lint.DeadIgnore()})
+	want := wantMarkers(t, filepath.Join("testdata", "src", "deadignore"))
+	got := gotKeys(diags)
+	for k := range want {
+		if !got[k] {
+			t.Errorf("missing expected finding %s", k)
+		}
+	}
+	for k := range got {
+		if !want[k] {
+			t.Errorf("unexpected finding %s", k)
+		}
+	}
+	if t.Failed() {
+		for _, d := range diags {
+			t.Logf("got: %s", d)
+		}
+	}
+}
+
+// TestDeadIgnoreRespectsRuleSubset: when the rule a directive names did
+// not run, the directive's deadness is unknowable and nothing fires.
+func TestDeadIgnoreRespectsRuleSubset(t *testing.T) {
+	pkg := loadFixture(t, "deadignore")
+	// rawclock is NOT in the run: even the stale rawclock directive
+	// must be left alone.
+	diags := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{lint.DeadIgnore()})
+	if len(diags) != 0 {
+		t.Fatalf("deadignore fired for a rule outside the run: %v", diags)
+	}
+}
+
+// TestGraphBlockSummaries pins the fixed-point propagation: the
+// three-deep helper chain in the blockheld fixture makes every level
+// carry Blocks with a witness chain ending at the channel receive.
+func TestGraphBlockSummaries(t *testing.T) {
+	pkg := loadFixture(t, "blockheld")
+	g := lint.BuildGraph([]*lint.Package{pkg})
+	byName := map[string]*lint.FuncNode{}
+	for _, fn := range g.Funcs {
+		byName[fn.Name] = fn
+	}
+	for _, name := range []string{"blockheld.(*Node).h3", "blockheld.(*Node).h2", "blockheld.(*Node).h1"} {
+		fn := byName[name]
+		if fn == nil {
+			t.Fatalf("graph missing %s (have %v)", name, keysOf(byName))
+		}
+		if !fn.Blocks {
+			t.Errorf("%s should carry Blocks", name)
+		}
+	}
+	h1 := byName["blockheld.(*Node).h1"]
+	if !strings.Contains(h1.BlockWitness, "channel receive") {
+		t.Errorf("h1 witness should reach the channel receive, got %q", h1.BlockWitness)
+	}
+	if !strings.Contains(h1.BlockWitness, "h2") {
+		t.Errorf("h1 witness should go through h2, got %q", h1.BlockWitness)
+	}
+}
+
+// TestGraphAcquireSummaries: cd never names D's mutex but acquires it
+// through lockD; the summary must say so.
+func TestGraphAcquireSummaries(t *testing.T) {
+	pkg := loadFixture(t, "lockorder")
+	g := lint.BuildGraph([]*lint.Package{pkg})
+	for _, fn := range g.Funcs {
+		if fn.Name != "lockorder.cd" {
+			continue
+		}
+		for class := range fn.Acquires {
+			if strings.Contains(class, "D.mu") {
+				return
+			}
+		}
+		t.Fatalf("cd should transitively acquire D.mu, has %v", fn.Acquires)
+	}
+	t.Fatal("graph missing lockorder.cd")
+}
+
+func keysOf(m map[string]*lint.FuncNode) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // TestMalformedDirectives: a lint:ignore without rule or reason is
 // itself a finding, even with no analyzers running.
 func TestMalformedDirectives(t *testing.T) {
@@ -234,7 +339,8 @@ func TestLoadPatternsWalk(t *testing.T) {
 }
 
 // TestRepoIsClean is the in-suite version of make lint: the production
-// analyzer set over the whole module must report nothing.
+// analyzer set over the whole module — internal/, cmd/, and examples/
+// alike — must report nothing beyond the committed baseline.
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
@@ -247,8 +353,57 @@ func TestRepoIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatalf("LoadPatterns: %v", err)
 	}
+
+	// The gate is only as wide as the load: make sure ./... really did
+	// pull in the command and example trees, not just internal/.
+	trees := map[string]bool{}
+	for _, p := range pkgs {
+		for _, prefix := range []string{"internal/", "cmd/", "examples/"} {
+			if strings.HasPrefix(strings.TrimPrefix(p.Path, "pervasivegrid/"), prefix) {
+				trees[prefix] = true
+			}
+		}
+	}
+	for _, prefix := range []string{"internal/", "cmd/", "examples/"} {
+		if !trees[prefix] {
+			t.Errorf("no %s packages loaded — the repo-clean gate lost coverage", prefix)
+		}
+	}
+
 	diags := lint.Run(pkgs, lint.Default())
-	for _, d := range diags {
+
+	// Findings recorded in lint-baseline.json are excused here exactly as
+	// in make lint; anything fresh fails the suite.
+	baseline, err := lint.ReadBaseline(filepath.Join(loader.ModuleRoot, "lint-baseline.json"))
+	if err != nil {
+		t.Fatalf("read lint-baseline.json: %v", err)
+	}
+	fresh, accepted, stale := lint.ApplyBaseline(loader.ModuleRoot, baseline, diags)
+	for _, d := range fresh {
 		t.Errorf("%s", d)
+	}
+	if len(accepted) > 0 || stale > 0 {
+		t.Logf("%d baselined finding(s), %d stale baseline entr(ies)", len(accepted), stale)
+	}
+}
+
+// BenchmarkLintRepo times a full production run — module load, call
+// graph, fixed point, every analyzer — over the whole repository. It
+// backs the make-check wall-time budget: if the fixed-point engine
+// regresses from milliseconds toward minutes, this is the number that
+// moves first.
+func BenchmarkLintRepo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		loader, err := lint.NewLoader(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkgs, err := loader.LoadPatterns("", "./...")
+		if err != nil {
+			b.Fatalf("LoadPatterns: %v", err)
+		}
+		if diags := lint.Run(pkgs, lint.Default()); len(diags) > 0 {
+			b.Fatalf("repo not clean during bench: %v", diags[0])
+		}
 	}
 }

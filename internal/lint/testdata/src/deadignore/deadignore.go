@@ -1,0 +1,33 @@
+// Package deadignore is the fixture corpus for the deadignore rule: a
+// live suppression (still hiding a finding), a stale one (nothing left
+// to hide), one naming a rule outside the run, and a wildcard — only
+// the stale one is reported.
+package deadignore
+
+import "time"
+
+// live still suppresses a real rawclock finding, so it is not dead.
+func live() {
+	//lint:ignore rawclock fixture keeps a live suppression
+	time.Sleep(time.Millisecond)
+}
+
+// stale suppresses nothing: the offending line was fixed, the
+// directive stayed behind.
+func stale() {
+	//lint:ignore rawclock the sleep this excused was deleted // want deadignore
+	_ = 1 + 1
+}
+
+// offrun names a rule that is not part of this run; its deadness is
+// unknowable, so it is left alone.
+func offrun() {
+	//lint:ignore notarule the rule only runs in another configuration
+	_ = 2 + 2
+}
+
+// wildcard blanket waivers are exempt for the same reason.
+func wildcard() {
+	//lint:ignore * blanket waiver, deadness unknowable
+	_ = 3 + 3
+}

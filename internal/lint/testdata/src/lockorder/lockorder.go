@@ -1,0 +1,88 @@
+// Package lockorder is the fixture corpus for the lockorder analyzer:
+// a direct two-lock inversion, an inversion hidden behind a helper
+// call, a consistently-ordered pair that must stay silent, and a
+// recursive acquisition that is not this rule's business.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+var a A
+var b B
+
+// ab and ba together form the true cycle: A→B here, B→A below.
+func ab() {
+	a.mu.Lock()
+	b.mu.Lock() // want lockorder
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func ba() {
+	b.mu.Lock()
+	a.mu.Lock() // want lockorder
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+type C struct{ mu sync.Mutex }
+
+type D struct{ mu sync.Mutex }
+
+var c C
+var d D
+
+// lockD is the helper hiding one half of the second cycle: cd never
+// mentions D's mutex, but reaches it through this call.
+func lockD() {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+func cd() {
+	c.mu.Lock()
+	lockD() // want lockorder
+	c.mu.Unlock()
+}
+
+func dc() {
+	d.mu.Lock()
+	c.mu.Lock() // want lockorder
+	c.mu.Unlock()
+	d.mu.Unlock()
+}
+
+type E struct{ mu sync.Mutex }
+
+type F struct{ mu sync.Mutex }
+
+var e E
+var f F
+
+// ef1 and ef2 acquire in the same order on every path: a consistent
+// global order is exactly what the rule asks for, so no finding.
+func ef1() {
+	e.mu.Lock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+func ef2() {
+	e.mu.Lock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+// reacquire takes the same class twice — a recursive-locking bug, not
+// an ordering inversion; lockorder stays silent.
+func reacquire() {
+	a.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	a.mu.Unlock()
+}

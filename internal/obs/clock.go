@@ -63,6 +63,7 @@ func (f *FakeClock) After(d time.Duration) <-chan time.Time {
 	ch := make(chan time.Time, 1)
 	f.mu.Lock()
 	if d <= 0 {
+		//lint:ignore blockheld ch is freshly made with capacity 1; the send cannot block
 		ch <- f.now
 		f.mu.Unlock()
 		return ch
@@ -81,6 +82,7 @@ func (f *FakeClock) After(d time.Duration) <-chan time.Time {
 func (f *FakeClock) Advance(d time.Duration) {
 	f.mu.Lock()
 	f.now = f.now.Add(d)
+	//lint:ignore blockheld every waiter channel is buffered(1) and fired at most once; the sends cannot block
 	f.fireLocked()
 	f.mu.Unlock()
 }

@@ -60,7 +60,10 @@ func (s *Sampler) Off() bool { return s != nil && s.threshold == 0 }
 // Sampled reports the deterministic head decision for a trace: the
 // TraceID is mixed through splitmix64 and compared against the rate
 // threshold, so the same trace gets the same verdict on every node and
-// on every hop. A nil sampler keeps everything.
+// on every hop. A nil sampler keeps everything. It sits on every
+// traced Send, so it must stay allocation-free.
+//
+//lint:hot budget=0
 func (s *Sampler) Sampled(trace uint64) bool {
 	if s == nil {
 		return true
