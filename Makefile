@@ -4,7 +4,7 @@ GO ?= go
 # (85% at the time the observability layer landed).
 COVER_FLOOR ?= 84.0
 
-.PHONY: build test race vet fmt-check lint lint-baseline cover check bench bench-baseline benchcmp experiments load-smoke
+.PHONY: build test race vet fmt-check lint lint-baseline cover check bench bench-baseline benchcmp experiments load-smoke e18-smoke
 
 # Generous wall-time ceiling for the whole lint run (call-graph build +
 # fixed point over every package). Today's run is well under a second;
@@ -61,7 +61,7 @@ cover:
 # detector, the coverage floor, the end-to-end scenario smoke, and (when
 # a fresh bench capture exists) the benchmark-regression gate. The agent
 # platform, transports, and solvers must stay race-clean.
-check: vet fmt-check lint race cover load-smoke benchcmp
+check: vet fmt-check lint race cover load-smoke e18-smoke benchcmp
 
 # load-smoke runs both disaster scenarios end to end (real TCP, open-loop
 # load) at rates any CI box sustains, and fails unless the priority lane
@@ -71,7 +71,13 @@ load-smoke:
 	$(GO) run ./cmd/pgridload -scenario storm -smoke
 	$(GO) run ./cmd/pgridload -scenario flood -smoke
 
-# experiments regenerates every E1–E17 table into results.txt (a build
+# e18-smoke regenerates the adaptive re-composition table end to end:
+# providers die mid-plan (crash-loop and partition) and the adaptive
+# executor must finish the conversations the static engine abandons.
+e18-smoke:
+	$(GO) run ./cmd/pgridbench -only E18
+
+# experiments regenerates every E1–E18 table into results.txt (a build
 # output, not a tracked file).
 experiments:
 	$(GO) run ./cmd/pgridbench -o results.txt
@@ -79,12 +85,12 @@ experiments:
 
 # bench runs the hot-path micro-benchmarks (delivery, discovery match,
 # envelope codec, ...) once each, then re-runs the regression-gated
-# Deliver/Route/WAL set best-of-3 at a fixed iteration count (single
+# Deliver/Route/WAL/Replan set best-of-3 at a fixed iteration count (single
 # iterations of microsecond benchmarks are too noisy to gate on).
 # Records everything as test2json events in BENCH_new.json for benchcmp.
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x -json ./... > BENCH_new.json
-	$(GO) test -run '^$$' -bench='Deliver|Route|WAL' -benchtime=5000x -count=3 -json . >> BENCH_new.json
+	$(GO) test -run '^$$' -bench='Deliver|Route|WAL|Replan' -benchtime=5000x -count=3 -json . >> BENCH_new.json
 	@grep -o '"Output":"Benchmark[^"]*ns/op[^"]*"' BENCH_new.json | sed 's/"Output":"//; s/\\n"$$//; s/\\t/\t/g' || true
 	@echo "wrote BENCH_new.json"
 
@@ -93,10 +99,10 @@ bench:
 # the hot paths.
 bench-baseline:
 	$(GO) test -run '^$$' -bench=. -benchmem -benchtime=1x -json ./... > BENCH_obs.json
-	$(GO) test -run '^$$' -bench='Deliver|Route|WAL' -benchtime=5000x -count=3 -json . >> BENCH_obs.json
+	$(GO) test -run '^$$' -bench='Deliver|Route|WAL|Replan' -benchtime=5000x -count=3 -json . >> BENCH_obs.json
 	@echo "wrote BENCH_obs.json (tracked baseline)"
 
-# benchcmp fails on a >20% ns/op regression of the Deliver/Route/WAL
+# benchcmp fails on a >20% ns/op regression of the Deliver/Route/WAL/Replan
 # benchmarks relative to the tracked baseline. Skips quietly when no
 # fresh capture exists (run `make bench` first to arm it).
 benchcmp:

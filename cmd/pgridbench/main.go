@@ -1,4 +1,4 @@
-// Command pgridbench regenerates the reproduction suite's tables (E1–E17
+// Command pgridbench regenerates the reproduction suite's tables (E1–E18
 // in DESIGN.md / EXPERIMENTS.md) and compares benchmark runs.
 //
 // Usage:
@@ -45,7 +45,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
 	out := flag.String("o", "", "also write results to this file")
 	compare := flag.Bool("compare", false, "compare two bench captures: pgridbench -compare old.json new.json")
-	benchMatch := flag.String("bench-match", "Deliver|Route|WAL", "regexp selecting which benchmarks -compare gates on")
+	benchMatch := flag.String("bench-match", "Deliver|Route|WAL|Replan", "regexp selecting which benchmarks -compare gates on")
 	benchThreshold := flag.Float64("bench-threshold", 0.20, "-compare fails when a gated benchmark's ns/op grows by more than this fraction")
 	overheadBudget := flag.Float64("overhead-budget", 0.10, "-compare fails when the instrumented Deliver path (PlatformDeliverSampled) costs more than this fraction over the sampler-off blackout baseline")
 	p99Threshold := flag.Float64("p99-threshold", 0.25, "-compare on pgridload reports fails when p99/p999 grows by more than this fraction")

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"pervasivegrid/internal/agent"
+	"pervasivegrid/internal/composition"
 	"pervasivegrid/internal/core"
 	"pervasivegrid/internal/durable"
 	"pervasivegrid/internal/faultinject"
@@ -61,6 +62,9 @@ func main() {
 	fsyncEvery := flag.Duration("fsync-interval", 50*time.Millisecond, "sync period when -fsync=interval")
 	walSegment := flag.Int64("wal-segment", 0, "WAL segment rotation threshold in bytes (0 = default 4MB)")
 	traceSample := flag.Float64("trace-sample", 1, "head-sampling rate for span traces by TraceID hash (1 = keep all, 0.01 = ~1%; error/shed/breaker-open/p99-slow traces are always tail-kept)")
+	recomposeOn := flag.Bool("recompose", false, "host a provider agent per advertised service and arm adaptive re-composition: breaker transitions and fleet health verdicts trigger mid-plan re-planning with live conversation migration")
+	recomposeCost := flag.Duration("recompose-cost", 0, "adaptive re-composition: a step invocation slower than this fires a cost degradation signal against its service (0 = off)")
+	recomposeMaxReplans := flag.Int("recompose-max-replans", 3, "adaptive re-composition: re-plans allowed per conversation (negative = never, reproducing static execution)")
 	flightDump := flag.Bool("flight-dump", false, "print the flight recorder's black box from -data-dir (post-crash forensics) and exit")
 	flag.Parse()
 
@@ -231,6 +235,72 @@ func main() {
 	if err := rt.RegisterSolverAgents(platform); err != nil {
 		log.Fatalf("pgridd: %v", err)
 	}
+
+	// Adaptive re-composition. With -recompose every advertised service
+	// gets a provider agent, and a composer stands armed over the default
+	// situation-report plan: breaker transitions (delivery failures and
+	// fleet-forced opens) and monitor health verdicts feed its degraded
+	// set, so a mid-plan signal re-plans the rest of the conversation onto
+	// substitute services instead of abandoning it.
+	var composer *composition.Adaptive
+	if *recomposeOn {
+		n, err := rt.RegisterProviderAgents(platform)
+		if err != nil {
+			log.Fatalf("pgridd: providers: %v", err)
+		}
+		lib := composition.NewLibrary()
+		for _, task := range []*composition.Task{
+			{Name: "situation-report", Subtasks: []string{"survey", "solve"}},
+			{Name: "survey", Concept: "TemperatureSensor",
+				Outputs: []string{"TemperatureSensor"}},
+			{Name: "solve", Concept: "HeatSolver",
+				Inputs: []string{"TemperatureSensor"}, Outputs: []string{"HeatSolver"}},
+		} {
+			if err := lib.Define(task); err != nil {
+				log.Fatalf("pgridd: compose library: %v", err)
+			}
+		}
+		eng := rt.NewCompositionEngine(platform)
+		// Share the platform's breaker set: a destination the delivery
+		// path or the fleet monitor has quarantined is a service the
+		// composer must steer around.
+		eng.Breakers = platform.Breakers
+		composer = &composition.Adaptive{
+			Engine:        eng,
+			Library:       lib,
+			Goal:          "situation-report",
+			Events:        platform.Events,
+			Node:          *name,
+			MaxReplans:    *recomposeMaxReplans,
+			CostThreshold: *recomposeCost,
+		}
+		composer.Start()
+		defer composer.Stop()
+		composer.WatchBreakers(platform.Breakers)
+		if mon != nil {
+			cancel := mon.OnHealthChange(func(node string, from, to telemetry.Health) {
+				if to != telemetry.Suspect && to != telemetry.Down {
+					return
+				}
+				composer.Degrade(composition.Signal{
+					Kind:    composition.SignalHealth,
+					Service: node,
+					Dead:    to == telemetry.Down,
+					Detail:  fmt.Sprintf("fleet verdict %s -> %s", from, to),
+				})
+			})
+			defer cancel()
+		}
+		fmt.Printf("pgridd: adaptive re-composition armed (%d provider agents, max-replans=%d, cost-threshold=%v)\n",
+			n, *recomposeMaxReplans, *recomposeCost)
+		// One boot-time conversation proves the loop end to end and warms
+		// the proactive bindings.
+		exec := composer.Run()
+		fmt.Printf("pgridd: situation-report %s (steps=%d replans=%d migrations=%d)\n",
+			map[bool]string{true: "composed", false: "abandoned"}[exec.Succeeded],
+			len(exec.Steps), exec.Replans, exec.Migrations)
+	}
+
 	gw, err := agent.ListenAndServe(platform, *addr)
 	if err != nil {
 		log.Fatalf("pgridd: %v", err)

@@ -226,10 +226,70 @@ func TestExecuteFailsWhenAllCandidatesDie(t *testing.T) {
 	if exec.Err == nil {
 		t.Fatal("terminal error missing")
 	}
-	// Dead services must have been withdrawn from the registry.
+	if !exec.Abandoned {
+		t.Fatal("failed execution should be marked abandoned")
+	}
+	// One or two transient failures must NOT deregister a service: the
+	// breaker quarantines it; only DeregisterAfter consecutive failures
+	// confirm death. Each candidate failed at most twice here (initial
+	// list + one rediscovery), below the default threshold of 3.
+	still := 0
 	for _, p := range brokers[0].Reg.Profiles() {
 		if p.Concept == "DecisionTreeService" {
-			t.Fatalf("dead service %s still advertised", p.Name)
+			still++
+		}
+	}
+	if still != 2 {
+		t.Fatalf("transiently-failing services withdrawn from registry: %d of 2 left", still)
+	}
+}
+
+func TestExecuteConfirmsDeadAtThreshold(t *testing.T) {
+	brokers, o := testWorld(t, 1, 2)
+	e := &Engine{
+		Brokers: brokers, Onto: o,
+		MaxAttempts:     8,
+		DeregisterAfter: 2,
+		Invoke:          func(*ontology.Profile, Step) error { return errors.New("down") },
+	}
+	exec := e.Execute(minePlan(t))
+	if exec.Succeeded {
+		t.Fatal("execution should fail when every candidate dies")
+	}
+	// With DeregisterAfter=2 each candidate fails twice (initial list +
+	// rediscovery) and crosses the confirmed-dead threshold.
+	for _, p := range brokers[0].Reg.Profiles() {
+		if p.Concept == "DecisionTreeService" {
+			t.Fatalf("confirmed-dead service %s still advertised", p.Name)
+		}
+	}
+}
+
+func TestConfirmDeadOnHealthVerdict(t *testing.T) {
+	brokers, o := testWorld(t, 2, 2)
+	e := &Engine{
+		Brokers: brokers, Onto: o, Strategy: Proactive,
+		Invoke: func(*ontology.Profile, Step) error { return nil },
+	}
+	plan := minePlan(t)
+	e.Prebind(plan)
+	victim := "DecisionTreeService-0"
+	e.ConfirmDead(victim)
+	for _, b := range brokers {
+		for _, p := range b.Reg.Profiles() {
+			if p.Name == victim {
+				t.Fatalf("ConfirmDead left %s advertised on %s", victim, b.Name)
+			}
+		}
+	}
+	// The proactive cache must not serve the dead binding either.
+	exec := e.Execute(plan)
+	if !exec.Succeeded {
+		t.Fatal(exec.Err)
+	}
+	for _, s := range exec.Steps {
+		if s.Service == victim {
+			t.Fatalf("step %s still bound to confirmed-dead %s", s.Task, victim)
 		}
 	}
 }
@@ -511,5 +571,53 @@ func TestPropertyGroupLatencyBounds(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestProactiveCacheStalenessAfterDeregister pins the cache-hit path's
+// staleness contract: a binding whose service deregistered is not served
+// from cache (stillAdvertised check at bind time), the step migrates to
+// a substitute, and InvalidateCache drops every binding so Prebind
+// starts from scratch.
+func TestProactiveCacheStalenessAfterDeregister(t *testing.T) {
+	brokers, o := testWorld(t, 1, 2)
+	e := &Engine{
+		Brokers: brokers, Onto: o, Strategy: Proactive,
+		Invoke: func(*ontology.Profile, Step) error { return nil },
+	}
+	plan := minePlan(t)
+	if bound := e.Prebind(plan); bound != 3 {
+		t.Fatalf("prebound = %d, want 3", bound)
+	}
+	victim := e.cache["DecisionTreeService"]
+	if victim == nil {
+		t.Fatal("no cached DecisionTreeService binding")
+	}
+	brokers[0].Reg.Deregister(victim.Name)
+
+	exec := e.Execute(plan)
+	if !exec.Succeeded {
+		t.Fatalf("stale cache must fall back to discovery: %+v", exec.Err)
+	}
+	for _, s := range exec.Steps {
+		if s.Service == victim.Name {
+			t.Fatalf("step %s served from stale cache binding %s", s.Task, victim.Name)
+		}
+		if s.Task == "generate-trees" && s.CacheHit {
+			t.Fatal("deregistered binding still counted as a cache hit")
+		}
+	}
+	// The fallback re-populates the cache with the substitute it found.
+	if repl := e.cache["DecisionTreeService"]; repl == nil || repl.Name == victim.Name {
+		t.Fatalf("cache after fallback = %v, want live substitute", repl)
+	}
+
+	// InvalidateCache forgets everything: a full Prebind is needed again.
+	e.InvalidateCache()
+	if len(e.cache) != 0 {
+		t.Fatalf("cache not empty after InvalidateCache: %v", e.cache)
+	}
+	if bound := e.Prebind(plan); bound != 3 {
+		t.Fatalf("re-prebind bound %d, want 3", bound)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"pervasivegrid/internal/discovery"
+	"pervasivegrid/internal/obs"
 	"pervasivegrid/internal/ontology"
 	"pervasivegrid/internal/supervise"
 )
@@ -89,10 +90,26 @@ type Engine struct {
 	// the breaker — so a service that keeps failing compositions stops
 	// being tried at all until its cool-down elapses.
 	Breakers *supervise.BreakerSet
+	// DeregisterAfter is how many consecutive invocation failures
+	// confirm a service dead and withdraw its advertisement from every
+	// broker (default 3; negative = never deregister). Below the
+	// threshold a failing service is only quarantined by its breaker —
+	// transient failures must not permanently nuke a registration.
+	DeregisterAfter int
+	// Metrics, when set, receives composition counters
+	// (composition_executions_total, composition_abandoned_total, ...).
+	Metrics *obs.Registry
 
 	// cache holds proactive bindings keyed by step concept.
 	cache map[string]*ontology.Profile
+	// failStreak counts consecutive invocation failures per service,
+	// reset on success; reaching DeregisterAfter confirms death.
+	failStreak map[string]int
 }
+
+// DefaultDeregisterAfter is the consecutive-failure threshold that
+// confirms a service dead when Engine.DeregisterAfter is zero.
+const DefaultDeregisterAfter = 3
 
 // StepReport records one step's execution.
 type StepReport struct {
@@ -107,6 +124,10 @@ type StepReport struct {
 	Optional     bool
 	// CacheHit marks a proactive binding that was used directly.
 	CacheHit bool
+	// Avoided counts candidates passed over because the caller marked
+	// their service degraded (adaptive re-composition steering around a
+	// known-bad binding before its breaker opens).
+	Avoided int
 	// Group echoes the step's parallel group.
 	Group int
 	// Latency is this step's modelled cost contribution.
@@ -121,6 +142,15 @@ type Execution struct {
 	// Degraded means at least one optional step failed while the
 	// composite still succeeded.
 	Degraded bool
+	// Replans counts mid-conversation re-plans (adaptive executor only;
+	// the static engine never re-plans).
+	Replans int
+	// Migrations counts steps completed on a substitute service after a
+	// degradation signal fired against their original binding.
+	Migrations int
+	// Abandoned marks a conversation that was dropped: it failed and no
+	// (further) re-plan could rescue it.
+	Abandoned bool
 	// Latency is the modelled cost (discovery + invocations).
 	Latency float64
 	// Err carries the terminal failure when Succeeded is false.
@@ -219,126 +249,208 @@ func (e *Engine) stillAdvertised(p *ontology.Profile) bool {
 	return false
 }
 
+// runStep binds and invokes one step: proactively from cache or
+// reactively by discovery, trying candidates in rank order up to
+// MaxAttempts. Candidates whose breaker is open, or whose service the
+// caller marked in avoid, are skipped without burning an attempt. A
+// non-nil error is terminal for the whole plan (no live broker); a
+// report with OK unset is a step failure the caller may degrade,
+// abandon, or re-plan around.
+func (e *Engine) runStep(step Step, avoid map[string]bool) (StepReport, error) {
+	report := StepReport{Task: step.Task.Name, Optional: step.Task.Optional, Group: step.Group}
+	maxAttempts := e.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 3
+	}
+
+	// Build the candidate list.
+	var candidates []*ontology.Profile
+	if e.Strategy == Proactive {
+		if p, ok := e.cache[step.Task.Concept]; ok && e.stillAdvertised(p) {
+			candidates = append(candidates, p)
+			report.CacheHit = true
+		}
+	}
+	if len(candidates) == 0 {
+		ms, err := e.discover(step, &report.Latency)
+		if err != nil {
+			return report, err
+		}
+		for _, m := range ms {
+			candidates = append(candidates, m.Profile)
+		}
+	}
+
+	// Try candidates in rank order, popping each; when the list runs
+	// dry, re-discover once more in case new services have appeared
+	// since the previous lookup.
+	rediscovered := false
+	for report.Attempts < maxAttempts {
+		if len(candidates) == 0 {
+			if rediscovered {
+				break
+			}
+			rediscovered = true
+			ms, err := e.discover(step, &report.Latency)
+			if err != nil {
+				return report, err
+			}
+			for _, m := range ms {
+				candidates = append(candidates, m.Profile)
+			}
+			continue
+		}
+		p := candidates[0]
+		candidates = candidates[1:]
+		if avoid[p.Name] {
+			// The caller knows this service is degraded (signal fired
+			// against it); steer to a substitute without burning an
+			// attempt.
+			report.Avoided++
+			continue
+		}
+		if e.Breakers != nil && !e.Breakers.Allow(p.Name) {
+			// Open circuit: this service is known-bad right now.
+			// Skip to the next candidate without burning an
+			// attempt — the breaker already paid for the failures
+			// that opened it.
+			report.BreakerSkips++
+			continue
+		}
+		report.Attempts++
+		report.Latency += e.InvokeCost
+		if err := e.Invoke(p, step); err == nil {
+			if e.Breakers != nil {
+				e.Breakers.Success(p.Name)
+			}
+			delete(e.failStreak, p.Name)
+			report.OK = true
+			report.Service = p.Name
+			if e.Strategy == Proactive {
+				if e.cache == nil {
+					e.cache = map[string]*ontology.Profile{}
+				}
+				e.cache[step.Task.Concept] = p
+			}
+			break
+		}
+		// Fault tolerance: feed the failure to the breaker (which
+		// quarantines a flapping service without forgetting it), drop
+		// any stale proactive binding, and re-bind to the next
+		// candidate. Only a confirmed-dead service — DeregisterAfter
+		// consecutive failures — is withdrawn from the registries; a
+		// single transient failure must not permanently deregister it.
+		if e.Breakers != nil {
+			e.Breakers.Failure(p.Name)
+		}
+		report.Rebinds++
+		delete(e.cache, step.Task.Concept)
+		e.noteFailure(p.Name)
+	}
+	return report, nil
+}
+
+// noteFailure bumps a service's consecutive-failure streak and confirms
+// it dead at the DeregisterAfter threshold.
+func (e *Engine) noteFailure(service string) {
+	n := e.DeregisterAfter
+	if n == 0 {
+		n = DefaultDeregisterAfter
+	}
+	if n < 0 {
+		return
+	}
+	if e.failStreak == nil {
+		e.failStreak = map[string]int{}
+	}
+	e.failStreak[service]++
+	if e.failStreak[service] >= n {
+		e.ConfirmDead(service)
+	}
+}
+
+// ConfirmDead withdraws a service's advertisement from every broker and
+// forgets its proactive bindings — the confirmed-dead path, reached by
+// DeregisterAfter consecutive failures or an external Down health
+// verdict (Adaptive wires monitor verdicts here).
+func (e *Engine) ConfirmDead(service string) {
+	for _, b := range e.Brokers {
+		if b != nil {
+			b.Reg.Deregister(service)
+		}
+	}
+	for c, p := range e.cache {
+		if p.Name == service {
+			delete(e.cache, c)
+		}
+	}
+	delete(e.failStreak, service)
+	if e.Metrics != nil {
+		e.Metrics.Counter("composition_confirmed_dead_total").Inc()
+	}
+}
+
 // Execute runs the plan. Each step is bound (proactively from cache or
 // reactively by discovery) and invoked; on invocation failure the engine
-// deregisters the dead service and re-binds to the next candidate, up to
-// MaxAttempts. Optional-step failure degrades instead of aborting.
+// feeds the breaker, re-binds to the next candidate up to MaxAttempts,
+// and withdraws only confirmed-dead services (DeregisterAfter
+// consecutive failures). Optional-step failure degrades instead of
+// aborting.
 func (e *Engine) Execute(plan []Step) Execution {
 	exec := Execution{}
 	if e.Invoke == nil {
 		exec.Err = fmt.Errorf("composition: engine has no invoker")
 		return exec
 	}
-	maxAttempts := e.MaxAttempts
-	if maxAttempts <= 0 {
-		maxAttempts = 3
-	}
-
 	for _, step := range plan {
-		report := StepReport{Task: step.Task.Name, Optional: step.Task.Optional, Group: step.Group}
-
-		// Build the candidate list.
-		var candidates []*ontology.Profile
-		if e.Strategy == Proactive {
-			if p, ok := e.cache[step.Task.Concept]; ok && e.stillAdvertised(p) {
-				candidates = append(candidates, p)
-				report.CacheHit = true
-			}
-		}
-		if len(candidates) == 0 {
-			ms, err := e.discover(step, &report.Latency)
-			if err != nil {
-				exec.Err = err
-				exec.Steps = append(exec.Steps, report)
-				exec.Latency = groupLatency(exec.Steps)
-				return exec
-			}
-			for _, m := range ms {
-				candidates = append(candidates, m.Profile)
-			}
-		}
-
-		// Try candidates in rank order, popping each; when the list
-		// runs dry, re-discover once more in case new services have
-		// appeared since the previous lookup.
-		rediscovered := false
-		for report.Attempts < maxAttempts {
-			if len(candidates) == 0 {
-				if rediscovered {
-					break
-				}
-				rediscovered = true
-				ms, err := e.discover(step, &report.Latency)
-				if err != nil {
-					exec.Err = err
-					exec.Steps = append(exec.Steps, report)
-					exec.Latency = groupLatency(exec.Steps)
-					return exec
-				}
-				for _, m := range ms {
-					candidates = append(candidates, m.Profile)
-				}
-				continue
-			}
-			p := candidates[0]
-			candidates = candidates[1:]
-			if e.Breakers != nil && !e.Breakers.Allow(p.Name) {
-				// Open circuit: this service is known-bad right now.
-				// Skip to the next candidate without burning an
-				// attempt — the breaker already paid for the failures
-				// that opened it.
-				report.BreakerSkips++
-				continue
-			}
-			report.Attempts++
-			report.Latency += e.InvokeCost
-			if err := e.Invoke(p, step); err == nil {
-				if e.Breakers != nil {
-					e.Breakers.Success(p.Name)
-				}
-				report.OK = true
-				report.Service = p.Name
-				if e.Strategy == Proactive {
-					if e.cache == nil {
-						e.cache = map[string]*ontology.Profile{}
-					}
-					e.cache[step.Task.Concept] = p
-				}
-				break
-			}
-			// Fault tolerance: the service is dead — withdraw its
-			// advertisement everywhere and re-bind to the next
-			// candidate.
-			if e.Breakers != nil {
-				e.Breakers.Failure(p.Name)
-			}
-			report.Rebinds++
-			delete(e.cache, step.Task.Concept)
-			for _, b := range e.Brokers {
-				if b != nil {
-					b.Reg.Deregister(p.Name)
-				}
-			}
-		}
-
+		report, err := e.runStep(step, nil)
 		exec.Steps = append(exec.Steps, report)
+		if err != nil {
+			exec.Err = err
+			break
+		}
 		if !report.OK {
 			if step.Task.Optional {
 				exec.Degraded = true
 				continue
 			}
-			if report.Attempts == 0 {
-				exec.Err = fmt.Errorf("%w: %s (%s)", ErrUnbound, step.Task.Name, step.Task.Concept)
-			} else {
-				exec.Err = fmt.Errorf("composition: step %s failed after %d attempts", step.Task.Name, report.Attempts)
-			}
-			exec.Latency = groupLatency(exec.Steps)
-			return exec
+			exec.Err = stepFailure(step, report)
+			break
 		}
 	}
-	exec.Succeeded = true
+	if exec.Err != nil {
+		exec.Abandoned = true
+	} else {
+		exec.Succeeded = true
+	}
 	exec.Latency = groupLatency(exec.Steps)
+	e.record(&exec)
 	return exec
+}
+
+// stepFailure builds the terminal error for a failed required step.
+func stepFailure(step Step, report StepReport) error {
+	if report.Attempts == 0 {
+		return fmt.Errorf("%w: %s (%s)", ErrUnbound, step.Task.Name, step.Task.Concept)
+	}
+	return fmt.Errorf("composition: step %s failed after %d attempts", step.Task.Name, report.Attempts)
+}
+
+// record exports one execution's outcome into the metrics registry.
+func (e *Engine) record(exec *Execution) {
+	if e.Metrics == nil {
+		return
+	}
+	e.Metrics.Counter("composition_executions_total").Inc()
+	if exec.Abandoned {
+		e.Metrics.Counter("composition_abandoned_total").Inc()
+	}
+	if exec.Replans > 0 {
+		e.Metrics.Counter("composition_replans_total").Add(float64(exec.Replans))
+	}
+	if exec.Migrations > 0 {
+		e.Metrics.Counter("composition_migrations_total").Add(float64(exec.Migrations))
+	}
 }
 
 // groupLatency totals step latencies with parallel groups collapsed to

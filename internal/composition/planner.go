@@ -10,6 +10,7 @@ package composition
 
 import (
 	"fmt"
+	"sort"
 
 	"pervasivegrid/internal/ontology"
 )
@@ -27,9 +28,15 @@ type Task struct {
 	// tasks only).
 	Inputs  []string
 	Outputs []string
-	// Subtasks is the decomposition of a compound task, ordered unless
-	// Unordered is set.
+	// Subtasks is the preferred decomposition of a compound task, ordered
+	// unless Unordered is set.
 	Subtasks []string
+	// Alternatives are ranked fallback decompositions for a compound
+	// task: Alternatives[0] is tried when the primary Subtasks
+	// decomposition cannot be executed (its bound services degraded),
+	// Alternatives[1] after that, and so on. Every alternative shares the
+	// task's Unordered flag.
+	Alternatives [][]string
 	// Unordered marks a compound task whose subtasks have no mutual data
 	// dependencies and may execute concurrently; the engine models their
 	// combined latency as the maximum rather than the sum.
@@ -41,6 +48,24 @@ type Task struct {
 
 // Primitive reports whether the task binds directly to a service.
 func (t *Task) Primitive() bool { return len(t.Subtasks) == 0 }
+
+// Methods returns how many ranked decompositions a compound task carries
+// (0 for primitives).
+func (t *Task) Methods() int {
+	if t.Primitive() {
+		return 0
+	}
+	return 1 + len(t.Alternatives)
+}
+
+// Decomposition returns the i-th ranked decomposition: 0 is the primary
+// Subtasks list, i>0 indexes Alternatives[i-1].
+func (t *Task) Decomposition(i int) []string {
+	if i <= 0 {
+		return t.Subtasks
+	}
+	return t.Alternatives[i-1]
+}
 
 // Library is a named collection of task definitions.
 type Library struct {
@@ -65,6 +90,14 @@ func (l *Library) Define(t *Task) error {
 	if !t.Primitive() && t.Concept != "" {
 		return fmt.Errorf("composition: compound task %q must not name a concept", t.Name)
 	}
+	if t.Primitive() && len(t.Alternatives) > 0 {
+		return fmt.Errorf("composition: primitive task %q cannot carry alternative decompositions", t.Name)
+	}
+	for i, alt := range t.Alternatives {
+		if len(alt) == 0 {
+			return fmt.Errorf("composition: task %q alternative %d is empty", t.Name, i)
+		}
+	}
 	l.tasks[t.Name] = t
 	return nil
 }
@@ -87,9 +120,16 @@ type Step struct {
 	Group int
 }
 
-// Plan expands a goal task depth-first into its ordered primitive steps.
-// Undefined subtasks and decomposition cycles are errors.
+// Plan expands a goal task depth-first into its ordered primitive steps,
+// using every compound task's primary decomposition. Undefined subtasks
+// and decomposition cycles are errors.
 func (l *Library) Plan(goal string) ([]Step, error) {
+	return l.planWith(goal, nil)
+}
+
+// planWith expands goal using method[name] to pick each compound task's
+// decomposition (0 / absent = primary Subtasks, i>0 = Alternatives[i-1]).
+func (l *Library) planWith(goal string, method map[string]int) ([]Step, error) {
 	var out []Step
 	visiting := map[string]bool{}
 	nextGroup := 0
@@ -114,6 +154,10 @@ func (l *Library) Plan(goal string) ([]Step, error) {
 			out = append(out, Step{Task: t, Path: append([]string(nil), path...), Group: g})
 			return nil
 		}
+		m := method[name]
+		if m >= t.Methods() {
+			return fmt.Errorf("composition: task %q has no decomposition %d", name, m)
+		}
 		visiting[name] = true
 		defer delete(visiting, name)
 		childGroup := group
@@ -121,7 +165,7 @@ func (l *Library) Plan(goal string) ([]Step, error) {
 			childGroup = nextGroup
 			nextGroup++
 		}
-		for _, sub := range t.Subtasks {
+		for _, sub := range t.Decomposition(m) {
 			if err := expand(sub, append(path, name), childGroup); err != nil {
 				return err
 			}
@@ -132,6 +176,108 @@ func (l *Library) Plan(goal string) ([]Step, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// DefaultMaxPlans bounds PlanRanked's enumeration when the caller passes
+// max <= 0.
+const DefaultMaxPlans = 8
+
+// PlanRanked expands goal into up to max distinct plans, ordered by
+// preference: the all-primary plan first, then plans substituting
+// alternative decompositions, cheapest deviations first (fewest and
+// lowest-ranked alternatives; ties broken by task name). Plans whose
+// decomposition choice fails to expand are skipped; duplicate step
+// sequences (an alternative on a task the goal never reaches) are
+// deduplicated. An error is returned only when no choice yields a plan.
+func (l *Library) PlanRanked(goal string, max int) ([][]Step, error) {
+	if max <= 0 {
+		max = DefaultMaxPlans
+	}
+	// Compound tasks carrying alternatives, sorted for deterministic
+	// enumeration order.
+	var names []string
+	for name, t := range l.tasks {
+		if !t.Primitive() && len(t.Alternatives) > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	counts := make([]int, len(names))
+	maxSum := 0
+	for i, n := range names {
+		counts[i] = l.tasks[n].Methods()
+		maxSum += counts[i] - 1
+	}
+
+	var plans [][]Step
+	seen := map[string]bool{}
+	var firstErr error
+	vec := make([]int, len(names))
+	emit := func() {
+		method := make(map[string]int, len(names))
+		for j, n := range names {
+			method[n] = vec[j]
+		}
+		steps, err := l.planWith(goal, method)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		sig := planSignature(steps)
+		if seen[sig] {
+			return
+		}
+		seen[sig] = true
+		plans = append(plans, steps)
+	}
+	// Enumerate choice vectors in order of increasing total deviation
+	// from the primary plan, lexicographic within a band.
+	for s := 0; s <= maxSum && len(plans) < max; s++ {
+		var rec func(i, remaining int)
+		rec = func(i, remaining int) {
+			if len(plans) >= max {
+				return
+			}
+			if i == len(names) {
+				if remaining == 0 {
+					emit()
+				}
+				return
+			}
+			limit := counts[i] - 1
+			if limit > remaining {
+				limit = remaining
+			}
+			for v := 0; v <= limit; v++ {
+				vec[i] = v
+				rec(i+1, remaining-v)
+			}
+			vec[i] = 0
+		}
+		rec(0, s)
+	}
+	if len(plans) == 0 {
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return nil, fmt.Errorf("composition: no plan for goal %q", goal)
+	}
+	return plans, nil
+}
+
+// planSignature fingerprints a plan for deduplication: the ordered task
+// names with their parallel-group structure.
+func planSignature(plan []Step) string {
+	sig := make([]byte, 0, 16*len(plan))
+	for _, s := range plan {
+		sig = append(sig, s.Task.Name...)
+		sig = append(sig, '#')
+		sig = fmt.Appendf(sig, "%d", s.Group)
+		sig = append(sig, ';')
+	}
+	return string(sig)
 }
 
 // ValidateDataflow checks that every step's inputs are produced by earlier

@@ -1,0 +1,184 @@
+package composition
+
+import (
+	"strings"
+	"testing"
+
+	"pervasivegrid/internal/ontology"
+)
+
+// altLibrary builds a goal with two ranked fallbacks: a one-step fast
+// path, a two-step pipeline, and a degraded approximation.
+func altLibrary(t *testing.T) *Library {
+	t.Helper()
+	l := NewLibrary()
+	def := func(task *Task) {
+		if err := l.Define(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	def(&Task{Name: "goal", Subtasks: []string{"fast"},
+		Alternatives: [][]string{{"slow"}, {"degraded"}}})
+	def(&Task{Name: "fast", Concept: "FastService",
+		Inputs: []string{"Raw"}, Outputs: []string{"Result"}})
+	def(&Task{Name: "slow", Subtasks: []string{"prep", "finish"}})
+	def(&Task{Name: "prep", Concept: "PrepService",
+		Inputs: []string{"Raw"}, Outputs: []string{"Prepped"}})
+	def(&Task{Name: "finish", Concept: "FinishService",
+		Inputs: []string{"Prepped"}, Outputs: []string{"Result"}})
+	def(&Task{Name: "degraded", Concept: "ApproxService",
+		Inputs: []string{"Raw"}, Outputs: []string{"Approx"}})
+	return l
+}
+
+func planNames(plan []Step) string {
+	names := make([]string, len(plan))
+	for i, s := range plan {
+		names[i] = s.Task.Name
+	}
+	return strings.Join(names, ",")
+}
+
+func TestDefineRejectsBadAlternatives(t *testing.T) {
+	l := NewLibrary()
+	err := l.Define(&Task{Name: "p", Concept: "C", Alternatives: [][]string{{"x"}}})
+	if err == nil {
+		t.Fatal("primitive task with alternatives accepted")
+	}
+	err = l.Define(&Task{Name: "c", Subtasks: []string{"x"}, Alternatives: [][]string{{}}})
+	if err == nil {
+		t.Fatal("empty alternative decomposition accepted")
+	}
+}
+
+func TestPlanRankedOrdersAlternatives(t *testing.T) {
+	l := altLibrary(t)
+	plans, err := l.PlanRanked("goal", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"fast", "prep,finish", "degraded"}
+	if len(plans) != len(want) {
+		t.Fatalf("got %d plans, want %d", len(plans), len(want))
+	}
+	for i, w := range want {
+		if got := planNames(plans[i]); got != w {
+			t.Fatalf("plan[%d] = %q, want %q", i, got, w)
+		}
+	}
+	// Plan (the single-plan API) must still return the primary.
+	primary, err := l.Plan("goal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planNames(primary) != want[0] {
+		t.Fatalf("Plan = %q, want primary %q", planNames(primary), want[0])
+	}
+}
+
+func TestPlanRankedCapsAndDedupes(t *testing.T) {
+	l := altLibrary(t)
+	// An alternative-bearing task the goal never reaches must not
+	// produce duplicate plans.
+	if err := l.Define(&Task{Name: "orphan", Subtasks: []string{"fast"},
+		Alternatives: [][]string{{"degraded"}}}); err != nil {
+		t.Fatal(err)
+	}
+	plans, err := l.PlanRanked("goal", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, p := range plans {
+		sig := planNames(p)
+		if seen[sig] {
+			t.Fatalf("duplicate plan %q", sig)
+		}
+		seen[sig] = true
+	}
+	if len(plans) != 3 {
+		t.Fatalf("got %d plans, want 3 distinct", len(plans))
+	}
+	capped, err := l.PlanRanked("goal", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped) != 2 {
+		t.Fatalf("max=2 returned %d plans", len(capped))
+	}
+}
+
+func TestPlanRankedSkipsBrokenChoices(t *testing.T) {
+	l := NewLibrary()
+	def := func(task *Task) {
+		if err := l.Define(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	def(&Task{Name: "goal", Subtasks: []string{"missing-task"},
+		Alternatives: [][]string{{"ok"}}})
+	def(&Task{Name: "ok", Concept: "OkService"})
+	plans, err := l.PlanRanked("goal", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 1 || planNames(plans[0]) != "ok" {
+		t.Fatalf("plans = %v, want just the working alternative", plans)
+	}
+	// When every choice is broken, the first expansion error surfaces.
+	l2 := NewLibrary()
+	if err := l2.Define(&Task{Name: "goal", Subtasks: []string{"nope"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l2.PlanRanked("goal", 0); err == nil {
+		t.Fatal("PlanRanked succeeded with no expandable choice")
+	}
+}
+
+// TestValidateDataflowWithAlternatives checks each ranked plan
+// independently satisfies (or fails) dataflow: the two-step fallback
+// threads its intermediate product, and stripping the producing step
+// breaks it.
+func TestValidateDataflowWithAlternatives(t *testing.T) {
+	o := ontology.Pervasive()
+	l := altLibrary(t)
+	plans, err := l.PlanRanked("goal", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range plans {
+		if err := ValidateDataflow(p, []string{"Raw"}, o); err != nil {
+			t.Fatalf("plan[%d] %q failed dataflow with Raw supplied: %v", i, planNames(p), err)
+		}
+		if err := ValidateDataflow(p, nil, o); err == nil {
+			t.Fatalf("plan[%d] %q validated without its Raw input", i, planNames(p))
+		}
+	}
+	// An alternative that drops the producing step must fail validation:
+	// finish alone needs Prepped, which only prep produces.
+	l2 := NewLibrary()
+	def := func(task *Task) {
+		if err := l2.Define(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	def(&Task{Name: "goal", Subtasks: []string{"prep", "finish"},
+		Alternatives: [][]string{{"finish"}}})
+	def(&Task{Name: "prep", Concept: "PrepService",
+		Inputs: []string{"Raw"}, Outputs: []string{"Prepped"}})
+	def(&Task{Name: "finish", Concept: "FinishService",
+		Inputs: []string{"Prepped"}, Outputs: []string{"Result"}})
+	plans2, err := l2.PlanRanked("goal", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans2) != 2 {
+		t.Fatalf("got %d plans, want 2", len(plans2))
+	}
+	if err := ValidateDataflow(plans2[0], []string{"Raw"}, o); err != nil {
+		t.Fatalf("primary plan failed dataflow: %v", err)
+	}
+	if err := ValidateDataflow(plans2[1], []string{"Raw"}, o); err == nil {
+		t.Fatal("alternative skipping the producer passed dataflow validation")
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"pervasivegrid/internal/agent"
+	"pervasivegrid/internal/composition"
+	"pervasivegrid/internal/ontology"
+)
+
+// ComposeOntology labels provider-invocation conversations: the composition
+// engine's step calls travel as envelopes under this vocabulary.
+const ComposeOntology = "pgrid-compose-v1"
+
+// ProviderAgentID names the agent serving an advertised service profile.
+// The composition invoker derives the same ID from the bound profile, so
+// an advertisement and its provider agent stay connected by name alone.
+func ProviderAgentID(service string) agent.ID {
+	return agent.ID("provider-" + service)
+}
+
+// InvokeRequest asks a provider agent to perform one composition step.
+type InvokeRequest struct {
+	Task    string `json:"task"`
+	Concept string `json:"concept"`
+}
+
+// InvokeReply is the provider's answer.
+type InvokeReply struct {
+	OK      bool   `json:"ok"`
+	Service string `json:"service"`
+	Error   string `json:"error,omitempty"`
+}
+
+// RegisterProviderAgents hosts one provider agent per profile currently
+// advertised on the runtime's broker. Each agent answers ComposeOntology
+// requests with an acknowledgement carrying its service name — the
+// conversation leg a composition step rides over the real messaging path.
+// Already-hosted services are skipped, so the call is idempotent and can
+// re-run after new advertisements. Returns how many agents were added.
+func (rt *Runtime) RegisterProviderAgents(p *agent.Platform) (int, error) {
+	added := 0
+	for _, prof := range rt.Broker.Reg.Profiles() {
+		id := ProviderAgentID(prof.Name)
+		if _, hosted := p.Attributes(id); hosted {
+			continue
+		}
+		service := prof.Name
+		attrs := agent.Attributes{Agent: map[string]string{
+			agent.AttrRole: agent.RoleProvider,
+			"concept":      prof.Concept,
+		}}
+		h := agent.HandlerFunc(func(env agent.Envelope, ctx *agent.Context) {
+			if env.Performative != "request" || env.Ontology != ComposeOntology {
+				return
+			}
+			var req InvokeRequest
+			if err := env.Decode(&req); err != nil {
+				return
+			}
+			rt.Metrics.Counter("core_provider_invocations_total", "service", service).Inc()
+			out, err := env.Reply("inform", InvokeReply{OK: true, Service: service})
+			if err != nil {
+				return
+			}
+			out.From = ctx.Self
+			// A step acknowledgement lost to a full mailbox would burn a
+			// whole invocation attempt on the composer: retry the reply.
+			_ = agent.SendRetry(ctx.Platform, out, 2*time.Second, replyPolicy)
+		})
+		if err := p.Register(id, rt.wrapHandler(h), attrs, rt.DeputyWrap); err != nil {
+			return added, err
+		}
+		added++
+	}
+	return added, nil
+}
+
+// PlatformInvoker builds a composition.Invoker that calls the bound
+// service's provider agent over the platform through the retry layer — the
+// real-messaging replacement for the modelled always-succeeds invoker. A
+// call that exhausts its retries (crashed provider, partition, open link)
+// surfaces as a step failure, which is exactly what feeds the engine's
+// breakers and the adaptive executor's re-planning.
+func PlatformInvoker(p *agent.Platform, timeout time.Duration, policy agent.RetryPolicy) composition.Invoker {
+	return func(prof *ontology.Profile, step composition.Step) error {
+		env, err := agent.CallRetry(p, ProviderAgentID(prof.Name), "request", ComposeOntology,
+			InvokeRequest{Task: step.Task.Name, Concept: step.Task.Concept}, timeout, policy)
+		if err != nil {
+			return fmt.Errorf("core: invoke %s for step %s: %w", prof.Name, step.Task.Name, err)
+		}
+		var rep InvokeReply
+		if err := env.Decode(&rep); err != nil {
+			return fmt.Errorf("core: invoke %s: bad reply: %w", prof.Name, err)
+		}
+		if !rep.OK {
+			return fmt.Errorf("core: provider %s refused step %s: %s", prof.Name, step.Task.Name, rep.Error)
+		}
+		return nil
+	}
+}
+
+// DefaultInvokeTimeout and DefaultInvokePolicy are the conversation budget
+// NewCompositionEngine gives the platform invoker: enough attempts to ride
+// out a provider restart, short enough that a dead provider fails the step
+// in seconds and lets the engine re-bind.
+const DefaultInvokeTimeout = 5 * time.Second
+
+// DefaultInvokePolicy returns the stock retry policy for platform-backed
+// step invocations.
+func DefaultInvokePolicy() agent.RetryPolicy {
+	return agent.RetryPolicy{
+		MaxAttempts:    4,
+		BaseDelay:      20 * time.Millisecond,
+		MaxDelay:       250 * time.Millisecond,
+		Jitter:         0.2,
+		AttemptTimeout: 500 * time.Millisecond,
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"pervasivegrid/internal/agent"
+	"pervasivegrid/internal/composition"
+	"pervasivegrid/internal/faultinject"
+	"pervasivegrid/internal/obs"
+	"pervasivegrid/internal/ontology"
+	"pervasivegrid/internal/supervise"
+)
+
+// Chaos test for adaptive re-composition over the real messaging path: a
+// two-step composition (ingest -> mine) runs against provider agents
+// hosted behind a real TCP gateway. The moment the first step completes,
+// the service bound to the remaining step starts crash-looping — a
+// mid-plan death. The conversation must finish on the substitute provider
+// without redoing the completed step, the victim's breaker must open, and
+// the adaptive executor must see the degradation signal.
+func TestChaosAdaptiveCompositionSurvivesProviderCrash(t *testing.T) {
+	rt := fireRuntime(t)
+	reg := func(name, concept string) {
+		p := &ontology.Profile{Name: name, Concept: concept}
+		if _, err := rt.Broker.Reg.Register(p, DefaultLeaseTTL); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The base station hosts the providers; its supervision backoff runs
+	// on a fake clock so the victim's crash-loop restarts are instant.
+	fc := obs.NewFakeClock()
+	defer fc.AutoAdvance()()
+	server := agent.NewPlatform("base-station")
+	server.Clock = fc
+	defer server.Close()
+
+	// mine-a registers first with its handler behind the injector: the
+	// one provider the chaos will kill. Ties rank by name, so it is the
+	// top candidate for the mine step.
+	injMine := faultinject.New(faultinject.Config{Seed: 11})
+	reg("mine-a", "MineService")
+	rt.HandlerWrap = injMine.WrapHandler
+	if n, err := rt.RegisterProviderAgents(server); err != nil || n != 1 {
+		t.Fatalf("victim registration: n=%d err=%v", n, err)
+	}
+	rt.HandlerWrap = nil
+	reg("ingest-a", "IngestService")
+	reg("mine-b", "MineService")
+	if n, err := rt.RegisterProviderAgents(server); err != nil || n != 2 {
+		t.Fatalf("substitute registration: n=%d err=%v", n, err)
+	}
+
+	gw, err := agent.ListenAndServe(server, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	client := agent.NewPlatform("handheld")
+	defer client.Close()
+	link := agent.DialReconnect(client, gw.Addr(), agent.ReconnectOptions{
+		MaxBuffer: 16,
+		BaseDelay: 5 * time.Millisecond,
+	})
+	defer link.Close()
+	chaosWaitFor(t, "initial connect", link.Connected)
+
+	lib := composition.NewLibrary()
+	for _, task := range []*composition.Task{
+		{Name: "report", Subtasks: []string{"ingest", "mine"}},
+		{Name: "ingest", Concept: "IngestService",
+			Inputs: []string{"Raw"}, Outputs: []string{"IngestedData"}},
+		{Name: "mine", Concept: "MineService",
+			Inputs: []string{"IngestedData"}, Outputs: []string{"Result"}},
+	} {
+		if err := lib.Define(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	eng := rt.NewCompositionEngine(client)
+	// One failure opens the victim's breaker, and a tight conversation
+	// budget keeps the dead provider's step failure fast.
+	eng.Breakers = supervise.NewBreakerSet(supervise.BreakerPolicy{
+		FailureThreshold: 1, OpenFor: time.Minute,
+	})
+	eng.Breakers.AttachMetrics(rt.Metrics)
+	policy := agent.RetryPolicy{
+		MaxAttempts:    3,
+		BaseDelay:      10 * time.Millisecond,
+		MaxDelay:       50 * time.Millisecond,
+		Jitter:         0.2,
+		AttemptTimeout: 250 * time.Millisecond,
+		Seed:           17,
+	}
+	inner := PlatformInvoker(client, 3*time.Second, policy)
+	eng.Invoke = func(p *ontology.Profile, s composition.Step) error {
+		err := inner(p, s)
+		if err == nil && s.Task.Name == "ingest" {
+			// Mid-plan kill: step 1 is done, and the service bound to
+			// the remaining step dies before it is invoked.
+			injMine.CrashFor(time.Minute)
+		}
+		return err
+	}
+
+	a := &composition.Adaptive{Engine: eng, Library: lib, Goal: "report", Initial: []string{"Raw"}}
+	a.Start()
+	a.WatchBreakers(eng.Breakers)
+	defer func() {
+		done := make(chan struct{})
+		go func() { a.Stop(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("adaptive Stop hung")
+		}
+	}()
+
+	exec := a.Run()
+	if !exec.Succeeded {
+		t.Fatalf("conversation abandoned: %+v", exec.Err)
+	}
+	if len(exec.Steps) != 2 {
+		t.Fatalf("steps = %d, want 2: %+v", len(exec.Steps), exec.Steps)
+	}
+	if got := exec.Steps[0].Service; got != "ingest-a" {
+		t.Fatalf("ingest bound to %q", got)
+	}
+	mine := exec.Steps[1]
+	if mine.Service != "mine-b" {
+		t.Fatalf("mine finished on %q, want substitute mine-b (rebinds=%d)", mine.Service, mine.Rebinds)
+	}
+	if mine.Rebinds < 1 {
+		t.Fatalf("mine step shows no rebind off the crashed provider: %+v", mine)
+	}
+
+	// The kill really happened on the wire, and the breaker opened on it.
+	if got := injMine.Stats().Panicked; got < 1 {
+		t.Fatalf("injector panics = %d, want >= 1", got)
+	}
+	if st := eng.Breakers.State("mine-a"); st != supervise.BreakerOpen {
+		t.Fatalf("mine-a breaker = %v, want open", st)
+	}
+
+	// Zero redone work: each completed step invoked its provider exactly
+	// once, and the crashed provider never acknowledged anything.
+	invocations := func(svc string) float64 {
+		return rt.Metrics.Counter("core_provider_invocations_total", "service", svc).Value()
+	}
+	if n := invocations("ingest-a"); n != 1 {
+		t.Fatalf("ingest-a acknowledged %v invocations, want exactly 1", n)
+	}
+	if n := invocations("mine-b"); n != 1 {
+		t.Fatalf("mine-b acknowledged %v invocations, want exactly 1", n)
+	}
+	if n := invocations("mine-a"); n != 0 {
+		t.Fatalf("crashed mine-a acknowledged %v invocations", n)
+	}
+
+	// The adaptive watch saw the breaker transition as a signal.
+	chaosWaitFor(t, "breaker-open signal", func() bool {
+		return rt.Metrics.Counter("composition_signals_total", "kind", "breaker-open").Value() >= 1
+	})
+}

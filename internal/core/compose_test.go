@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"pervasivegrid/internal/agent"
+	"pervasivegrid/internal/composition"
+	"pervasivegrid/internal/ontology"
+)
+
+// TestPlatformCompositionEndToEnd drives a composition through the real
+// invoker on a single local platform: every step becomes a request/inform
+// conversation with its service's provider agent.
+func TestPlatformCompositionEndToEnd(t *testing.T) {
+	rt := fireRuntime(t)
+	for _, svc := range []struct{ name, concept string }{
+		{"ingest-0", "IngestService"},
+		{"mine-0", "MineService"},
+	} {
+		p := &ontology.Profile{Name: svc.name, Concept: svc.concept}
+		if _, err := rt.Broker.Reg.Register(p, DefaultLeaseTTL); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	p := agent.NewPlatform("local")
+	defer p.Close()
+	n, err := rt.RegisterProviderAgents(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("registered %d provider agents, want 2", n)
+	}
+	// Idempotent: a second pass adds nothing and errors nothing.
+	if n, err = rt.RegisterProviderAgents(p); err != nil || n != 0 {
+		t.Fatalf("re-registration: n=%d err=%v", n, err)
+	}
+
+	lib := composition.NewLibrary()
+	for _, task := range []*composition.Task{
+		{Name: "report", Subtasks: []string{"ingest", "mine"}},
+		{Name: "ingest", Concept: "IngestService",
+			Inputs: []string{"Raw"}, Outputs: []string{"IngestedData"}},
+		{Name: "mine", Concept: "MineService",
+			Inputs: []string{"IngestedData"}, Outputs: []string{"Result"}},
+	} {
+		if err := lib.Define(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plan, err := lib.Plan("report")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eng := rt.NewCompositionEngine(p)
+	exec := eng.Execute(plan)
+	if !exec.Succeeded {
+		t.Fatalf("platform composition failed: %+v", exec.Err)
+	}
+	for _, svc := range []string{"ingest-0", "mine-0"} {
+		got := rt.Metrics.Counter("core_provider_invocations_total", "service", svc).Value()
+		if got != 1 {
+			t.Fatalf("%s acknowledged %v invocations, want 1", svc, got)
+		}
+	}
+	// A step against a service with no provider agent must fail the
+	// conversation instead of silently succeeding: that is what feeds the
+	// breakers.
+	if _, err := rt.Broker.Reg.Register(
+		&ontology.Profile{Name: "ghost-0", Concept: "GhostService"}, DefaultLeaseTTL); err != nil {
+		t.Fatal(err)
+	}
+	ghost := composition.NewLibrary()
+	if err := ghost.Define(&composition.Task{Name: "haunt", Concept: "GhostService"}); err != nil {
+		t.Fatal(err)
+	}
+	gplan, err := ghost.Plan("haunt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	geng := rt.NewCompositionEngine(p)
+	geng.Invoke = PlatformInvoker(p, 500*time.Millisecond, agent.RetryPolicy{
+		MaxAttempts: 2, BaseDelay: 5 * time.Millisecond, AttemptTimeout: 100 * time.Millisecond,
+	})
+	if gexec := geng.Execute(gplan); gexec.Succeeded {
+		t.Fatal("composition against a provider-less service succeeded")
+	}
+}

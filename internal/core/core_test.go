@@ -283,9 +283,17 @@ func TestCompositionEngineFromRuntime(t *testing.T) {
 	if err := rt.AdvertiseDefaults(); err != nil {
 		t.Fatal(err)
 	}
-	e := rt.NewCompositionEngine()
+	e := rt.NewCompositionEngine(nil)
 	if e == nil || e.Invoke == nil {
 		t.Fatal("engine incomplete")
+	}
+	// The platform-backed variant must come armed with a real invoker and
+	// per-service breakers.
+	p := agent.NewPlatform("compose")
+	defer p.Close()
+	pe := rt.NewCompositionEngine(p)
+	if pe.Breakers == nil {
+		t.Fatal("platform engine has no breakers")
 	}
 }
 

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"time"
 
+	"pervasivegrid/internal/agent"
 	"pervasivegrid/internal/composition"
 	"pervasivegrid/internal/discovery"
 	"pervasivegrid/internal/ontology"
+	"pervasivegrid/internal/supervise"
 )
 
 // DefaultLeaseTTL is the advertisement lifetime used by AdvertiseDefaults.
@@ -84,14 +86,25 @@ func (rt *Runtime) Discover(req ontology.Request) []discovery.Match {
 }
 
 // NewCompositionEngine builds a composition engine over the runtime's
-// broker and ontology with a default always-succeeds invoker; callers
-// replace Invoke to model failures or perform real work.
-func (rt *Runtime) NewCompositionEngine() *composition.Engine {
-	return &composition.Engine{
+// broker and ontology. With a platform, steps are invoked for real: each
+// bound service's provider agent (see RegisterProviderAgents) is called
+// over the messaging path through CallRetry, behind a per-service circuit
+// breaker, so engine executions exercise the same retry/breaker machinery
+// as every other conversation. With a nil platform the invoker is the
+// modelled always-succeeds stub; callers replace Invoke to model failures.
+func (rt *Runtime) NewCompositionEngine(p *agent.Platform) *composition.Engine {
+	e := &composition.Engine{
 		Brokers:       []*discovery.Broker{rt.Broker},
 		Onto:          rt.Onto,
 		Invoke:        func(*ontology.Profile, composition.Step) error { return nil },
 		DiscoveryCost: 0.005,
 		InvokeCost:    0.02,
+		Metrics:       rt.Metrics,
 	}
+	if p != nil {
+		e.Invoke = PlatformInvoker(p, DefaultInvokeTimeout, DefaultInvokePolicy())
+		e.Breakers = supervise.NewBreakerSet(supervise.DefaultBreakerPolicy())
+		e.Breakers.AttachMetrics(rt.Metrics)
+	}
+	return e
 }

@@ -1,4 +1,4 @@
-// Package experiments implements the reproduction suite E1–E17 described
+// Package experiments implements the reproduction suite E1–E18 described
 // in DESIGN.md. The paper (a vision paper) publishes no quantitative
 // tables; each experiment here quantifies one of its explicit claims, and
 // E1 reproduces Figure 1's scenario end-to-end. The same runners back
@@ -101,6 +101,7 @@ func All() []Runner {
 		{"E15", E15SelfHealing},
 		{"E16", E16PriorityUnderStorm},
 		{"E17", E17CityScaleSimulation},
+		{"E18", E18AdaptiveRecomposition},
 	}
 }
 

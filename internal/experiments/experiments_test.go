@@ -54,8 +54,8 @@ func TestTableFprint(t *testing.T) {
 
 func TestAllRunnersPresent(t *testing.T) {
 	rs := All()
-	if len(rs) != 16 {
-		t.Fatalf("runners = %d, want 16", len(rs))
+	if len(rs) != 17 {
+		t.Fatalf("runners = %d, want 17", len(rs))
 	}
 	seen := map[string]bool{}
 	for _, r := range rs {
@@ -412,6 +412,37 @@ func TestE17DeterministicAtEveryScale(t *testing.T) {
 		}
 		if tps := num(t, cell(t, tb, func(r []string) bool { return &r[0] == &row[0] }, "ticks/s")); tps <= 0 {
 			t.Fatalf("%s nodes: ticks/s = %v", row[0], tps)
+		}
+	}
+}
+
+func TestE18AdaptiveCompletesWhereStaticAbandons(t *testing.T) {
+	tb, err := E18AdaptiveRecomposition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(scenario, mode, col string) string {
+		return cell(t, tb, func(r []string) bool { return r[0] == scenario && r[1] == mode }, col)
+	}
+	// Parity when nothing degrades: the adaptive executor costs nothing.
+	if num(t, get("healthy", "static", "completed")) != 100 ||
+		num(t, get("healthy", "adaptive", "completed")) != 100 {
+		t.Fatal("healthy scenario should complete under both executors")
+	}
+	for _, scenario := range []string{"crash-loop", "partition"} {
+		if v := num(t, get(scenario, "static", "completed")); v > 10 {
+			t.Fatalf("%s: static completed %v%%, expected abandonment", scenario, v)
+		}
+		if v := num(t, get(scenario, "adaptive", "completed")); v < 90 {
+			t.Fatalf("%s: adaptive completed %v%%, want >= 90%%", scenario, v)
+		}
+		if v := num(t, get(scenario, "adaptive", "replans")); v < 1 {
+			t.Fatalf("%s: adaptive shows no re-plans", scenario)
+		}
+		// Migration fidelity: completed steps are carried forward, never
+		// re-executed on the substitute plan.
+		if v := num(t, get(scenario, "adaptive", "redone steps")); v != 0 {
+			t.Fatalf("%s: adaptive redid %v completed steps", scenario, v)
 		}
 	}
 }

@@ -1,0 +1,212 @@
+package experiments
+
+// E18 — adaptive re-composition under pressure. A two-step composition
+// (ingest -> mine) runs against provider agents on a real platform through
+// the retry layer. Mid-plan — the instant the first step completes — every
+// provider of the second step's concept is destroyed (a crash-loop or a
+// partition, injected with faultinject). The static engine exhausts its
+// candidates and abandons the conversation; the adaptive executor re-plans
+// onto the library's degraded alternative (ingest -> approx) carrying the
+// completed step forward in its handoff, so the conversation finishes
+// without redoing any work.
+
+import (
+	"fmt"
+	"time"
+
+	"pervasivegrid/internal/agent"
+	"pervasivegrid/internal/composition"
+	"pervasivegrid/internal/core"
+	"pervasivegrid/internal/discovery"
+	"pervasivegrid/internal/faultinject"
+	"pervasivegrid/internal/ontology"
+	"pervasivegrid/internal/supervise"
+)
+
+// e18Scenarios are the mid-plan pressure modes applied to every provider
+// of the second step's concept.
+var e18Scenarios = []string{"healthy", "crash-loop", "partition"}
+
+// e18Library defines the goal: a primary decomposition over ingest+mine
+// and a ranked degraded alternative over ingest+approx, sharing the
+// ingest prefix so a re-plan can carry the completed step forward.
+func e18Library() (*composition.Library, error) {
+	l := composition.NewLibrary()
+	for _, task := range []*composition.Task{
+		{Name: "analyse", Subtasks: []string{"ingest", "mine"},
+			Alternatives: [][]string{{"ingest", "approx"}}},
+		{Name: "ingest", Concept: "IngestService",
+			Inputs: []string{"Raw"}, Outputs: []string{"IngestedData"}},
+		{Name: "mine", Concept: "MineService",
+			Inputs: []string{"IngestedData"}, Outputs: []string{"Result"}},
+		{Name: "approx", Concept: "ApproxService",
+			Inputs: []string{"IngestedData"}, Outputs: []string{"Result"}},
+	} {
+		if err := l.Define(task); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// e18Outcome is one trial's measurements.
+type e18Outcome struct {
+	ok                  bool
+	latency             float64
+	replans, migrations int
+	redone              int
+}
+
+// e18Trial runs one conversation. Providers for MineService sit behind
+// the injector (handler and deputy), so the scenario can crash-loop or
+// partition exactly the services bound to the remaining step.
+func e18Trial(o *ontology.Ontology, lib *composition.Library, scenario string, adaptive bool) (e18Outcome, error) {
+	p := agent.NewPlatform("e18")
+	defer p.Close()
+	inj := faultinject.New(faultinject.Config{Seed: 42})
+	b := discovery.NewBroker("b0", discovery.NewSemanticMatcher(o))
+	for _, c := range []string{"IngestService", "MineService", "ApproxService"} {
+		for j := 0; j < 2; j++ {
+			name := fmt.Sprintf("%s-%d", c, j)
+			if _, err := b.Reg.Register(&ontology.Profile{Name: name, Concept: c}, time.Hour); err != nil {
+				return e18Outcome{}, err
+			}
+			service := name
+			var h agent.Handler = agent.HandlerFunc(func(env agent.Envelope, ctx *agent.Context) {
+				if env.Performative != "request" || env.Ontology != core.ComposeOntology {
+					return
+				}
+				out, err := env.Reply("inform", core.InvokeReply{OK: true, Service: service})
+				if err != nil {
+					return
+				}
+				out.From = ctx.Self
+				_ = ctx.Send(out)
+			})
+			var wrapDeputy func(agent.Deputy) agent.Deputy
+			if c == "MineService" {
+				h = inj.WrapHandler(h)
+				wrapDeputy = inj.WrapDeputy
+			}
+			if err := p.Register(core.ProviderAgentID(name), h, agent.Attributes{}, wrapDeputy); err != nil {
+				return e18Outcome{}, err
+			}
+		}
+	}
+
+	policy := agent.RetryPolicy{
+		MaxAttempts:    2,
+		BaseDelay:      2 * time.Millisecond,
+		MaxDelay:       10 * time.Millisecond,
+		AttemptTimeout: 25 * time.Millisecond,
+		Seed:           7,
+	}
+	inner := core.PlatformInvoker(p, 150*time.Millisecond, policy)
+	done := map[string]int{}
+	eng := &composition.Engine{
+		Brokers: []*discovery.Broker{b},
+		Onto:    o,
+		Breakers: supervise.NewBreakerSet(supervise.BreakerPolicy{
+			FailureThreshold: 1, OpenFor: time.Minute,
+		}),
+		Invoke: func(prof *ontology.Profile, step composition.Step) error {
+			err := inner(prof, step)
+			if err == nil {
+				done[step.Task.Name]++
+				if step.Task.Name == "ingest" && done["ingest"] == 1 {
+					// Mid-plan pressure: the first step just finished, and
+					// every provider of the remaining step's concept dies.
+					switch scenario {
+					case "crash-loop":
+						inj.CrashFor(time.Minute)
+					case "partition":
+						inj.SetPartitioned(true)
+					}
+				}
+			}
+			return err
+		},
+	}
+
+	start := wallClock.Now()
+	var exec composition.Execution
+	if adaptive {
+		a := &composition.Adaptive{
+			Engine: eng, Library: lib,
+			Goal: "analyse", Initial: []string{"Raw"},
+		}
+		a.Start()
+		a.WatchBreakers(eng.Breakers)
+		exec = a.Run()
+		a.Stop()
+	} else {
+		plan, err := lib.Plan("analyse")
+		if err != nil {
+			return e18Outcome{}, err
+		}
+		exec = eng.Execute(plan)
+	}
+	out := e18Outcome{
+		ok:      exec.Succeeded,
+		latency: wallClock.Now().Sub(start).Seconds(),
+		replans: exec.Replans, migrations: exec.Migrations,
+	}
+	for _, n := range done {
+		if n > 1 {
+			out.redone += n - 1
+		}
+	}
+	return out, nil
+}
+
+// E18AdaptiveRecomposition measures completion rate and latency for the
+// static engine versus the adaptive executor when the services bound to a
+// conversation's remaining step die mid-plan.
+func E18AdaptiveRecomposition() (*Table, error) {
+	t := &Table{
+		ID:    "E18",
+		Title: "adaptive re-composition under pressure",
+		Claim: "if a network service breaks down, the architecture should be able to detect this and resort to fault control mechanisms — here by re-planning the rest of a composition mid-conversation and migrating it to substitute services without redoing completed work",
+		Columns: []string{
+			"scenario", "executor", "completed", "mean latency(s)",
+			"replans", "migrations", "redone steps",
+		},
+	}
+	o := ontology.Pervasive()
+	lib, err := e18Library()
+	if err != nil {
+		return nil, err
+	}
+	const trials = 6
+	for _, scenario := range e18Scenarios {
+		for _, adaptive := range []bool{false, true} {
+			completed, latency, redone := 0, 0.0, 0
+			replans, migrations := 0, 0
+			for trial := 0; trial < trials; trial++ {
+				out, err := e18Trial(o, lib, scenario, adaptive)
+				if err != nil {
+					return nil, err
+				}
+				if out.ok {
+					completed++
+					latency += out.latency
+				}
+				replans += out.replans
+				migrations += out.migrations
+				redone += out.redone
+			}
+			meanLat := "-"
+			if completed > 0 {
+				meanLat = f3(latency / float64(completed))
+			}
+			mode := "static"
+			if adaptive {
+				mode = "adaptive"
+			}
+			t.AddRow(scenario, mode, pct(float64(completed)/trials),
+				meanLat, itoa(replans), itoa(migrations), itoa(redone))
+		}
+	}
+	t.Notes = "mid-plan, every provider of the remaining step's concept is crash-looped or partitioned; the static engine abandons the conversation while the adaptive executor re-plans onto the degraded alternative, carries the completed step in its handoff, and redoes nothing"
+	return t, nil
+}

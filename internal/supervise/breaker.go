@@ -265,6 +265,15 @@ type BreakerSet struct {
 	metrics  *obs.Registry
 	// MaxTargets overrides DefaultBreakerTargets when positive.
 	MaxTargets int
+
+	// Transition subscribers live under their own mutex: notifications
+	// fire with the transitioning breaker's mutex held, and s.mu is held
+	// while breaker mutexes are acquired (instrumentLocked), so routing
+	// them through s.mu would close a lock cycle. subMu never acquires
+	// another lock.
+	subMu   sync.Mutex
+	subs    map[int]func(target string, from, to BreakerState)
+	nextSub int
 }
 
 // NewBreakerSet builds an empty set with the given policy (zero fields
@@ -288,16 +297,58 @@ func (s *BreakerSet) AttachMetrics(reg *obs.Registry) {
 // instrumentLocked wires the change hook; callers hold s.mu.
 func (s *BreakerSet) instrumentLocked(b *Breaker) {
 	reg := s.metrics
-	if reg == nil {
-		return
+	if reg != nil {
+		reg.Gauge("breaker_state", "target", b.name).Set(float64(b.State()))
 	}
-	reg.Gauge("breaker_state", "target", b.name).Set(float64(b.State()))
 	b.mu.Lock()
 	b.onChange = func(name string, from, to BreakerState) {
-		reg.Gauge("breaker_state", "target", name).Set(float64(to))
-		reg.Counter("breaker_transitions_total", "target", name, "to", to.String()).Inc()
+		if reg != nil {
+			reg.Gauge("breaker_state", "target", name).Set(float64(to))
+			reg.Counter("breaker_transitions_total", "target", name, "to", to.String()).Inc()
+		}
+		s.notify(name, from, to)
 	}
 	b.mu.Unlock()
+}
+
+// OnTransition subscribes fn to every state change of every breaker in
+// the set (including ones created later) and returns a cancel func.
+// Subscribers run synchronously with the transitioning breaker's
+// internal mutex held: they MUST NOT block and MUST NOT call back into
+// the set or any breaker — hand the signal off with a non-blocking
+// channel send or an atomic flag and return.
+func (s *BreakerSet) OnTransition(fn func(target string, from, to BreakerState)) func() {
+	s.subMu.Lock()
+	if s.subs == nil {
+		s.subs = map[int]func(string, BreakerState, BreakerState){}
+	}
+	id := s.nextSub
+	s.nextSub++
+	s.subs[id] = fn
+	s.subMu.Unlock()
+	return func() {
+		s.subMu.Lock()
+		delete(s.subs, id)
+		s.subMu.Unlock()
+	}
+}
+
+// notify fans a transition out to subscribers. Called from breaker
+// onChange hooks (breaker mutex held), so it only touches subMu.
+func (s *BreakerSet) notify(target string, from, to BreakerState) {
+	s.subMu.Lock()
+	if len(s.subs) == 0 {
+		s.subMu.Unlock()
+		return
+	}
+	fns := make([]func(string, BreakerState, BreakerState), 0, len(s.subs))
+	for _, fn := range s.subs {
+		fns = append(fns, fn)
+	}
+	s.subMu.Unlock()
+	for _, fn := range fns {
+		fn(target, from, to)
+	}
 }
 
 // get returns the breaker for target, creating it when create is set and

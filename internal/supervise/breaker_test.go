@@ -169,3 +169,64 @@ func TestBreakerSetSnapshotAndMetrics(t *testing.T) {
 		t.Fatalf("healed gauge = %v, want closed", got)
 	}
 }
+
+func TestBreakerSetOnTransition(t *testing.T) {
+	fc := obs.NewFakeClock()
+	s := NewBreakerSet(BreakerPolicy{FailureThreshold: 2, OpenFor: time.Second, HalfOpenSuccesses: 1, Clock: fc})
+
+	type hop struct {
+		target   string
+		from, to BreakerState
+	}
+	var got []hop
+	cancel := s.OnTransition(func(target string, from, to BreakerState) {
+		got = append(got, hop{target, from, to})
+	})
+
+	s.Failure("svc-a")
+	s.Failure("svc-a") // closed -> open
+	fc.Advance(time.Second)
+	s.Allow("svc-a")   // open -> half-open
+	s.Success("svc-a") // half-open -> closed
+	s.ForceOpen("svc-b")
+
+	want := []hop{
+		{"svc-a", BreakerClosed, BreakerOpen},
+		{"svc-a", BreakerOpen, BreakerHalfOpen},
+		{"svc-a", BreakerHalfOpen, BreakerClosed},
+		{"svc-b", BreakerClosed, BreakerOpen},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d transitions %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("transition[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	cancel()
+	s.Failure("svc-b") // already open: no transition either way
+	s.Failure("svc-c")
+	s.Failure("svc-c") // closed -> open, but unsubscribed
+	if len(got) != len(want) {
+		t.Fatalf("cancelled subscriber still notified: %v", got[len(want):])
+	}
+}
+
+func TestBreakerSetOnTransitionWithMetrics(t *testing.T) {
+	fc := obs.NewFakeClock()
+	s := NewBreakerSet(BreakerPolicy{FailureThreshold: 1, OpenFor: time.Second, Clock: fc})
+	reg := obs.NewRegistry()
+	s.AttachMetrics(reg)
+
+	fired := 0
+	s.OnTransition(func(string, BreakerState, BreakerState) { fired++ })
+	s.Failure("svc")
+	if fired != 1 {
+		t.Fatalf("subscriber fired %d times, want 1", fired)
+	}
+	if got := reg.Gauge("breaker_state", "target", "svc").Value(); got != float64(BreakerOpen) {
+		t.Fatalf("breaker_state gauge = %v, want %v (metrics must keep working alongside subscribers)", got, float64(BreakerOpen))
+	}
+}

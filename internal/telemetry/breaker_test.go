@@ -67,3 +67,64 @@ func TestMonitorHealthDrivesBreakers(t *testing.T) {
 		t.Fatalf("breaker after healthy report = %v, want closed", got)
 	}
 }
+
+// TestMonitorOnHealthChange exercises the health-verdict subscription
+// seam: subscribers see each verdict transition exactly once (repeated
+// evaluations at the same verdict are silent), and cancel stops delivery.
+func TestMonitorOnHealthChange(t *testing.T) {
+	clk := obs.NewFakeClock()
+	p := agent.NewPlatform("hub")
+	p.Clock = clk
+	defer p.Close()
+	mon, err := RegisterMonitor(p, MonitorOptions{Interval: time.Second, Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mon.Close()
+
+	type hop struct {
+		node     string
+		from, to Health
+	}
+	var got []hop
+	cancel := mon.OnHealthChange(func(node string, from, to Health) {
+		got = append(got, hop{node, from, to})
+	})
+
+	// First report: node arrives healthy — no change fires.
+	mon.Ingest(Report{Node: "edge", Seq: 1, Full: true})
+	if len(got) != 0 {
+		t.Fatalf("healthy arrival fired %v", got)
+	}
+
+	// Decay to degraded, then suspect; re-evaluating at the same
+	// staleness band must not re-fire.
+	clk.Advance(3 * time.Second)
+	mon.SyncBreakers()
+	mon.SyncBreakers()
+	clk.Advance(2 * time.Second)
+	mon.SyncBreakers()
+	// Recovery snaps straight back to healthy.
+	mon.Ingest(Report{Node: "edge", Seq: 2})
+
+	want := []hop{
+		{"edge", Healthy, Degraded},
+		{"edge", Degraded, Suspect},
+		{"edge", Suspect, Healthy},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("change[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	cancel()
+	clk.Advance(time.Minute)
+	mon.SyncBreakers() // edge -> down, but unsubscribed
+	if len(got) != len(want) {
+		t.Fatalf("cancelled subscriber still notified: %v", got[len(want):])
+	}
+}

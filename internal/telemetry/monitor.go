@@ -121,6 +121,10 @@ type nodeState struct {
 	spansSampled uint64
 	spansDropped uint64
 	spansEvicted uint64
+
+	// lastHealth is the verdict announced to health subscribers at the
+	// last evaluation ("" until the node is first evaluated).
+	lastHealth Health
 }
 
 // Monitor is the fleet MonitorAgent: it ingests telemetry reports,
@@ -134,6 +138,12 @@ type Monitor struct {
 
 	mu    sync.Mutex
 	nodes map[string]*nodeState
+
+	// Health-verdict subscribers, under their own mutex so notifications
+	// (which run outside m.mu) never race subscription changes.
+	healthSubMu   sync.Mutex
+	healthSubs    map[int]func(node string, from, to Health)
+	nextHealthSub int
 }
 
 // RegisterMonitor registers the monitor agent on p. Nodes reach it by
@@ -249,32 +259,85 @@ func (m *Monitor) Ingest(rep Report) (gapped bool) {
 // attached breaker set: suspect and down nodes are force-opened (their
 // circuits stop admitting traffic even though individual sends may still
 // be succeeding into a void), healthy nodes are credited so a half-open
-// circuit can close. No-op without MonitorOptions.Breakers. Called
-// automatically from Ingest and Fleet; exported for callers that want to
-// sync on their own cadence.
-func (m *Monitor) SyncBreakers() {
-	bs := m.opts.Breakers
-	if bs == nil {
-		return
+// circuit can close. Breaker pushes are a no-op without
+// MonitorOptions.Breakers; health-change subscribers are notified either
+// way. Called automatically from Ingest and Fleet; exported for callers
+// that want to sync on their own cadence.
+func (m *Monitor) SyncBreakers() { m.evaluate() }
+
+// OnHealthChange subscribes fn to every node health-verdict change
+// (evaluated on Ingest, Fleet, and SyncBreakers) and returns a cancel
+// func. A node's first evaluation compares against Healthy, so only
+// nodes that appear already degraded fire on arrival. Subscribers run
+// synchronously on the evaluating goroutine with no monitor locks held;
+// they should hand the verdict off quickly (non-blocking channel send)
+// rather than do work inline.
+func (m *Monitor) OnHealthChange(fn func(node string, from, to Health)) func() {
+	m.healthSubMu.Lock()
+	if m.healthSubs == nil {
+		m.healthSubs = map[int]func(string, Health, Health){}
 	}
+	id := m.nextHealthSub
+	m.nextHealthSub++
+	m.healthSubs[id] = fn
+	m.healthSubMu.Unlock()
+	return func() {
+		m.healthSubMu.Lock()
+		delete(m.healthSubs, id)
+		m.healthSubMu.Unlock()
+	}
+}
+
+// evaluate classifies every node, records verdict changes, then — outside
+// m.mu — pushes verdicts into the breaker set and notifies subscribers.
+func (m *Monitor) evaluate() {
+	bs := m.opts.Breakers
 	now := m.opts.Clock.Now()
 	type verdict struct {
-		node string
-		h    Health
+		node     string
+		from, to Health
 	}
 	m.mu.Lock()
 	verdicts := make([]verdict, 0, len(m.nodes))
 	for name, ns := range m.nodes {
-		verdicts = append(verdicts, verdict{name, m.health(now.Sub(ns.lastSeen))})
+		h := m.health(now.Sub(ns.lastSeen))
+		prev := ns.lastHealth
+		if prev == "" {
+			prev = Healthy
+		}
+		ns.lastHealth = h
+		verdicts = append(verdicts, verdict{name, prev, h})
 	}
 	m.mu.Unlock()
 	for _, v := range verdicts {
-		switch v.h {
-		case Suspect, Down:
-			bs.ForceOpen(v.node)
-		case Healthy:
-			bs.Success(v.node)
+		if bs != nil {
+			switch v.to {
+			case Suspect, Down:
+				bs.ForceOpen(v.node)
+			case Healthy:
+				bs.Success(v.node)
+			}
 		}
+		if v.from != v.to {
+			m.notifyHealth(v.node, v.from, v.to)
+		}
+	}
+}
+
+// notifyHealth fans one verdict change out to subscribers.
+func (m *Monitor) notifyHealth(node string, from, to Health) {
+	m.healthSubMu.Lock()
+	if len(m.healthSubs) == 0 {
+		m.healthSubMu.Unlock()
+		return
+	}
+	fns := make([]func(string, Health, Health), 0, len(m.healthSubs))
+	for _, fn := range m.healthSubs {
+		fns = append(fns, fn)
+	}
+	m.healthSubMu.Unlock()
+	for _, fn := range fns {
+		fn(node, from, to)
 	}
 }
 
@@ -464,8 +527,8 @@ func (m *Monitor) Fleet() FleetView {
 	}
 	fv.Traces = len(m.tracer.Traces())
 	fv.Events = len(m.events.Events())
+	m.evaluate()
 	if m.opts.Breakers != nil {
-		m.SyncBreakers()
 		fv.Breakers = m.opts.Breakers.Snapshot()
 	}
 	return fv
